@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks mirroring experiments E1/E3/E4/E6 on fixed
+//! mid-size workloads, for statistically tracked numbers
+//! (`cargo bench -p mmv-bench`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mmv_bench::gen::constrained::{
+    layered_program, random_deletion, random_insertion, LayeredSpec,
+};
+use mmv_bench::sensors::{monitoring_db, SensorDomain};
+use mmv_constraints::{NoDomains, SolverConfig, Value};
+use mmv_core::delete_dred::rewrite_for_deletion;
+use mmv_core::semantics::build_del;
+use mmv_core::{
+    dred_delete, fixpoint, insert_atom, stdel_delete, FixpointConfig, Operator, SupportMode,
+};
+use mmv_domains::DomainManager;
+use std::sync::Arc;
+
+fn spec() -> LayeredSpec {
+    LayeredSpec {
+        layers: 3,
+        preds_per_layer: 4,
+        facts_per_pred: 8,
+        body_atoms: 1,
+        ..LayeredSpec::default()
+    }
+}
+
+/// E1: the three deletion strategies on the same view.
+fn bench_deletion(c: &mut Criterion) {
+    let spec = spec();
+    let db = layered_program(&spec);
+    let cfg = FixpointConfig::default();
+    let (with_supports, _) =
+        fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+    let (plain, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
+    let deletion = random_deletion(&spec, 0xBE);
+
+    let mut g = c.benchmark_group("e1_deletion");
+    g.bench_function("stdel", |b| {
+        b.iter_batched(
+            || with_supports.clone(),
+            |mut v| stdel_delete(&mut v, &deletion, &NoDomains, &cfg.solver).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("extended_dred", |b| {
+        b.iter_batched(
+            || plain.clone(),
+            |mut v| dred_delete(&db, &mut v, &deletion, &NoDomains, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("recompute", |b| {
+        b.iter_batched(
+            || plain.clone(),
+            |mut v| {
+                let del = build_del(&mut v, &deletion, &NoDomains, &cfg);
+                let pprime = rewrite_for_deletion(&db, &del);
+                fixpoint(&pprime, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E3: incremental insertion vs recompute-with-extra-fact.
+fn bench_insertion(c: &mut Criterion) {
+    let spec = spec();
+    let db = layered_program(&spec);
+    let cfg = FixpointConfig::default();
+    let (view, _) =
+        fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+    let ins = random_insertion(&spec, 0xBE, 10);
+
+    let mut g = c.benchmark_group("e3_insertion");
+    g.bench_function("algorithm3", |b| {
+        b.iter_batched(
+            || view.clone(),
+            |mut v| insert_atom(&db, &mut v, &ins, &NoDomains, Operator::Tp, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("recompute", |b| {
+        b.iter(|| {
+            let mut extended = db.clone();
+            extended.push(mmv_core::Clause::fact(
+                &ins.pred,
+                ins.args.clone(),
+                ins.constraint.clone(),
+            ));
+            fixpoint(&extended, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// E4: maintenance cost per external update.
+fn bench_external(c: &mut Criterion) {
+    let n = 100;
+    let sensors = Arc::new(SensorDomain::new(n));
+    let mut manager = DomainManager::new();
+    manager.register(sensors.clone());
+    let db = monitoring_db(n, 50);
+    let cfg = FixpointConfig::default();
+
+    let mut g = c.benchmark_group("e4_external_update");
+    let mut tick = 0i64;
+    g.bench_function("tp_rebuild", |b| {
+        b.iter(|| {
+            tick += 1;
+            sensors.set((tick as usize) % n, vec![40 + tick % 30, 90]);
+            fixpoint(&db, &manager, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap()
+        })
+    });
+    // The W_P "maintenance" is a no-op; measure the query-time evaluation
+    // it defers to instead.
+    let (wp, _) = fixpoint(&db, &manager, Operator::Wp, SupportMode::WithSupports, &cfg).unwrap();
+    let scfg = SolverConfig::default();
+    g.bench_function("wp_query_after_update", |b| {
+        b.iter(|| {
+            tick += 1;
+            sensors.set((tick as usize) % n, vec![40 + tick % 30, 90]);
+            wp.query(&format!("alert{}", (tick as usize) % n), &[None], &manager, &scfg)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// E6: materialization with and without supports.
+fn bench_build(c: &mut Criterion) {
+    let spec = spec();
+    let db = layered_program(&spec);
+    let cfg = FixpointConfig::default();
+    let mut g = c.benchmark_group("e6_build");
+    g.bench_function("with_supports", |b| {
+        b.iter(|| {
+            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap()
+        })
+    });
+    g.bench_function("plain", |b| {
+        b.iter(|| fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+/// Solver microbenchmark: satisfiability of deletion-shaped constraints.
+fn bench_solver(c: &mut Criterion) {
+    use mmv_constraints::{satisfiable, CmpOp, Constraint, Lit, Term, Var};
+    let x = Term::var(Var(0));
+    let mut constraint = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
+        .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(1000)));
+    for k in 0..8 {
+        constraint = constraint.and_lit(Lit::Not(Constraint::eq(x.clone(), Term::int(k * 7))));
+    }
+    c.bench_function("solver_sat_8_exclusions", |b| {
+        b.iter(|| satisfiable(&constraint, &NoDomains))
+    });
+    let q = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
+        .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(50)));
+    c.bench_function("enumerate_interval_51", |b| {
+        b.iter(|| {
+            mmv_constraints::solutions(&q, &[Var(0)], &NoDomains)
+                .exact()
+                .map(|s| s.len())
+        })
+    });
+    std::hint::black_box(Value::int(0));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_deletion, bench_insertion, bench_external, bench_build, bench_solver
+}
+criterion_main!(benches);

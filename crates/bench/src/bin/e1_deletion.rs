@@ -1,0 +1,93 @@
+//! E1 — Deletion maintenance: StDel vs Extended DRed vs full
+//! recomputation.
+//!
+//! Paper claim (§3.1.2, Conclusion): "The important advantage of the new
+//! algorithm is the elimination of the rederivation step" — StDel should
+//! beat Extended DRed, and both should beat recomputation, with the gap
+//! growing with view size and derivation depth.
+//!
+//! Regenerate: `cargo run -p mmv-bench --release --bin e1_deletion`
+//! (add `--quick` for a reduced sweep).
+
+use mmv_bench::gen::constrained::{layered_program, random_deletion, LayeredSpec};
+use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_constraints::NoDomains;
+use mmv_core::delete_dred::rewrite_for_deletion;
+use mmv_core::semantics::build_del;
+use mmv_core::{dred_delete, fixpoint, stdel_delete, FixpointConfig, Operator, SupportMode};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "E1: deletion latency — StDel vs Extended DRed vs recompute",
+        "StDel eliminates DRed's rederivation step (paper §3.1.2); both beat recomputation",
+    );
+    let sweeps: Vec<(usize, usize)> = if quick {
+        vec![(2, 4), (3, 8)]
+    } else {
+        vec![(2, 4), (2, 8), (3, 8), (3, 16), (4, 16), (4, 32)]
+    };
+    let runs = if quick { 3 } else { 5 };
+    let mut table = Table::new(&[
+        "layers",
+        "facts/pred",
+        "view entries",
+        "StDel",
+        "ExtDRed",
+        "recompute",
+        "DRed/StDel",
+        "recomp/StDel",
+    ]);
+    for (layers, facts) in sweeps {
+        let spec = LayeredSpec {
+            layers,
+            preds_per_layer: 4,
+            facts_per_pred: facts,
+            body_atoms: 1,
+            ..LayeredSpec::default()
+        };
+        let db = layered_program(&spec);
+        let cfg = FixpointConfig::default();
+        let (with_supports, _) =
+            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
+                .expect("fixpoint");
+        let (plain, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg)
+            .expect("fixpoint");
+        let deletion = random_deletion(&spec, 0xE1);
+
+        let t_stdel = median_time(1, runs, || {
+            let mut v = with_supports.clone();
+            stdel_delete(&mut v, &deletion, &NoDomains, &cfg.solver).expect("stdel");
+        });
+        let t_dred = median_time(1, runs, || {
+            let mut v = plain.clone();
+            dred_delete(&db, &mut v, &deletion, &NoDomains, &cfg).expect("dred");
+        });
+        let t_recompute = median_time(1, runs, || {
+            let mut v = plain.clone();
+            let del = build_del(&mut v, &deletion, &NoDomains, &cfg);
+            let pprime = rewrite_for_deletion(&db, &del);
+            fixpoint(&pprime, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg)
+                .expect("recompute");
+        });
+        table.row(vec![
+            layers.to_string(),
+            facts.to_string(),
+            with_supports.len().to_string(),
+            fmt_duration(t_stdel),
+            fmt_duration(t_dred),
+            fmt_duration(t_recompute),
+            format!("{:.2}x", t_dred.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                t_recompute.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "expected shape: StDel fastest; ratios grow with layers/facts \
+         (the rederivation and recomputation joins scale with the view)."
+    );
+}

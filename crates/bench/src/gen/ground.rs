@@ -1,0 +1,187 @@
+//! Ground workload generators: random graphs and the classic Datalog
+//! programs over them (transitive closure — recursive; two-hop paths —
+//! nonrecursive), in both the ground engine's and the constrained
+//! engine's representations.
+
+use mmv_constraints::{Constraint, Term, Value, Var};
+use mmv_core::{BodyAtom, Clause, ConstrainedDatabase};
+use mmv_datalog::{DlAtom, DlProgram, DlRule, DlTerm, Fact};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-digraph specification.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Number of nodes (labelled `0..nodes`).
+    pub nodes: usize,
+    /// Number of edges (sampled uniformly, no self-loops, deduplicated).
+    pub edges: usize,
+    /// RNG seed (all generators are deterministic per seed).
+    pub seed: u64,
+}
+
+/// Samples a random edge set.
+pub fn random_edges(spec: &GraphSpec) -> Vec<(i64, i64)> {
+    assert!(spec.nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(spec.edges);
+    let mut attempts = 0usize;
+    while out.len() < spec.edges && attempts < spec.edges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..spec.nodes) as i64;
+        let b = rng.gen_range(0..spec.nodes) as i64;
+        if a != b && seen.insert((a, b)) {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// A simple chain `0 -> 1 -> … -> n-1`.
+pub fn chain_edges(n: usize) -> Vec<(i64, i64)> {
+    (0..n.saturating_sub(1) as i64).map(|i| (i, i + 1)).collect()
+}
+
+/// The recursive transitive-closure program over `edge` facts.
+pub fn tc_program(edges: &[(i64, i64)]) -> DlProgram {
+    DlProgram::new(
+        vec![
+            DlRule::new(
+                DlAtom::new("tc", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![DlAtom::new("edge", vec![DlTerm::Var(0), DlTerm::Var(1)])],
+            )
+            .expect("safe rule"),
+            DlRule::new(
+                DlAtom::new("tc", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![
+                    DlAtom::new("edge", vec![DlTerm::Var(0), DlTerm::Var(2)]),
+                    DlAtom::new("tc", vec![DlTerm::Var(2), DlTerm::Var(1)]),
+                ],
+            )
+            .expect("safe rule"),
+        ],
+        edge_facts(edges),
+    )
+}
+
+/// The nonrecursive two-hop program (`p2(X,Y) :- edge(X,Z), edge(Z,Y)`),
+/// plus a second stratum `reach1(X) :- p2(X, Y)`.
+pub fn two_hop_program(edges: &[(i64, i64)]) -> DlProgram {
+    DlProgram::new(
+        vec![
+            DlRule::new(
+                DlAtom::new("p2", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![
+                    DlAtom::new("edge", vec![DlTerm::Var(0), DlTerm::Var(2)]),
+                    DlAtom::new("edge", vec![DlTerm::Var(2), DlTerm::Var(1)]),
+                ],
+            )
+            .expect("safe rule"),
+            DlRule::new(
+                DlAtom::new("src2", vec![DlTerm::Var(0)]),
+                vec![DlAtom::new("p2", vec![DlTerm::Var(0), DlTerm::Var(1)])],
+            )
+            .expect("safe rule"),
+        ],
+        edge_facts(edges),
+    )
+}
+
+fn edge_facts(edges: &[(i64, i64)]) -> Vec<Fact> {
+    edges
+        .iter()
+        .map(|&(a, b)| Fact::new("edge", vec![Value::Int(a), Value::Int(b)]))
+        .collect()
+}
+
+/// Translates a ground Datalog program into an equivalent constrained
+/// database: facts become constant-argument clauses, rules become
+/// constraint-free clauses. This is the bridge for the cross-engine
+/// equivalence experiments (E2).
+pub fn ground_to_constrained(p: &DlProgram) -> ConstrainedDatabase {
+    let mut db = ConstrainedDatabase::new();
+    for f in &p.edb {
+        db.push(Clause::fact(
+            &f.pred,
+            f.args.iter().cloned().map(Term::Const).collect(),
+            Constraint::truth(),
+        ));
+    }
+    for r in &p.rules {
+        let conv = |t: &DlTerm| match t {
+            DlTerm::Var(v) => Term::Var(Var(*v)),
+            DlTerm::Const(c) => Term::Const(c.clone()),
+        };
+        db.push(Clause::new(
+            &r.head.pred,
+            r.head.args.iter().map(conv).collect(),
+            Constraint::truth(),
+            r.body
+                .iter()
+                .map(|a| BodyAtom::new(&a.pred, a.args.iter().map(conv).collect()))
+                .collect(),
+        ));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_constraints::{NoDomains, SolverConfig};
+    use mmv_core::{fixpoint, FixpointConfig, Operator, SupportMode};
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = GraphSpec {
+            nodes: 20,
+            edges: 30,
+            seed: 42,
+        };
+        assert_eq!(random_edges(&spec), random_edges(&spec));
+        assert_ne!(
+            random_edges(&spec),
+            random_edges(&GraphSpec { seed: 43, ..spec })
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let edges = random_edges(&GraphSpec {
+            nodes: 10,
+            edges: 40,
+            seed: 7,
+        });
+        let set: std::collections::BTreeSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+        assert!(edges.iter().all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn ground_and_constrained_engines_agree_on_tc() {
+        let edges = chain_edges(6);
+        let p = tc_program(&edges);
+        let ground = mmv_datalog::evaluate(&p);
+
+        let cdb = ground_to_constrained(&p);
+        let (view, _) = fixpoint(
+            &cdb,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::Plain,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let inst = view.instances(&NoDomains, &SolverConfig::default()).unwrap();
+        let ground_set: std::collections::BTreeSet<(String, Vec<_>)> = ground
+            .facts()
+            .map(|f| (f.pred.to_string(), f.args))
+            .collect();
+        let constrained_set: std::collections::BTreeSet<(String, Vec<_>)> = inst
+            .into_iter()
+            .map(|(p, t)| (p.to_string(), t))
+            .collect();
+        assert_eq!(ground_set, constrained_set);
+    }
+}

@@ -1,0 +1,5 @@
+//! Workload generators for the experiment suite.
+
+pub mod constrained;
+pub mod ground;
+pub mod lawenf;

@@ -1,0 +1,135 @@
+//! Timing and table-rendering helpers shared by the experiment binaries.
+//! Each `eN_*` binary prints the rows EXPERIMENTS.md records; the tables
+//! here keep that output consistent and machine-diffable.
+
+use std::time::{Duration, Instant};
+
+/// Times `f`, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` `runs` times (after `warmup` unmeasured runs) and reports the
+/// median duration. `f` must be repeatable (operate on cloned state).
+pub fn median_time<T>(warmup: usize, runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Renders a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:<w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "time"]);
+        t.row(vec!["10".into(), "1.0ms".into()]);
+        t.row(vec!["1000".into(), "12.5ms".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("time"));
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let d = median_time(0, 5, || std::thread::sleep(Duration::from_micros(50)));
+        assert!(d >= Duration::from_micros(40));
+    }
+}

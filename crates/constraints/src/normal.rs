@@ -1,0 +1,245 @@
+//! Negation pushing and disjunctive normal form.
+//!
+//! The maintenance algorithms conjoin `not(φ)` literals onto view-entry
+//! constraints (clause (4), step 2 of StDel, the `Add` set, …). Deciding
+//! satisfiability requires eliminating those negations: `not(l1 & … & lk)`
+//! is `¬l1 ∨ … ∨ ¬lk`, so a constraint expands into a disjunction of
+//! *primitive* conjunctions (no `Not`, no `Lit::Not` nesting), each of
+//! which the conjunction solver can decide.
+
+use crate::constraint::{Constraint, Lit};
+
+/// Error raised when DNF expansion exceeds the disjunct budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfOverflow {
+    /// The budget that was exceeded.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for DnfOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DNF expansion exceeded budget of {} disjuncts", self.budget)
+    }
+}
+
+impl std::error::Error for DnfOverflow {}
+
+/// Default budget for DNF expansion. Deletion constraints in practice
+/// carry a handful of `not()`s, each over a few literals; this is far
+/// beyond realistic sizes while still bounding pathological inputs.
+pub const DEFAULT_DNF_BUDGET: usize = 16_384;
+
+/// Expands `c` into DNF with the default budget.
+pub fn dnf(c: &Constraint) -> Result<Vec<Constraint>, DnfOverflow> {
+    dnf_with_budget(c, DEFAULT_DNF_BUDGET)
+}
+
+/// Expands `c` into a disjunction of primitive conjunctions. Every
+/// returned `Constraint` is free of `Lit::Not`. The disjunction is
+/// logically equivalent to `c`.
+pub fn dnf_with_budget(c: &Constraint, budget: usize) -> Result<Vec<Constraint>, DnfOverflow> {
+    let mut disjuncts: Vec<Vec<Lit>> = vec![Vec::new()];
+    for lit in &c.lits {
+        let alts = dnf_lit(lit, budget)?;
+        if alts.is_empty() {
+            // The literal is unsatisfiable by construction (cannot happen
+            // with the current literal kinds, but keep the algebra total).
+            return Ok(vec![]);
+        }
+        if alts.len() == 1 {
+            for d in &mut disjuncts {
+                d.extend(alts[0].iter().cloned());
+            }
+        } else {
+            let mut next = Vec::with_capacity(disjuncts.len() * alts.len());
+            for d in &disjuncts {
+                for a in &alts {
+                    if next.len() >= budget {
+                        return Err(DnfOverflow { budget });
+                    }
+                    let mut nd = d.clone();
+                    nd.extend(a.iter().cloned());
+                    next.push(nd);
+                }
+            }
+            disjuncts = next;
+        }
+        if disjuncts.len() > budget {
+            return Err(DnfOverflow { budget });
+        }
+    }
+    Ok(disjuncts
+        .into_iter()
+        .map(|lits| Constraint { lits })
+        .collect())
+}
+
+/// DNF for *enumeration*: `not(ψ)` literals are only expanded when every
+/// variable of ψ is visible outside the negation (in a positive literal
+/// of `c` or in `requested`). Negations over region constraints with
+/// auxiliary variables are kept opaque — their semantics is
+/// `¬∃aux ψ` (see [`crate::constraint::Lit::eval_ground`]), which
+/// disjunct-wise expansion would misread as `∃aux ¬ψ`.
+pub fn dnf_for_enumeration(
+    c: &Constraint,
+    budget: usize,
+    requested: &[crate::term::Var],
+) -> Result<Vec<Constraint>, DnfOverflow> {
+    use crate::fxhash::FxHashSet;
+    let mut outer: FxHashSet<crate::term::Var> = requested.iter().copied().collect();
+    for lit in &c.lits {
+        if !matches!(lit, Lit::Not(_)) {
+            let mut vs = Vec::new();
+            lit.collect_vars(&mut vs);
+            outer.extend(vs);
+        }
+    }
+    let mut disjuncts: Vec<Vec<Lit>> = vec![Vec::new()];
+    for lit in &c.lits {
+        let expandable = match lit {
+            Lit::Not(inner) => {
+                let mut vs = Vec::new();
+                for l in &inner.lits {
+                    l.collect_vars(&mut vs);
+                }
+                vs.iter().all(|v| outer.contains(v))
+            }
+            _ => true,
+        };
+        let alts: Vec<Vec<Lit>> = if expandable {
+            dnf_lit(lit, budget)?
+        } else {
+            vec![vec![lit.clone()]]
+        };
+        if alts.is_empty() {
+            return Ok(vec![]);
+        }
+        if alts.len() == 1 {
+            for d in &mut disjuncts {
+                d.extend(alts[0].iter().cloned());
+            }
+        } else {
+            let mut next = Vec::with_capacity(disjuncts.len() * alts.len());
+            for d in &disjuncts {
+                for a in &alts {
+                    if next.len() >= budget {
+                        return Err(DnfOverflow { budget });
+                    }
+                    let mut nd = d.clone();
+                    nd.extend(a.iter().cloned());
+                    next.push(nd);
+                }
+            }
+            disjuncts = next;
+        }
+        if disjuncts.len() > budget {
+            return Err(DnfOverflow { budget });
+        }
+    }
+    Ok(disjuncts
+        .into_iter()
+        .map(|lits| Constraint { lits })
+        .collect())
+}
+
+/// DNF of a single literal: a disjunction of primitive conjunctions.
+fn dnf_lit(l: &Lit, budget: usize) -> Result<Vec<Vec<Lit>>, DnfOverflow> {
+    match l {
+        Lit::Not(inner) => {
+            // ¬(l1 & … & lk) = ¬l1 ∨ … ∨ ¬lk ; each ¬li is itself a
+            // constraint (possibly with further Nots) that we expand.
+            let mut out: Vec<Vec<Lit>> = Vec::new();
+            for il in &inner.lits {
+                let neg = il.negate();
+                let sub = dnf_with_budget(&neg, budget)?;
+                for s in sub {
+                    out.push(s.lits);
+                    if out.len() > budget {
+                        return Err(DnfOverflow { budget });
+                    }
+                }
+            }
+            // ¬(empty conjunction) = ¬true = false: no disjuncts.
+            Ok(out)
+        }
+        prim => Ok(vec![vec![prim.clone()]]),
+    }
+}
+
+/// Whether a constraint is primitive (contains no `Lit::Not` at any depth).
+pub fn is_primitive(c: &Constraint) -> bool {
+    c.lits.iter().all(|l| !matches!(l, Lit::Not(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::CmpOp;
+    use crate::term::{Term, Var};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    #[test]
+    fn primitive_passthrough() {
+        let c = Constraint::eq(x(), Term::int(1)).and(Constraint::neq(x(), Term::int(2)));
+        let d = dnf(&c).unwrap();
+        assert_eq!(d, vec![c]);
+    }
+
+    #[test]
+    fn single_not_expands_to_disjunction() {
+        // X <= 5 & not(X <= 5 & X = 6)
+        let inner = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
+            .and(Constraint::eq(x(), Term::int(6)));
+        let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
+        let d = dnf(&c).unwrap();
+        assert_eq!(d.len(), 2);
+        // Disjunct 1: X<=5 & X>5 ; disjunct 2: X<=5 & X!=6.
+        assert_eq!(
+            d[0],
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5))
+                .and(Constraint::cmp(x(), CmpOp::Gt, Term::int(5)))
+        );
+        assert_eq!(
+            d[1],
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5))
+                .and(Constraint::neq(x(), Term::int(6)))
+        );
+    }
+
+    #[test]
+    fn not_of_truth_is_false() {
+        let c = Constraint::truth().and_lit(Lit::Not(Constraint::truth()));
+        assert_eq!(dnf(&c).unwrap(), Vec::<Constraint>::new());
+    }
+
+    #[test]
+    fn nested_not_unwraps() {
+        let inner = Constraint::lit(Lit::Not(Constraint::eq(x(), Term::int(1))));
+        let c = Constraint::lit(Lit::Not(inner));
+        // not(not(X=1)) == X=1
+        let d = dnf(&c).unwrap();
+        assert_eq!(d, vec![Constraint::eq(x(), Term::int(1))]);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        // Chain of k Nots each contributing 2 disjuncts -> 2^k growth.
+        let mut c = Constraint::truth();
+        for i in 0..20 {
+            let inner = Constraint::eq(Term::var(Var(i)), Term::int(1))
+                .and(Constraint::eq(Term::var(Var(i + 100)), Term::int(2)));
+            c = c.and_lit(Lit::Not(inner));
+        }
+        assert!(dnf_with_budget(&c, 64).is_err());
+    }
+
+    #[test]
+    fn is_primitive_detects_nesting() {
+        assert!(is_primitive(&Constraint::eq(x(), Term::int(1))));
+        let c = Constraint::lit(Lit::Not(Constraint::truth()));
+        assert!(!is_primitive(&c));
+    }
+}

@@ -1,0 +1,94 @@
+//! Union-find over solver nodes with path compression and union by rank.
+//! Per-class payloads are owned by the conjunction solver, which merges
+//! them when classes union; this structure only tracks representatives.
+
+/// Index of a solver node.
+pub type NodeId = usize;
+
+/// Disjoint-set forest.
+#[derive(Debug, Default, Clone)]
+pub struct UnionFind {
+    parent: Vec<NodeId>,
+    rank: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh singleton node and returns its id.
+    pub fn add(&mut self) -> NodeId {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    /// Finds the representative of `x`, compressing the path.
+    pub fn find(&mut self, x: NodeId) -> NodeId {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the classes of `a` and `b`. Returns `Some((winner, loser))`
+    /// when a merge happened — the caller must fold the loser's payload
+    /// into the winner's — or `None` if they were already one class.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> Option<(NodeId, NodeId)> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner;
+        if self.rank[winner] == self.rank[loser] {
+            self.rank[winner] += 1;
+        }
+        Some((winner, loser))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new();
+        let a = uf.add();
+        let b = uf.add();
+        let c = uf.add();
+        assert_ne!(uf.find(a), uf.find(b));
+        let merged = uf.union(a, b).unwrap();
+        assert!(merged.0 != merged.1);
+        assert_eq!(uf.find(a), uf.find(b));
+        assert_ne!(uf.find(a), uf.find(c));
+        assert!(uf.union(a, b).is_none());
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new();
+        let nodes: Vec<_> = (0..10).map(|_| uf.add()).collect();
+        for w in nodes.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        let r = uf.find(nodes[0]);
+        assert!(nodes.iter().all(|&n| uf.find(n) == r));
+    }
+}

@@ -1,0 +1,276 @@
+//! Terms: variables, constants, and record-field projections.
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable, identified by a small integer. Display names are synthesized
+/// (`X0`, `X1`, …) unless the parser recorded a source name elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// Generator of fresh variables. Standardizing clauses apart (required by
+/// the `T_P` definition: "which share no variables") draws from one of
+/// these.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// A generator whose first fresh variable is `X{start}`.
+    pub fn starting_at(start: u32) -> Self {
+        VarGen { next: start }
+    }
+
+    /// Returns a fresh, never-before-issued variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// First id not yet issued.
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+
+    /// Ensures all ids below `floor` count as used.
+    pub fn reserve_below(&mut self, floor: u32) {
+        self.next = self.next.max(floor);
+    }
+}
+
+/// A term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A ground value.
+    Const(Value),
+    /// Projection of a named field, e.g. `P1.origin`. The base term is a
+    /// variable or another projection; projections of constants fold away
+    /// during simplification.
+    Field(Box<Term>, Arc<str>),
+}
+
+impl Term {
+    /// Convenience constructor for variables.
+    pub fn var(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    /// Convenience constructor for integer constants.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// Convenience constructor for string constants.
+    pub fn str(s: &str) -> Term {
+        Term::Const(Value::str(s))
+    }
+
+    /// Field projection.
+    pub fn field(base: Term, name: &str) -> Term {
+        Term::Field(Box::new(base), Arc::from(name))
+    }
+
+    /// The constant payload, if ground.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The variable, if this is a bare variable.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Collects free variables into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::Const(_) => {}
+            Term::Field(b, _) => b.collect_vars(out),
+        }
+    }
+
+    /// Applies a variable substitution, leaving unmapped variables alone.
+    pub fn substitute(&self, subst: &Subst) -> Term {
+        match self {
+            Term::Var(v) => subst.get(*v).cloned().unwrap_or(Term::Var(*v)),
+            Term::Const(_) => self.clone(),
+            Term::Field(b, f) => {
+                let base = b.substitute(subst);
+                match base {
+                    // Fold projections on record constants eagerly.
+                    Term::Const(ref val) => match val.field(f) {
+                        Some(inner) => Term::Const(inner.clone()),
+                        None => Term::Field(Box::new(base), f.clone()),
+                    },
+                    _ => Term::Field(Box::new(base), f.clone()),
+                }
+            }
+        }
+    }
+
+    /// Renames every variable to a fresh one, recording the mapping.
+    pub fn rename_into(&self, map: &mut FxHashMap<Var, Var>, gen: &mut VarGen) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(*map.entry(*v).or_insert_with(|| gen.fresh())),
+            Term::Const(_) => self.clone(),
+            Term::Field(b, f) => Term::Field(Box::new(b.rename_into(map, gen)), f.clone()),
+        }
+    }
+
+    /// Evaluates the term under a total assignment of variables to values.
+    /// Returns `None` if a variable is unassigned or a field is missing.
+    pub fn eval(&self, asg: &FxHashMap<Var, Value>) -> Option<Value> {
+        match self {
+            Term::Var(v) => asg.get(v).cloned(),
+            Term::Const(v) => Some(v.clone()),
+            Term::Field(b, f) => b.eval(asg)?.field(f).cloned(),
+        }
+    }
+
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::Field(b, _) => b.is_ground(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Field(b, n) => write!(f, "{b}.{n}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+/// A substitution: a finite map from variables to terms.
+#[derive(Debug, Default, Clone)]
+pub struct Subst {
+    map: FxHashMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `v` to `t`, replacing any previous binding.
+    pub fn bind(&mut self, v: Var, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    /// Looks up the binding of `v`.
+    pub fn get(&self, v: Var) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the substitution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Term)> {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+}
+
+impl FromIterator<(Var, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Subst {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_folds_record_fields() {
+        let mut s = Subst::new();
+        s.bind(
+            Var(0),
+            Term::Const(Value::record(vec![("origin", Value::int(7))])),
+        );
+        let t = Term::field(Term::var(Var(0)), "origin");
+        assert_eq!(t.substitute(&s), Term::int(7));
+    }
+
+    #[test]
+    fn substitution_keeps_unbound_vars() {
+        let s = Subst::new();
+        let t = Term::field(Term::var(Var(3)), "name");
+        assert_eq!(t.substitute(&s), t);
+    }
+
+    #[test]
+    fn rename_is_consistent_within_a_term() {
+        let mut gen = VarGen::starting_at(100);
+        let mut map = FxHashMap::default();
+        let t = Term::field(Term::var(Var(1)), "f");
+        let u = Term::var(Var(1));
+        let t2 = t.rename_into(&mut map, &mut gen);
+        let u2 = u.rename_into(&mut map, &mut gen);
+        assert_eq!(t2, Term::field(Term::var(Var(100)), "f"));
+        assert_eq!(u2, Term::var(Var(100)));
+    }
+
+    #[test]
+    fn eval_total_assignment() {
+        let mut asg = FxHashMap::default();
+        asg.insert(Var(0), Value::record(vec![("x", Value::int(5))]));
+        let t = Term::field(Term::var(Var(0)), "x");
+        assert_eq!(t.eval(&asg), Some(Value::int(5)));
+        let missing = Term::field(Term::var(Var(0)), "nope");
+        assert_eq!(missing.eval(&asg), None);
+    }
+
+    #[test]
+    fn vargen_reserve() {
+        let mut g = VarGen::default();
+        g.reserve_below(10);
+        assert_eq!(g.fresh(), Var(10));
+    }
+}

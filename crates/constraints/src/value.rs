@@ -1,0 +1,260 @@
+//! Ground values of the mediated-system universe.
+//!
+//! The paper's domains Σ contain arbitrary data objects; we model the ones
+//! its examples use: integers, strings, booleans, tuples, and records with
+//! named fields (needed for the law-enforcement example's `P1.origin`
+//! field accesses).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A record value: a set of named fields, kept sorted by field name so that
+/// structurally-equal records compare and hash equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Record {
+    fields: Vec<(Arc<str>, Value)>,
+}
+
+impl Record {
+    /// Builds a record from field/value pairs. Later duplicates of a field
+    /// name override earlier ones.
+    pub fn new(mut fields: Vec<(Arc<str>, Value)>) -> Self {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = std::mem::replace(&mut later.1, Value::Bool(false));
+                true
+            } else {
+                false
+            }
+        });
+        Record { fields }
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .binary_search_by(|(f, _)| f.as_ref().cmp(name))
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Iterates the fields in name order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (n.as_ref(), v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// A ground value. Values of different kinds are never equal; the total
+/// order sorts first by kind, then by content, giving `Value` a stable
+/// `Ord` for use in `BTreeSet`-backed value sets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit integer (the arithmetic constraint domain works over these).
+    Int(i64),
+    /// Interned string.
+    Str(Arc<str>),
+    /// Boolean (e.g. the `in(true, facextract:matchface(..))` idiom).
+    Bool(bool),
+    /// Positional tuple.
+    Tuple(Arc<[Value]>),
+    /// Record with named fields.
+    Record(Arc<Record>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for records.
+    pub fn record(fields: Vec<(&str, Value)>) -> Value {
+        Value::Record(Arc::new(Record::new(
+            fields.into_iter().map(|(n, v)| (Arc::from(n), v)).collect(),
+        )))
+    }
+
+    /// Convenience constructor for tuples.
+    pub fn tuple(vs: Vec<Value>) -> Value {
+        Value::Tuple(Arc::from(vs))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Projects a named field out of a record value.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(r) => r.get(name),
+            _ => None,
+        }
+    }
+
+    /// Discriminant rank used by the cross-kind total order.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+            Value::Tuple(_) => 3,
+            Value::Record(_) => 4,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Record(a), Record(b)) => a.cmp(b),
+            _ => self.kind_rank().cmp(&other.kind_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Record(r) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in r.fields().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_field_lookup_is_order_insensitive() {
+        let a = Value::record(vec![("x", Value::int(1)), ("y", Value::int(2))]);
+        let b = Value::record(vec![("y", Value::int(2)), ("x", Value::int(1))]);
+        assert_eq!(a, b);
+        assert_eq!(a.field("x"), Some(&Value::int(1)));
+        assert_eq!(a.field("z"), None);
+    }
+
+    #[test]
+    fn record_duplicate_fields_last_wins() {
+        let r = Value::record(vec![("x", Value::int(1)), ("x", Value::int(9))]);
+        assert_eq!(r.field("x"), Some(&Value::int(9)));
+    }
+
+    #[test]
+    fn cross_kind_order_is_total_and_stable() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(3),
+            Value::Bool(true),
+            Value::str("a"),
+            Value::int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Bool(true),
+                Value::int(-1),
+                Value::int(3),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::str("don").to_string(), "\"don\"");
+        assert_eq!(
+            Value::tuple(vec![Value::int(1), Value::str("x")]).to_string(),
+            "(1, \"x\")"
+        );
+        let rec = Value::record(vec![("origin", Value::int(3))]);
+        assert_eq!(rec.to_string(), "{origin: 3}");
+    }
+
+    #[test]
+    fn field_on_non_record_is_none() {
+        assert_eq!(Value::int(1).field("x"), None);
+    }
+}

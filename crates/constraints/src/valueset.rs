@@ -1,0 +1,284 @@
+//! Abstract value sets — the results of domain calls.
+//!
+//! The paper (Example 2) notes that a domain function such as
+//! `arith:great(X)` denotes an *infinite* set that "need not be computed all
+//! at once". `ValueSet` is the lazy representation: finite sets are held
+//! extensionally, integer ranges symbolically.
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An inclusive-or-open integer bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntBound {
+    /// Unbounded in this direction.
+    Open,
+    /// Bounded inclusively by the payload.
+    Incl(i64),
+}
+
+impl IntBound {
+    /// Tightens a *lower* bound: keeps the larger of the two.
+    pub fn tighten_lower(self, other: IntBound) -> IntBound {
+        self.min_with_lower(other)
+    }
+
+    /// Tightens an *upper* bound: keeps the smaller of the two.
+    pub fn tighten_upper(self, other: IntBound) -> IntBound {
+        self.max_with_upper(other)
+    }
+
+    fn min_with_lower(self, other: IntBound) -> IntBound {
+        // For lower bounds, the intersection takes the maximum.
+        match (self, other) {
+            (IntBound::Open, b) | (b, IntBound::Open) => b,
+            (IntBound::Incl(a), IntBound::Incl(b)) => IntBound::Incl(a.max(b)),
+        }
+    }
+
+    fn max_with_upper(self, other: IntBound) -> IntBound {
+        // For upper bounds, the intersection takes the minimum.
+        match (self, other) {
+            (IntBound::Open, b) | (b, IntBound::Open) => b,
+            (IntBound::Incl(a), IntBound::Incl(b)) => IntBound::Incl(a.min(b)),
+        }
+    }
+}
+
+/// A (possibly infinite) set of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSet {
+    /// The empty set.
+    Empty,
+    /// A finite, extensional set.
+    Finite(BTreeSet<Value>),
+    /// All integers within `[lo, hi]` (either side may be open).
+    IntRange(IntBound, IntBound),
+    /// The whole value universe (used for "no information").
+    All,
+}
+
+impl ValueSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ValueSet::Empty
+    }
+
+    /// A finite set from an iterator of values.
+    pub fn finite<I: IntoIterator<Item = Value>>(vals: I) -> Self {
+        let set: BTreeSet<Value> = vals.into_iter().collect();
+        if set.is_empty() {
+            ValueSet::Empty
+        } else {
+            ValueSet::Finite(set)
+        }
+    }
+
+    /// A singleton set.
+    pub fn singleton(v: Value) -> Self {
+        ValueSet::finite([v])
+    }
+
+    /// The integers `>= lo`.
+    pub fn ints_from(lo: i64) -> Self {
+        ValueSet::IntRange(IntBound::Incl(lo), IntBound::Open)
+    }
+
+    /// The integers `<= hi`.
+    pub fn ints_to(hi: i64) -> Self {
+        ValueSet::IntRange(IntBound::Open, IntBound::Incl(hi))
+    }
+
+    /// The integers in `[lo, hi]`.
+    pub fn ints_between(lo: i64, hi: i64) -> Self {
+        if lo > hi {
+            ValueSet::Empty
+        } else {
+            ValueSet::IntRange(IntBound::Incl(lo), IntBound::Incl(hi))
+        }
+    }
+
+    /// Whether the set is certainly empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ValueSet::Empty => true,
+            ValueSet::Finite(s) => s.is_empty(),
+            ValueSet::IntRange(IntBound::Incl(lo), IntBound::Incl(hi)) => lo > hi,
+            ValueSet::IntRange(_, _) => false,
+            ValueSet::All => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            ValueSet::Empty => false,
+            ValueSet::Finite(s) => s.contains(v),
+            ValueSet::IntRange(lo, hi) => match v {
+                Value::Int(i) => {
+                    (match lo {
+                        IntBound::Open => true,
+                        IntBound::Incl(l) => i >= l,
+                    }) && (match hi {
+                        IntBound::Open => true,
+                        IntBound::Incl(h) => i <= h,
+                    })
+                }
+                _ => false,
+            },
+            ValueSet::All => true,
+        }
+    }
+
+    /// Exact intersection.
+    pub fn intersect(&self, other: &ValueSet) -> ValueSet {
+        use ValueSet::*;
+        match (self, other) {
+            (Empty, _) | (_, Empty) => Empty,
+            (All, x) | (x, All) => x.clone(),
+            (Finite(a), Finite(b)) => {
+                ValueSet::finite(a.intersection(b).cloned().collect::<Vec<_>>())
+            }
+            (Finite(a), r @ IntRange(_, _)) | (r @ IntRange(_, _), Finite(a)) => {
+                ValueSet::finite(a.iter().filter(|v| r.contains(v)).cloned().collect::<Vec<_>>())
+            }
+            (IntRange(lo1, hi1), IntRange(lo2, hi2)) => {
+                let lo = lo1.min_with_lower(*lo2);
+                let hi = hi1.max_with_upper(*hi2);
+                if let (IntBound::Incl(l), IntBound::Incl(h)) = (lo, hi) {
+                    if l > h {
+                        return Empty;
+                    }
+                }
+                IntRange(lo, hi)
+            }
+        }
+    }
+
+    /// The number of elements, when finite and reasonably enumerable.
+    pub fn finite_len(&self) -> Option<usize> {
+        match self {
+            ValueSet::Empty => Some(0),
+            ValueSet::Finite(s) => Some(s.len()),
+            ValueSet::IntRange(IntBound::Incl(lo), IntBound::Incl(hi)) => {
+                usize::try_from(hi.checked_sub(*lo)?.checked_add(1)?).ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Enumerates the elements when the set is finite and no larger than
+    /// `limit`; `None` for infinite or oversized sets.
+    pub fn enumerate(&self, limit: usize) -> Option<Vec<Value>> {
+        match self {
+            ValueSet::Empty => Some(vec![]),
+            ValueSet::Finite(s) => {
+                if s.len() <= limit {
+                    Some(s.iter().cloned().collect())
+                } else {
+                    None
+                }
+            }
+            ValueSet::IntRange(IntBound::Incl(lo), IntBound::Incl(hi)) => {
+                let n = self.finite_len()?;
+                if n <= limit {
+                    Some((*lo..=*hi).map(Value::Int).collect())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueSet::Empty => write!(f, "{{}}"),
+            ValueSet::Finite(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            ValueSet::IntRange(lo, hi) => {
+                let l = match lo {
+                    IntBound::Open => "-inf".to_string(),
+                    IntBound::Incl(l) => l.to_string(),
+                };
+                let h = match hi {
+                    IntBound::Open => "+inf".to_string(),
+                    IntBound::Incl(h) => h.to_string(),
+                };
+                write!(f, "[{l}..{h}]")
+            }
+            ValueSet::All => write!(f, "ALL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_membership() {
+        let s = ValueSet::ints_from(3);
+        assert!(s.contains(&Value::int(3)));
+        assert!(s.contains(&Value::int(1000)));
+        assert!(!s.contains(&Value::int(2)));
+        assert!(!s.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn intersect_ranges() {
+        let a = ValueSet::ints_from(3);
+        let b = ValueSet::ints_to(10);
+        assert_eq!(a.intersect(&b), ValueSet::ints_between(3, 10));
+        let c = ValueSet::ints_from(11);
+        assert!(b.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_finite_with_range() {
+        let f = ValueSet::finite([Value::int(1), Value::int(5), Value::str("x")]);
+        let r = ValueSet::ints_from(2);
+        assert_eq!(f.intersect(&r), ValueSet::singleton(Value::int(5)));
+    }
+
+    #[test]
+    fn empty_propagates() {
+        assert!(ValueSet::ints_between(5, 4).is_empty());
+        assert!(ValueSet::finite(Vec::<Value>::new()).is_empty());
+        assert!(ValueSet::Empty.intersect(&ValueSet::All).is_empty());
+    }
+
+    #[test]
+    fn enumerate_bounded() {
+        let r = ValueSet::ints_between(1, 4);
+        assert_eq!(
+            r.enumerate(10).unwrap(),
+            vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)]
+        );
+        assert_eq!(r.enumerate(2), None);
+        assert_eq!(ValueSet::ints_from(0).enumerate(100), None);
+    }
+
+    #[test]
+    fn finite_len_overflow_safe() {
+        let r = ValueSet::IntRange(IntBound::Incl(i64::MIN), IntBound::Incl(i64::MAX));
+        assert_eq!(r.finite_len(), None);
+    }
+
+    #[test]
+    fn all_is_identity_for_intersection() {
+        let f = ValueSet::finite([Value::int(1)]);
+        assert_eq!(ValueSet::All.intersect(&f), f);
+    }
+}

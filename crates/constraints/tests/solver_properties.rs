@@ -1,0 +1,264 @@
+//! Property-based tests of the constraint substrate's core guarantees:
+//!
+//! * the satisfiability verdict is *sound in both definite directions*
+//!   (`Sat` ⇒ enumeration finds solutions when finite; `Unsat` ⇒
+//!   enumeration finds none),
+//! * [`simplify`] and [`normalize`-style] rewrites preserve ground truth,
+//! * DNF expansion preserves ground truth,
+//! * enumeration agrees with brute-force evaluation over a bounded
+//!   universe.
+
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{
+    satisfiable, simplify, solutions, CmpOp, Constraint, EnumResult, Lit, NoDomains, Simplified,
+    Term, Truth, Value, Var,
+};
+use proptest::prelude::*;
+
+/// Universe for brute-force checking: a small integer box.
+const LO: i64 = 0;
+const HI: i64 = 7;
+
+fn var_term() -> impl Strategy<Value = Term> {
+    (0u32..3).prop_map(|v| Term::var(Var(v)))
+}
+
+fn any_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var_term(),
+        (LO..=HI).prop_map(Term::int),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Primitive literal over three integer variables.
+fn prim_lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        (any_term(), any_term()).prop_map(|(a, b)| Lit::Eq(a, b)),
+        (any_term(), any_term()).prop_map(|(a, b)| Lit::Neq(a, b)),
+        (any_term(), cmp_op(), any_term()).prop_map(|(a, op, b)| Lit::Cmp(a, op, b)),
+    ]
+}
+
+/// A constraint: primitive literals plus bounding-box literals so the
+/// solution space is finite, with optional `not(·)` of small conjunctions.
+fn constraint() -> impl Strategy<Value = Constraint> {
+    let bounded_not = proptest::collection::vec(prim_lit(), 1..3)
+        .prop_map(|lits| Lit::Not(Constraint { lits }));
+    let lit = prop_oneof![4 => prim_lit(), 1 => bounded_not];
+    proptest::collection::vec(lit, 0..5).prop_map(|mut lits| {
+        // Bound every variable to the box so enumeration is finite.
+        for v in 0..3u32 {
+            lits.push(Lit::Cmp(Term::var(Var(v)), CmpOp::Ge, Term::int(LO)));
+            lits.push(Lit::Cmp(Term::var(Var(v)), CmpOp::Le, Term::int(HI)));
+        }
+        Constraint { lits }
+    })
+}
+
+/// Brute-force ground truth: all assignments over the box satisfying `c`.
+fn brute_force(c: &Constraint) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    for x in LO..=HI {
+        for y in LO..=HI {
+            for z in LO..=HI {
+                let mut asg: FxHashMap<Var, Value> = FxHashMap::default();
+                asg.insert(Var(0), Value::Int(x));
+                asg.insert(Var(1), Value::Int(y));
+                asg.insert(Var(2), Value::Int(z));
+                if c.eval_ground(&asg, &NoDomains) == Some(true) {
+                    out.push(vec![Value::Int(x), Value::Int(y), Value::Int(z)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64), failure_persistence: None, ..ProptestConfig::default()
+    })]
+
+    /// Enumeration is exactly brute force over the bounded universe.
+    #[test]
+    fn enumeration_matches_brute_force(c in constraint()) {
+        let vars = [Var(0), Var(1), Var(2)];
+        let expected = brute_force(&c);
+        match solutions(&c, &vars, &NoDomains) {
+            EnumResult::Exact(got) => {
+                let got: Vec<Vec<Value>> = got.into_iter().collect();
+                prop_assert_eq!(got, expected);
+            }
+            other => prop_assert!(false, "expected exact enumeration, got {:?}", other),
+        }
+    }
+
+    /// The satisfiability verdict never contradicts brute force.
+    #[test]
+    fn satisfiability_is_sound(c in constraint()) {
+        let nonempty = !brute_force(&c).is_empty();
+        match satisfiable(&c, &NoDomains) {
+            Truth::Sat => prop_assert!(nonempty, "Sat but no solutions"),
+            Truth::Unsat => prop_assert!(!nonempty, "Unsat but solutions exist"),
+            Truth::Unknown => {} // allowed either way
+        }
+    }
+
+    /// Simplification preserves ground truth on every assignment.
+    #[test]
+    fn simplify_preserves_semantics(c in constraint()) {
+        let simplified = simplify(&c);
+        for x in LO..=HI {
+            for y in LO..=HI {
+                for z in LO..=HI {
+                    let mut asg: FxHashMap<Var, Value> = FxHashMap::default();
+                    asg.insert(Var(0), Value::Int(x));
+                    asg.insert(Var(1), Value::Int(y));
+                    asg.insert(Var(2), Value::Int(z));
+                    let original = c.eval_ground(&asg, &NoDomains) == Some(true);
+                    let after = match &simplified {
+                        Simplified::Unsat => false,
+                        Simplified::Constraint(s) => {
+                            s.eval_ground(&asg, &NoDomains) == Some(true)
+                        }
+                    };
+                    prop_assert_eq!(original, after,
+                        "assignment ({}, {}, {}) disagrees", x, y, z);
+                }
+            }
+        }
+    }
+
+    /// Classical DNF expansion preserves ground truth (all variables of
+    /// these constraints are outer, so the classical reading applies).
+    #[test]
+    fn dnf_preserves_semantics(c in constraint()) {
+        let disjuncts = mmv_constraints::normal::dnf(&c).unwrap();
+        for x in LO..=HI {
+            for z in LO..=HI {
+                let mut asg: FxHashMap<Var, Value> = FxHashMap::default();
+                asg.insert(Var(0), Value::Int(x));
+                asg.insert(Var(1), Value::Int((x + z) % (HI + 1)));
+                asg.insert(Var(2), Value::Int(z));
+                let original = c.eval_ground(&asg, &NoDomains) == Some(true);
+                let expanded = disjuncts
+                    .iter()
+                    .any(|d| d.eval_ground(&asg, &NoDomains) == Some(true));
+                prop_assert_eq!(original, expanded);
+            }
+        }
+    }
+
+    /// Conjunction order does not change the solution set.
+    #[test]
+    fn conjunction_is_commutative(c in constraint(), seed in 0u64..1000) {
+        let vars = [Var(0), Var(1), Var(2)];
+        let mut shuffled = c.lits.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        if n > 1 {
+            for i in 0..n {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+                shuffled.swap(i, j);
+            }
+        }
+        let c2 = Constraint { lits: shuffled };
+        let a = solutions(&c, &vars, &NoDomains);
+        let b = solutions(&c2, &vars, &NoDomains);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Deterministic regression cases distilled from the mediator workloads.
+mod regressions {
+    use super::*;
+    use mmv_constraints::Call;
+
+    #[test]
+    fn negated_region_with_aux_vars_excludes() {
+        // φ = (0 <= X <= 5) ∧ not(∃Z: Z = X ∧ Z >= 3): instances {0,1,2}.
+        let x = Term::var(Var(0));
+        let z = Term::var(Var(9));
+        let region = Constraint::eq(z.clone(), x.clone())
+            .and(Constraint::cmp(z.clone(), CmpOp::Ge, Term::int(3)));
+        let c = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
+            .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(5)))
+            .and_lit(Lit::Not(region));
+        let got = solutions(&c, &[Var(0)], &NoDomains);
+        let tuples: Vec<i64> = got
+            .exact()
+            .expect("exact")
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        assert_eq!(tuples, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn negated_membership_region_excludes() {
+        // Resolver: f() = {1, 2}. φ = (0<=X<=3) ∧ not(∃Z: Z in f() ∧ Z = X)
+        // — instances {0, 3}.
+        struct R;
+        impl mmv_constraints::DomainResolver for R {
+            fn resolve(&self, _d: &str, _f: &str, _a: &[Value]) -> mmv_constraints::ValueSet {
+                mmv_constraints::ValueSet::finite([Value::int(1), Value::int(2)])
+            }
+        }
+        let x = Term::var(Var(0));
+        let z = Term::var(Var(9));
+        let region = Constraint::member(z.clone(), Call::new("d", "f", vec![]))
+            .and(Constraint::eq(z.clone(), x.clone()));
+        let c = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
+            .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(3)))
+            .and_lit(Lit::Not(region));
+        let got = solutions(&c, &[Var(0)], &R);
+        let tuples: Vec<i64> = got
+            .exact()
+            .expect("exact")
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        assert_eq!(tuples, vec![0, 3]);
+    }
+
+    #[test]
+    fn dependent_call_chain_enumerates() {
+        // in(P, d:base()) ∧ in(Y, d:next(P)): Y determined through P.
+        struct R;
+        impl mmv_constraints::DomainResolver for R {
+            fn resolve(&self, _d: &str, f: &str, args: &[Value]) -> mmv_constraints::ValueSet {
+                match f {
+                    "base" => mmv_constraints::ValueSet::finite([Value::int(1), Value::int(2)]),
+                    "next" => match args[0] {
+                        Value::Int(k) => {
+                            mmv_constraints::ValueSet::singleton(Value::Int(k * 10))
+                        }
+                        _ => mmv_constraints::ValueSet::Empty,
+                    },
+                    _ => mmv_constraints::ValueSet::Empty,
+                }
+            }
+        }
+        let p = Term::var(Var(0));
+        let y = Term::var(Var(1));
+        let c = Constraint::member(p.clone(), Call::new("d", "base", vec![]))
+            .and(Constraint::member(y.clone(), Call::new("d", "next", vec![p.clone()])));
+        let got = solutions(&c, &[Var(1)], &R);
+        let tuples: Vec<i64> = got
+            .exact()
+            .expect("exact")
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        assert_eq!(tuples, vec![10, 20]);
+    }
+}

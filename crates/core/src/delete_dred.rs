@@ -1,0 +1,734 @@
+//! The Extended DRed algorithm — Algorithm 1 of the paper (§3.1.1),
+//! generalizing the ground DRed algorithm of Gupta, Mumick &
+//! Subrahmanian [22] to constrained databases.
+//!
+//! Given a deletion request `A(X⃗) ← φ` against a duplicate-free
+//! ([`SupportMode::Plain`]) view `M` of database `P`:
+//!
+//! 1. **Del**: intersect the request with the matching view atoms — only
+//!    instances actually in the view are deleted.
+//! 2. **Unfold `P_OUT`**: the overestimate of possibly-deleted atoms,
+//!    propagating the deletion through clauses (exactly one body child
+//!    from the previous layer, the rest from `M`).
+//! 3. **Over-delete to `M'`**: weaken every overlapping view atom with
+//!    `not(pout-region)`, so `[M'] = [M] \ [P_OUT]`.
+//! 4. **Rederive**: close `M'` under the *rewritten* database `P'`
+//!    (clauses for the deleted predicate carry `not(Del)`), restricted to
+//!    derivations that can restore instances inside a `P_OUT` region —
+//!    the paper's step 3 with the `P''` pruning realized as a
+//!    region-overlap test (see DESIGN.md). This rederivation is the
+//!    expensive step StDel eliminates.
+
+use crate::atom::ConstrainedAtom;
+use crate::program::{Clause, ConstrainedDatabase};
+use crate::support::{Producer, Support};
+use crate::tp::{derive, FixpointConfig, FixpointError};
+use crate::view::{canonicalize, EntryId, MaterializedView, SupportMode};
+use mmv_constraints::fxhash::{FxHashMap, FxHashSet};
+use mmv_constraints::{satisfiable_with, Constraint, DomainResolver, Lit, Truth};
+use std::fmt;
+use std::sync::Arc;
+
+/// Statistics of one Extended DRed run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExtDredStats {
+    /// Atoms in the `Del` set.
+    pub del_atoms: usize,
+    /// Atoms in the unfolded overestimate `P_OUT`.
+    pub pout_atoms: usize,
+    /// View entries weakened in the over-deletion step.
+    pub weakened: usize,
+    /// Entries added back by rederivation.
+    pub rederived: usize,
+    /// Entries removed because their constraint became unsolvable.
+    pub removed: usize,
+    /// Satisfiability tests performed.
+    pub solver_calls: usize,
+}
+
+/// Extended DRed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DredError {
+    /// The view must be duplicate-free (`SupportMode::Plain`).
+    NeedsPlainView,
+    /// A fixpoint budget was exhausted during unfolding or rederivation.
+    Budget(FixpointError),
+}
+
+impl fmt::Display for DredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DredError::NeedsPlainView =>
+
+                write!(f, "Extended DRed requires a SupportMode::Plain view"),
+            DredError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DredError {}
+
+/// Deletes `[deletion]`'s instances from a plain view (Algorithm 1).
+pub fn dred_delete(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    deletion: &ConstrainedAtom,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Result<ExtDredStats, DredError> {
+    if view.mode() != SupportMode::Plain {
+        return Err(DredError::NeedsPlainView);
+    }
+    let mut stats = ExtDredStats::default();
+
+    // ---- Del: the deletion intersected with the view --------------------
+    let mut del: Vec<ConstrainedAtom> = Vec::new();
+    for id in view.entries_for_pred(&deletion.pred) {
+        let atom = view.entry(id).atom.clone();
+        if atom.args.len() != deletion.args.len() {
+            continue;
+        }
+        let dpsi = deletion
+            .constraint_at(&atom.args, view.var_gen_mut())
+            .expect("arity checked");
+        let region = atom.constraint.clone().and(dpsi);
+        stats.solver_calls += 1;
+        if satisfiable_with(&region, resolver, &config.solver) == Truth::Unsat {
+            continue;
+        }
+        del.push(ConstrainedAtom {
+            pred: atom.pred.clone(),
+            args: atom.args.clone(),
+            constraint: region,
+        });
+    }
+    stats.del_atoms = del.len();
+    if del.is_empty() {
+        return Ok(stats);
+    }
+
+    // ---- Step 1: unfold P_OUT --------------------------------------------
+    let mut pout: Vec<ConstrainedAtom> = Vec::new();
+    let mut seen: FxHashSet<ConstrainedAtom> = FxHashSet::default();
+    for d in &del {
+        seen.insert(canonicalize(d));
+        pout.push(d.clone());
+    }
+    let mut delta: Vec<ConstrainedAtom> = del.clone();
+    let throwaway = Support::leaf(Producer::External(u64::MAX));
+    let mut rounds = 0usize;
+    while !delta.is_empty() {
+        rounds += 1;
+        if rounds > config.max_iterations {
+            return Err(DredError::Budget(FixpointError::IterationBudget {
+                iterations: rounds,
+            }));
+        }
+        let mut next: Vec<ConstrainedAtom> = Vec::new();
+        for (cid, clause) in db.clauses() {
+            let n = clause.body.len();
+            if n == 0 {
+                continue;
+            }
+            // Exactly one body position from the delta, the rest from M.
+            for dpos in 0..n {
+                let dmatches: Vec<&ConstrainedAtom> = delta
+                    .iter()
+                    .filter(|a| a.pred == clause.body[dpos].pred)
+                    .collect();
+                if dmatches.is_empty() {
+                    continue;
+                }
+                let other_lists: Vec<Vec<EntryId>> = (0..n)
+                    .map(|i| {
+                        if i == dpos {
+                            Vec::new()
+                        } else {
+                            view.entries_for_pred(&clause.body[i].pred)
+                        }
+                    })
+                    .collect();
+                if (0..n).any(|i| i != dpos && other_lists[i].is_empty()) {
+                    continue;
+                }
+                for dm in &dmatches {
+                    // Odometer over the non-delta positions.
+                    let mut combo = vec![0usize; n];
+                    'combos: loop {
+                        let owned: Vec<ConstrainedAtom> = (0..n)
+                            .map(|i| {
+                                if i == dpos {
+                                    (*dm).clone()
+                                } else {
+                                    view.entry(other_lists[i][combo[i]]).atom.clone()
+                                }
+                            })
+                            .collect();
+                        let children: Vec<(&ConstrainedAtom, Support)> =
+                            owned.iter().map(|a| (a, throwaway.clone())).collect();
+                        if let Some(derived) =
+                            derive(cid, clause, &children, view.var_gen_mut())
+                        {
+                            stats.solver_calls += 1;
+                            if satisfiable_with(
+                                &derived.atom.constraint,
+                                resolver,
+                                &config.solver,
+                            ) != Truth::Unsat
+                            {
+                                let canon = canonicalize(&derived.atom);
+                                if seen.insert(canon) {
+                                    next.push(derived.atom);
+                                }
+                            }
+                        }
+                        for i in 0..n {
+                            if i == dpos {
+                                continue;
+                            }
+                            combo[i] += 1;
+                            if combo[i] < other_lists[i].len() {
+                                continue 'combos;
+                            }
+                            combo[i] = 0;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        pout.extend(next.iter().cloned());
+        if pout.len() > config.max_entries {
+            return Err(DredError::Budget(FixpointError::EntryBudget {
+                entries: pout.len(),
+            }));
+        }
+        delta = next;
+    }
+    stats.pout_atoms = pout.len();
+
+    // ---- Step 2: over-delete to M' ----------------------------------------
+    let mut pout_by_pred: FxHashMap<Arc<str>, Vec<ConstrainedAtom>> = FxHashMap::default();
+    for p in &pout {
+        pout_by_pred.entry(p.pred.clone()).or_default().push(p.clone());
+    }
+    let mut touched: Vec<EntryId> = Vec::new();
+    for (pred, pouts) in &pout_by_pred {
+        for id in view.entries_for_pred(pred) {
+            let atom = view.entry(id).atom.clone();
+            let mut constraint = atom.constraint.clone();
+            let mut changed = false;
+            for p in pouts {
+                if p.args.len() != atom.args.len() {
+                    continue;
+                }
+                let ppsi = p
+                    .constraint_at(&atom.args, view.var_gen_mut())
+                    .expect("arity checked");
+                stats.solver_calls += 1;
+                if satisfiable_with(
+                    &constraint.clone().and(ppsi.clone()),
+                    resolver,
+                    &config.solver,
+                ) == Truth::Unsat
+                {
+                    continue;
+                }
+                constraint = constraint.and_lit(Lit::Not(ppsi));
+                changed = true;
+            }
+            if changed {
+                let simplified = match mmv_constraints::simplify(&constraint) {
+                    mmv_constraints::Simplified::Constraint(c) => c,
+                    mmv_constraints::Simplified::Unsat => {
+                        Constraint::lit(Lit::Not(Constraint::truth()))
+                    }
+                };
+                view.replace_constraint(id, simplified);
+                touched.push(id);
+                stats.weakened += 1;
+            }
+        }
+    }
+
+    // ---- Step 3: rederive within the P_OUT regions over P' ----------------
+    let pprime = rewrite_for_deletion(db, &del);
+    let mut delta_ids: Vec<EntryId> = view.live_entries().map(|(id, _)| id).collect();
+    // Constrained facts (empty-body clauses) of P' can themselves restore
+    // deleted regions — e.g. Example 4's independent `A(X) <- X >= 3`.
+    for (cid, clause) in pprime.clauses() {
+        if !clause.body.is_empty() {
+            continue;
+        }
+        let Some(regions) = pout_by_pred.get(&clause.head_pred) else {
+            continue;
+        };
+        let Some(derived) = derive(cid, clause, &[], view.var_gen_mut()) else {
+            continue;
+        };
+        let mut overlaps = false;
+        for p in regions {
+            if p.args.len() != derived.atom.args.len() {
+                continue;
+            }
+            let ppsi = p
+                .constraint_at(&derived.atom.args, view.var_gen_mut())
+                .expect("arity checked");
+            stats.solver_calls += 1;
+            if satisfiable_with(
+                &derived.atom.constraint.clone().and(ppsi),
+                resolver,
+                &config.solver,
+            ) != Truth::Unsat
+            {
+                overlaps = true;
+                break;
+            }
+        }
+        if !overlaps {
+            continue;
+        }
+        stats.solver_calls += 1;
+        if satisfiable_with(&derived.atom.constraint, resolver, &config.solver) != Truth::Unsat {
+            if let Some(id) = view.insert(derived.atom, None, vec![]) {
+                delta_ids.push(id);
+                stats.rederived += 1;
+            }
+        }
+    }
+    let mut rounds = 0usize;
+    while !delta_ids.is_empty() {
+        rounds += 1;
+        if rounds > config.max_iterations {
+            return Err(DredError::Budget(FixpointError::IterationBudget {
+                iterations: rounds,
+            }));
+        }
+        let delta_set: FxHashSet<EntryId> = delta_ids.iter().copied().collect();
+        let mut all: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
+        let mut old: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
+        let mut delta_by_pred: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
+        for (id, e) in view.live_entries() {
+            all.entry(e.atom.pred.clone()).or_default().push(id);
+            if delta_set.contains(&id) {
+                delta_by_pred.entry(e.atom.pred.clone()).or_default().push(id);
+            } else {
+                old.entry(e.atom.pred.clone()).or_default().push(id);
+            }
+        }
+        let empty: Vec<EntryId> = Vec::new();
+        let mut next_ids: Vec<EntryId> = Vec::new();
+        for (cid, clause) in pprime.clauses() {
+            // Only derivations that might restore a deleted region matter.
+            let Some(regions) = pout_by_pred.get(&clause.head_pred) else {
+                continue;
+            };
+            let n = clause.body.len();
+            if n == 0 {
+                continue;
+            }
+            for dpos in 0..n {
+                let dlist = delta_by_pred.get(&clause.body[dpos].pred).unwrap_or(&empty);
+                if dlist.is_empty() {
+                    continue;
+                }
+                let lists: Vec<&[EntryId]> = (0..n)
+                    .map(|i| {
+                        let src = match i.cmp(&dpos) {
+                            std::cmp::Ordering::Less => old.get(&clause.body[i].pred),
+                            std::cmp::Ordering::Equal => Some(dlist),
+                            std::cmp::Ordering::Greater => all.get(&clause.body[i].pred),
+                        };
+                        src.map(|v| v.as_slice()).unwrap_or(&[])
+                    })
+                    .collect();
+                if lists.iter().any(|l| l.is_empty()) {
+                    continue;
+                }
+                let mut combo = vec![0usize; n];
+                'combos: loop {
+                    let owned: Vec<ConstrainedAtom> = (0..n)
+                        .map(|i| view.entry(lists[i][combo[i]]).atom.clone())
+                        .collect();
+                    let children: Vec<(&ConstrainedAtom, Support)> =
+                        owned.iter().map(|a| (a, throwaway.clone())).collect();
+                    if let Some(derived) = derive(cid, clause, &children, view.var_gen_mut()) {
+                        // Keep only derivations overlapping some deleted
+                        // region (P''-style pruning), and only solvable
+                        // ones.
+                        let mut overlaps = false;
+                        for p in regions {
+                            if p.args.len() != derived.atom.args.len() {
+                                continue;
+                            }
+                            let ppsi = p
+                                .constraint_at(&derived.atom.args, view.var_gen_mut())
+                                .expect("arity checked");
+                            stats.solver_calls += 1;
+                            if satisfiable_with(
+                                &derived.atom.constraint.clone().and(ppsi),
+                                resolver,
+                                &config.solver,
+                            ) != Truth::Unsat
+                            {
+                                overlaps = true;
+                                break;
+                            }
+                        }
+                        if overlaps {
+                            stats.solver_calls += 1;
+                            if satisfiable_with(
+                                &derived.atom.constraint,
+                                resolver,
+                                &config.solver,
+                            ) != Truth::Unsat
+                            {
+                                if let Some(id) = view.insert(derived.atom, None, vec![]) {
+                                    next_ids.push(id);
+                                    stats.rederived += 1;
+                                    if view.len() > config.max_entries {
+                                        return Err(DredError::Budget(
+                                            FixpointError::EntryBudget { entries: view.len() },
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for i in 0..n {
+                        combo[i] += 1;
+                        if combo[i] < lists[i].len() {
+                            continue 'combos;
+                        }
+                        combo[i] = 0;
+                    }
+                    break;
+                }
+            }
+        }
+        delta_ids = next_ids;
+    }
+
+    // ---- Hygiene: drop weakened entries that became unsolvable ------------
+    for id in touched {
+        if !view.entry(id).alive {
+            continue;
+        }
+        let c = view.entry(id).atom.constraint.clone();
+        stats.solver_calls += 1;
+        if satisfiable_with(&c, resolver, &config.solver) == Truth::Unsat {
+            view.remove(id);
+            stats.removed += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// The paper's clause rewrite (4): every clause whose head predicate is
+/// being deleted from carries `not(Del-region)` tied to its head
+/// arguments; all other clauses pass through unchanged. The least model
+/// of the result is the *declarative semantics* of the deletion
+/// (Theorems 1 and 2 compare the algorithms against it).
+pub fn rewrite_for_deletion(
+    db: &ConstrainedDatabase,
+    del: &[ConstrainedAtom],
+) -> ConstrainedDatabase {
+    let mut gen = db.fresh_gen();
+    let mut out = ConstrainedDatabase::new();
+    for (_, clause) in db.clauses() {
+        let mut c = clause.clone();
+        for d in del {
+            if d.pred != clause.head_pred || d.args.len() != clause.head_args.len() {
+                continue;
+            }
+            let dpsi = d
+                .constraint_at(&c.head_args, &mut gen)
+                .expect("arity checked");
+            c = Clause::new(
+                &c.head_pred,
+                c.head_args.clone(),
+                c.constraint.and_lit(Lit::Not(dpsi)),
+                c.body.clone(),
+            );
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BodyAtom;
+    use crate::tp::{fixpoint, Operator};
+    use mmv_constraints::{CmpOp, NoDomains, SolverConfig, Term, Value, Var};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    /// The Examples 4/5 database (>= reading; see delete_stdel.rs).
+    fn example4_db() -> ConstrainedDatabase {
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(3))),
+            Clause::new(
+                "A",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("B", vec![x()])],
+            ),
+            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(5))),
+            Clause::new(
+                "C",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("A", vec![x()])],
+            ),
+        ])
+    }
+
+    fn build_plain(db: &ConstrainedDatabase) -> MaterializedView {
+        fixpoint(
+            db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::Plain,
+            &FixpointConfig::default(),
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn paper_example_4_extended_dred() {
+        // Delete B(X) <- X = 6. P_OUT = {B@6, A@6, C@6}; A keeps 6 via
+        // the independent clause-0 fact (rederivation), C keeps 6 through
+        // the rederived A.
+        let db = example4_db();
+        let mut view = build_plain(&db);
+        let deletion =
+            ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(6)));
+        let stats = dred_delete(
+            &db,
+            &mut view,
+            &deletion,
+            &NoDomains,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.del_atoms, 1);
+        // Overestimate covers B, A-via-B, C-via-A (Del + 2 unfolded).
+        assert!(stats.pout_atoms >= 3, "pout = {}", stats.pout_atoms);
+        let cfg = SolverConfig::default();
+        // B lost 6.
+        assert!(view
+            .query("B", &[Some(Value::int(6))], &NoDomains, &cfg)
+            .unwrap()
+            .is_empty());
+        // A keeps 6 (independent proof, exactly the paper's point).
+        assert_eq!(
+            view.query("A", &[Some(Value::int(6))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+        // C keeps 6 through A.
+        assert_eq!(
+            view.query("C", &[Some(Value::int(6))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Untouched instances intact.
+        assert_eq!(
+            view.query("B", &[Some(Value::int(7))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn dred_on_ground_diamond() {
+        // Ground diamond: s -> {l, r} -> t; path facts; deleting one
+        // edge keeps reach(t) via the other branch.
+        let v0 = Term::var(Var(0));
+        let v1 = Term::var(Var(1));
+        let v2 = Term::var(Var(2));
+        let edge = |a: &str, b: &str| {
+            Clause::fact(
+                "edge",
+                vec![Term::str(a), Term::str(b)],
+                Constraint::truth(),
+            )
+        };
+        let db = ConstrainedDatabase::from_clauses(vec![
+            edge("s", "l"),
+            edge("s", "r"),
+            edge("l", "t"),
+            edge("r", "t"),
+            Clause::new(
+                "path2",
+                vec![v0.clone(), v1.clone()],
+                Constraint::truth(),
+                vec![
+                    BodyAtom::new("edge", vec![v0.clone(), v2.clone()]),
+                    BodyAtom::new("edge", vec![v2.clone(), v1.clone()]),
+                ],
+            ),
+        ]);
+        let mut view = build_plain(&db);
+        let deletion =
+            ConstrainedAtom::fact("edge", vec![Value::str("s"), Value::str("l")]);
+        dred_delete(
+            &db,
+            &mut view,
+            &deletion,
+            &NoDomains,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let cfg = SolverConfig::default();
+        // path2(s, t) survives via r.
+        assert_eq!(
+            view.query(
+                "path2",
+                &[Some(Value::str("s")), Some(Value::str("t"))],
+                &NoDomains,
+                &cfg
+            )
+            .unwrap()
+            .len(),
+            1
+        );
+        // edge(s, l) is gone.
+        assert!(view
+            .query(
+                "edge",
+                &[Some(Value::str("s")), Some(Value::str("l"))],
+                &NoDomains,
+                &cfg
+            )
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn dred_matches_declarative_oracle() {
+        // [result] must equal [T_{P'} ↑ ω (∅)] (Theorem 1), checked on a
+        // finite-instance program.
+        let db = ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "B",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
+                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(8))),
+            ),
+            Clause::new(
+                "A",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("B", vec![x()])],
+            ),
+            Clause::fact(
+                "A",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(5))
+                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(10))),
+            ),
+        ]);
+        let mut view = build_plain(&db);
+        let deletion = ConstrainedAtom::new(
+            "A",
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(6)),
+        );
+        // Build Del for the oracle the same way the algorithm does.
+        let mut oracle_del: Vec<ConstrainedAtom> = Vec::new();
+        for id in view.entries_for_pred("A") {
+            let atom = view.entry(id).atom.clone();
+            let dpsi = deletion
+                .constraint_at(&atom.args, view.var_gen_mut())
+                .unwrap();
+            oracle_del.push(ConstrainedAtom {
+                pred: atom.pred.clone(),
+                args: atom.args.clone(),
+                constraint: atom.constraint.clone().and(dpsi),
+            });
+        }
+        let pprime = rewrite_for_deletion(&db, &oracle_del);
+        let (oracle_view, _) = fixpoint(
+            &pprime,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::Plain,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+
+        dred_delete(
+            &db,
+            &mut view,
+            &deletion,
+            &NoDomains,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            view.instances(&NoDomains, &cfg).unwrap(),
+            oracle_view.instances(&NoDomains, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn needs_plain_view() {
+        let db = example4_db();
+        let mut view = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &FixpointConfig::default(),
+        )
+        .unwrap()
+        .0;
+        let deletion = ConstrainedAtom::fact("B", vec![Value::int(6)]);
+        assert_eq!(
+            dred_delete(
+                &db,
+                &mut view,
+                &deletion,
+                &NoDomains,
+                &FixpointConfig::default()
+            ),
+            Err(DredError::NeedsPlainView)
+        );
+    }
+
+    #[test]
+    fn noop_deletion_leaves_view_unchanged() {
+        let db = example4_db();
+        let mut view = build_plain(&db);
+        let before: Vec<String> = view
+            .live_entries()
+            .map(|(_, e)| canonicalize(&e.atom).to_string())
+            .collect();
+        let deletion =
+            ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(2)));
+        let stats = dred_delete(
+            &db,
+            &mut view,
+            &deletion,
+            &NoDomains,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.del_atoms, 0);
+        let after: Vec<String> = view
+            .live_entries()
+            .map(|(_, e)| canonicalize(&e.atom).to_string())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

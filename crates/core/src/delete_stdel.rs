@@ -1,0 +1,448 @@
+//! The Straight Delete (StDel) algorithm — Algorithm 2 of the paper
+//! (§3.1.2).
+//!
+//! StDel deletes constrained atoms from a support-tracked view **without
+//! any rederivation step**: because every entry records, via its support,
+//! exactly which derivation produced it, the effect of a deletion is
+//! propagated *upward* along supports by conjoining `not(removed-region)`
+//! onto each affected entry's constraint. Entries whose constraint
+//! becomes unsolvable are removed (step 4).
+//!
+//! Processing order: entries are visited by ascending support height, so
+//! all `P_OUT` pairs of a child derivation exist before any parent
+//! consults them (a derivation's children are strictly lower).
+
+use crate::atom::ConstrainedAtom;
+use crate::support::Support;
+use crate::view::{EntryId, MaterializedView, SupportMode};
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{
+    satisfiable_with, Constraint, DomainResolver, Lit, SolverConfig, Truth,
+};
+use std::fmt;
+
+/// Statistics of one StDel run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StDelStats {
+    /// Entries replaced in step 2 (direct matches of the deletion).
+    pub direct_replacements: usize,
+    /// Entries replaced in step 3 (support propagation).
+    pub propagated_replacements: usize,
+    /// `P_OUT` pairs emitted.
+    pub pout_pairs: usize,
+    /// Entries removed in step 4 (constraint no longer solvable).
+    pub removed: usize,
+    /// Solvability tests performed.
+    pub solver_calls: usize,
+}
+
+/// StDel failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StDelError {
+    /// The view does not track supports (use Extended DRed instead).
+    NeedsSupports,
+}
+
+impl fmt::Display for StDelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StDelError::NeedsSupports => {
+                write!(f, "StDel requires a view built with SupportMode::WithSupports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StDelError {}
+
+/// Deletes `[deletion]`'s instances from the view (Algorithm 2). The
+/// view is modified in place; its support structure is preserved so
+/// further StDel calls keep working.
+pub fn stdel_delete(
+    view: &mut MaterializedView,
+    deletion: &ConstrainedAtom,
+    resolver: &dyn DomainResolver,
+    config: &SolverConfig,
+) -> Result<StDelStats, StDelError> {
+    if view.mode() != SupportMode::WithSupports {
+        return Err(StDelError::NeedsSupports);
+    }
+    let mut stats = StDelStats::default();
+    // P_OUT: per child support, the regions removed from that entry
+    // (step 3 may add several pairs for one support).
+    let mut pout: FxHashMap<Support, Vec<ConstrainedAtom>> = FxHashMap::default();
+
+    // ---- Step 2: direct deletions ---------------------------------------
+    let direct: Vec<EntryId> = view.entries_for_pred(&deletion.pred);
+    for id in direct {
+        let entry = view.entry(id);
+        if entry.atom.args.len() != deletion.args.len() {
+            continue;
+        }
+        let support = entry.support.clone().expect("WithSupports mode");
+        let atom = entry.atom.clone();
+        // Instantiate the deletion's constraint over this entry's args.
+        let dpsi = deletion
+            .constraint_at(&atom.args, view.var_gen_mut())
+            .expect("arity checked");
+        let region = atom.constraint.clone().and(dpsi.clone());
+        stats.solver_calls += 1;
+        if satisfiable_with(&region, resolver, config) == Truth::Unsat {
+            continue; // this entry contributes nothing to Del
+        }
+        // Replace F with A(X⃗) <- φ ∧ not(deletion-region).
+        let new_constraint = atom.constraint.clone().and_lit(Lit::Not(dpsi));
+        view.replace_constraint(id, simplify_keep(new_constraint));
+        stats.direct_replacements += 1;
+        // Record (removed region, spt(F)).
+        pout.entry(support).or_default().push(ConstrainedAtom {
+            pred: atom.pred.clone(),
+            args: atom.args.clone(),
+            constraint: region,
+        });
+        stats.pout_pairs += 1;
+    }
+    if pout.is_empty() {
+        return Ok(stats);
+    }
+
+    // ---- Step 3: upward propagation along supports -----------------------
+    // Ascending support height: children are complete before parents.
+    let mut by_height: Vec<(u32, EntryId)> = view
+        .live_entries()
+        .map(|(id, e)| (e.support.as_ref().expect("WithSupports").height(), id))
+        .collect();
+    by_height.sort_unstable();
+    for (h, id) in by_height {
+        if h == 0 {
+            continue; // leaves have no children to be affected by
+        }
+        let entry = view.entry(id);
+        let support = entry.support.clone().expect("WithSupports");
+        let children: Vec<Support> = support.children().to_vec();
+        for (j, child) in children.iter().enumerate() {
+            let Some(pairs) = pout.get(child) else { continue };
+            let pairs = pairs.clone();
+            for pair in pairs {
+                let entry = view.entry(id);
+                let atom = entry.atom.clone();
+                let child_args = entry.children_args.get(j).cloned().unwrap_or_default();
+                if child_args.len() != pair.args.len() {
+                    continue;
+                }
+                // Instantiate the pair's removed region over the child's
+                // argument tuple inside this derivation.
+                let ppsi = pair
+                    .constraint_at(&child_args, view.var_gen_mut())
+                    .expect("arity checked");
+                // Condition (c): the affected region must be solvable.
+                let region = atom.constraint.clone().and(ppsi.clone());
+                stats.solver_calls += 1;
+                if satisfiable_with(&region, resolver, config) == Truth::Unsat {
+                    continue;
+                }
+                // Replace F's constraint with φ ∧ not(ψ_j over child args).
+                let new_constraint = atom.constraint.clone().and_lit(Lit::Not(ppsi));
+                view.replace_constraint(id, simplify_keep(new_constraint));
+                stats.propagated_replacements += 1;
+                // Emit (removed region of F, spt(F)).
+                pout.entry(support.clone()).or_default().push(ConstrainedAtom {
+                    pred: atom.pred.clone(),
+                    args: atom.args.clone(),
+                    constraint: region,
+                });
+                stats.pout_pairs += 1;
+            }
+        }
+    }
+
+    // ---- Step 4: drop entries whose constraint became unsolvable ---------
+    let affected: Vec<EntryId> = pout
+        .keys()
+        .filter_map(|s| view.entry_by_support(s))
+        .collect();
+    for id in affected {
+        let c = view.entry(id).atom.constraint.clone();
+        stats.solver_calls += 1;
+        if satisfiable_with(&c, resolver, config) == Truth::Unsat {
+            view.remove(id);
+            stats.removed += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Simplifies a replacement constraint, keeping a canonical `false` when
+/// the simplifier proves it unsatisfiable (step 4 will remove the entry).
+fn simplify_keep(c: Constraint) -> Constraint {
+    match mmv_constraints::simplify(&c) {
+        mmv_constraints::Simplified::Constraint(s) => s,
+        mmv_constraints::Simplified::Unsat => {
+            Constraint::lit(Lit::Not(Constraint::truth()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BodyAtom, Clause, ConstrainedDatabase};
+    use crate::tp::{fixpoint, FixpointConfig, Operator};
+    use mmv_constraints::{CmpOp, NoDomains, Term, Value, Var};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    /// The paper's Examples 4/5 database. The deletion of `B(X) <- X = 6`
+    /// is only non-vacuous if the facts read `X >= 3` / `X >= 5` (the
+    /// comparison glyphs are ambiguous in the source scan; the >= reading
+    /// is the one consistent with both examples' walk-throughs).
+    fn example5_db() -> ConstrainedDatabase {
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(3))),
+            Clause::new(
+                "A",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("B", vec![x()])],
+            ),
+            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(5))),
+            Clause::new(
+                "C",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("A", vec![x()])],
+            ),
+        ])
+    }
+
+    fn build(db: &ConstrainedDatabase) -> MaterializedView {
+        fixpoint(
+            db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &FixpointConfig::default(),
+        )
+        .unwrap()
+        .0
+    }
+
+    fn rendered(view: &MaterializedView) -> Vec<String> {
+        let mut v: Vec<String> = view
+            .live_entries()
+            .map(|(_, e)| crate::view::canonicalize(&e.atom).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_example_5_stdel_run() {
+        // Delete B(X) <- X = 6 from Example 5's view.
+        let db = example5_db();
+        let mut view = build(&db);
+        let deletion = ConstrainedAtom::new(
+            "B",
+            vec![x()],
+            Constraint::eq(x(), Term::int(6)),
+        );
+        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
+            .unwrap();
+        // Exactly as the paper walks it: B(X)<-X<=5 replaced (step 2);
+        // A(X)<-X<=5 replaced (support <1,<2>> contains <2>);
+        // C(X)<-X<=5 replaced (support <3,<1,<2>>>).
+        assert_eq!(stats.direct_replacements, 1);
+        assert_eq!(stats.propagated_replacements, 2);
+        assert_eq!(stats.pout_pairs, 3);
+        assert_eq!(stats.removed, 0);
+        // The final view simplifies to the paper's result.
+        assert_eq!(
+            rendered(&view),
+            vec![
+                "A(X0) <- X0 >= 3",
+                "A(X0) <- X0 >= 5 & X0 != 6",
+                "B(X0) <- X0 >= 5 & X0 != 6",
+                "C(X0) <- X0 >= 3",
+                "C(X0) <- X0 >= 5 & X0 != 6",
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_example_6_recursive_stdel() {
+        // Example 6: delete P(X,Y) <- X = c & Y = d; entries 3, 6, 7
+        // become unsolvable and are removed.
+        let (xv, yv, zv) = (Term::var(Var(0)), Term::var(Var(1)), Term::var(Var(2)));
+        let pfact = |a: &str, b: &str| {
+            Clause::fact(
+                "P",
+                vec![xv.clone(), yv.clone()],
+                Constraint::eq(xv.clone(), Term::str(a))
+                    .and(Constraint::eq(yv.clone(), Term::str(b))),
+            )
+        };
+        let db = ConstrainedDatabase::from_clauses(vec![
+            pfact("a", "b"),
+            pfact("a", "c"),
+            pfact("c", "d"),
+            Clause::new(
+                "A",
+                vec![xv.clone(), yv.clone()],
+                Constraint::truth(),
+                vec![BodyAtom::new("P", vec![xv.clone(), yv.clone()])],
+            ),
+            Clause::new(
+                "A",
+                vec![xv.clone(), yv.clone()],
+                Constraint::truth(),
+                vec![
+                    BodyAtom::new("P", vec![xv.clone(), zv.clone()]),
+                    BodyAtom::new("A", vec![zv.clone(), yv.clone()]),
+                ],
+            ),
+        ]);
+        let mut view = build(&db);
+        assert_eq!(view.len(), 7);
+        let deletion = ConstrainedAtom::new(
+            "P",
+            vec![xv.clone(), yv.clone()],
+            Constraint::eq(xv.clone(), Term::str("c")).and(Constraint::eq(yv, Term::str("d"))),
+        );
+        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
+            .unwrap();
+        // P(c,d), A(c,d) and the recursive A(a,d) all die.
+        assert_eq!(stats.removed, 3);
+        assert_eq!(view.len(), 4);
+        let inst = view
+            .instances(&NoDomains, &SolverConfig::default())
+            .unwrap();
+        let tuples: Vec<_> = inst.iter().map(|(p, t)| format!("{p}{t:?}")).collect();
+        assert_eq!(tuples.len(), 4);
+        assert!(!tuples.iter().any(|t| t.contains("\"d\"")));
+    }
+
+    #[test]
+    fn deleting_one_instance_keeps_the_rest() {
+        // Example 3 flavour: ground facts; delete one person.
+        let db = ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "seenwith",
+                vec![Term::str("don"), Term::str("john")],
+                Constraint::truth(),
+            ),
+            Clause::fact(
+                "seenwith",
+                vec![Term::str("don"), Term::str("ed")],
+                Constraint::truth(),
+            ),
+            Clause::new(
+                "swlndc",
+                vec![Term::var(Var(0)), Term::var(Var(1))],
+                Constraint::truth(),
+                vec![BodyAtom::new(
+                    "seenwith",
+                    vec![Term::var(Var(0)), Term::var(Var(1))],
+                )],
+            ),
+        ]);
+        let mut view = build(&db);
+        assert_eq!(view.len(), 4);
+        let deletion = ConstrainedAtom::fact(
+            "seenwith",
+            vec![Value::str("don"), Value::str("john")],
+        );
+        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
+            .unwrap();
+        // seenwith(don, john) and swlndc(don, john) are deleted — the
+        // two-atom P_OUT of Example 3.
+        assert_eq!(stats.removed, 2);
+        let inst = view
+            .instances(&NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert_eq!(inst.len(), 2);
+        assert!(inst
+            .iter()
+            .all(|(_, t)| t[1] == Value::str("ed")));
+    }
+
+    #[test]
+    fn deleting_absent_instances_is_noop() {
+        let db = example5_db();
+        let mut view = build(&db);
+        let before = rendered(&view);
+        let deletion = ConstrainedAtom::new(
+            "B",
+            vec![x()],
+            Constraint::eq(x(), Term::int(2)), // outside X >= 5
+        );
+        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert_eq!(stats.direct_replacements, 0);
+        assert_eq!(rendered(&view), before);
+    }
+
+    #[test]
+    fn unknown_predicate_is_noop() {
+        let db = example5_db();
+        let mut view = build(&db);
+        let deletion = ConstrainedAtom::fact("zzz", vec![Value::int(1)]);
+        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert_eq!(stats.pout_pairs, 0);
+    }
+
+    #[test]
+    fn plain_view_rejected() {
+        let db = example5_db();
+        let mut view = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::Plain,
+            &FixpointConfig::default(),
+        )
+        .unwrap()
+        .0;
+        let deletion = ConstrainedAtom::fact("B", vec![Value::int(1)]);
+        assert_eq!(
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()),
+            Err(StDelError::NeedsSupports)
+        );
+    }
+
+    #[test]
+    fn repeated_deletions_compose() {
+        let db = example5_db();
+        let mut view = build(&db);
+        let cfg = SolverConfig::default();
+        for k in [6, 7, 8] {
+            let deletion = ConstrainedAtom::new(
+                "B",
+                vec![x()],
+                Constraint::eq(x(), Term::int(k)),
+            );
+            stdel_delete(&mut view, &deletion, &NoDomains, &cfg).unwrap();
+        }
+        // B is now X >= 5 minus {6, 7, 8}.
+        let hits = view
+            .query("B", &[Some(Value::int(7))], &NoDomains, &cfg)
+            .unwrap();
+        assert!(hits.is_empty());
+        let keeps = view
+            .query("B", &[Some(Value::int(9))], &NoDomains, &cfg)
+            .unwrap();
+        assert_eq!(keeps.len(), 1);
+        // And C (derived through A through B) lost them as well; C keeps
+        // 7 only via the independent A(X) <- X >= 3 entry.
+        let c7 = view
+            .query("C", &[Some(Value::int(7))], &NoDomains, &cfg)
+            .unwrap();
+        assert_eq!(c7.len(), 1);
+        let c4 = view
+            .query("C", &[Some(Value::int(4))], &NoDomains, &cfg)
+            .unwrap();
+        assert_eq!(c4.len(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Constrained-atom insertion — Algorithm 3 of the paper (§3.2).
+//!
+//! To insert `A(X⃗) ← φ` into a materialized view `M`:
+//!
+//! 1. Build `Add`: the instances of φ *not already in* `M` (each existing
+//!    entry's constraint, tied to the insertion's arguments, is negated
+//!    and conjoined — the paper's `not(ψ) ∧ φ`).
+//! 2. Materialize `Add` as a new entry (with an external-insertion
+//!    support ticket, so StDel keeps working afterwards).
+//! 3. Unfold `P_ADD`: propagate the insertion upward through the clauses
+//!    semi-naively (at least one body child from the previous layer —
+//!    note the contrast with `P_OUT`, which requires *exactly* one).
+//!
+//! Step 3 reuses the fixpoint engine's semi-naive propagation with the
+//! new entry as the initial delta, which is precisely the `P_ADD`
+//! construction.
+
+use crate::atom::ConstrainedAtom;
+use crate::program::ConstrainedDatabase;
+use crate::support::{Producer, Support};
+use crate::tp::{propagate, FixpointConfig, FixpointError, FixpointStats, Operator};
+use crate::view::{MaterializedView, SupportMode};
+use mmv_constraints::{satisfiable_with, DomainResolver, Lit, Truth};
+
+/// Statistics of one insertion run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InsertStats {
+    /// Whether a new base entry was added (false: all instances already
+    /// present).
+    pub added: bool,
+    /// Entries derived by upward propagation (`P_ADD` beyond `Add`).
+    pub propagated: usize,
+    /// Fixpoint statistics of the propagation.
+    pub fixpoint: FixpointStats,
+}
+
+/// Inserts `[insertion]`'s instances into the view (Algorithm 3),
+/// propagating consequences through `db`'s clauses. `op` selects the
+/// admission semantics (`T_P` checks solvability of derived constraints;
+/// `W_P` admits everything), matching how the view was built.
+pub fn insert_atom(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    insertion: &ConstrainedAtom,
+    resolver: &dyn DomainResolver,
+    op: Operator,
+    config: &FixpointConfig,
+) -> Result<InsertStats, FixpointError> {
+    let mut stats = InsertStats::default();
+
+    // ---- Build Add: φ ∧ ⋀ not(ψ_existing) -------------------------------
+    // Standardize the insertion apart from the view's variables first.
+    let ins = insertion.rename(view.var_gen_mut());
+    let mut add_constraint = ins.constraint.clone();
+    for id in view.entries_for_pred(&ins.pred) {
+        let entry_atom = view.entry(id).atom.clone();
+        if entry_atom.args.len() != ins.args.len() {
+            continue;
+        }
+        let epsi = entry_atom
+            .constraint_at(&ins.args, view.var_gen_mut())
+            .expect("arity checked");
+        // Excluding a region disjoint from the insertion excludes
+        // nothing: skip it. This keeps Add small — conjoining a not()
+        // per view entry would make the constraint (and every
+        // downstream P_ADD derivation) grow with the view.
+        let overlap = ins.constraint.clone().and(epsi.clone());
+        if satisfiable_with(&overlap, resolver, &config.solver) == Truth::Unsat {
+            continue;
+        }
+        add_constraint = add_constraint.and_lit(Lit::Not(epsi));
+    }
+    // Solvability gate: nothing new to insert if Add is unsolvable.
+    if satisfiable_with(&add_constraint, resolver, &config.solver) == Truth::Unsat {
+        return Ok(stats);
+    }
+    let add_constraint = match mmv_constraints::simplify(&add_constraint) {
+        mmv_constraints::Simplified::Constraint(c) => c,
+        mmv_constraints::Simplified::Unsat => return Ok(stats),
+    };
+    let add_atom = ConstrainedAtom {
+        pred: ins.pred.clone(),
+        args: ins.args.clone(),
+        constraint: add_constraint,
+    };
+
+    // ---- Materialize Add --------------------------------------------------
+    let support = match view.mode() {
+        SupportMode::WithSupports => {
+            let ticket = view.fresh_external_ticket();
+            Some(Support::leaf(Producer::External(ticket)))
+        }
+        SupportMode::Plain => None,
+    };
+    let Some(id) = view.insert(add_atom, support, vec![]) else {
+        // Canonically identical entry already present (Plain mode).
+        return Ok(stats);
+    };
+    stats.added = true;
+
+    // ---- P_ADD: semi-naive upward propagation -----------------------------
+    let before = view.len();
+    let mut fstats = FixpointStats::default();
+    propagate(db, resolver, op, view, vec![id], config, &mut fstats)?;
+    stats.propagated = view.len() - before;
+    stats.fixpoint = fstats;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BodyAtom, Clause};
+    use crate::tp::fixpoint;
+    use mmv_constraints::{CmpOp, Constraint, NoDomains, SolverConfig, Term, Value, Var};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    fn law_db() -> ConstrainedDatabase {
+        // seenwith facts; swlndc(X, Y) <- seenwith(X, Y); suspect <- swlndc.
+        let (v0, v1) = (Term::var(Var(0)), Term::var(Var(1)));
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "seenwith",
+                vec![Term::str("don"), Term::str("ed")],
+                Constraint::truth(),
+            ),
+            Clause::new(
+                "swlndc",
+                vec![v0.clone(), v1.clone()],
+                Constraint::truth(),
+                vec![BodyAtom::new("seenwith", vec![v0.clone(), v1.clone()])],
+            ),
+            Clause::new(
+                "suspect",
+                vec![v1.clone()],
+                Constraint::truth(),
+                vec![BodyAtom::new("swlndc", vec![v0.clone(), v1.clone()])],
+            ),
+        ])
+    }
+
+    fn build(db: &ConstrainedDatabase, mode: SupportMode) -> MaterializedView {
+        fixpoint(db, &NoDomains, Operator::Tp, mode, &FixpointConfig::default())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn paper_style_insertion_propagates_upward() {
+        // The paper's motivating case: insert seenwith("don", "jane")
+        // even though no clause derives it (a policeman reported it).
+        let db = law_db();
+        let mut view = build(&db, SupportMode::WithSupports);
+        assert_eq!(view.len(), 3);
+        let ins = ConstrainedAtom::fact(
+            "seenwith",
+            vec![Value::str("don"), Value::str("jane")],
+        );
+        let stats = insert_atom(
+            &db,
+            &mut view,
+            &ins,
+            &NoDomains,
+            Operator::Tp,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.added);
+        // swlndc(don, jane) and suspect(jane) derived.
+        assert_eq!(stats.propagated, 2);
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            view.query("suspect", &[Some(Value::str("jane"))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn duplicate_insertion_is_noop() {
+        let db = law_db();
+        let mut view = build(&db, SupportMode::WithSupports);
+        let ins =
+            ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("ed")]);
+        let stats = insert_atom(
+            &db,
+            &mut view,
+            &ins,
+            &NoDomains,
+            Operator::Tp,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        assert!(!stats.added);
+        assert_eq!(view.len(), 3);
+    }
+
+    #[test]
+    fn partial_overlap_inserts_only_difference() {
+        // B(X) <- 0 <= X <= 5 in the view; insert B(X) <- 3 <= X <= 8:
+        // Add is 3..8 minus 0..5 = 6..8.
+        let db = ConstrainedDatabase::from_clauses(vec![Clause::fact(
+            "B",
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
+                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+        )]);
+        let mut view = build(&db, SupportMode::WithSupports);
+        let ins = ConstrainedAtom::new(
+            "B",
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(3))
+                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(8))),
+        );
+        insert_atom(
+            &db,
+            &mut view,
+            &ins,
+            &NoDomains,
+            Operator::Tp,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let cfg = SolverConfig::default();
+        let inst = view.instances(&NoDomains, &cfg).unwrap();
+        // Union must be exactly 0..8.
+        assert_eq!(inst.len(), 9);
+        // The new entry covers only 6..8 (the difference).
+        let added = view
+            .live_entries()
+            .find(|(_, e)| {
+                matches!(
+                    e.support.as_ref().map(|s| s.producer()),
+                    Some(Producer::External(_))
+                )
+            })
+            .expect("inserted entry");
+        let added_inst = added.1.atom.instances(&NoDomains, &cfg);
+        let tuples = match added_inst {
+            crate::atom::Instances::Exact(t) => t,
+            other => panic!("expected exact instances, got {other:?}"),
+        };
+        assert_eq!(
+            tuples.into_iter().collect::<Vec<_>>(),
+            vec![
+                vec![Value::int(6)],
+                vec![Value::int(7)],
+                vec![Value::int(8)]
+            ]
+        );
+    }
+
+    #[test]
+    fn insertion_matches_declarative_oracle() {
+        // [M ∪ P_ADD] must equal [T_{P ∪ Add} ↑ ω (∅)] (Theorem 3's
+        // instance-level reading).
+        let db = law_db();
+        let mut view = build(&db, SupportMode::Plain);
+        let ins = ConstrainedAtom::fact(
+            "seenwith",
+            vec![Value::str("don"), Value::str("jane")],
+        );
+        insert_atom(
+            &db,
+            &mut view,
+            &ins,
+            &NoDomains,
+            Operator::Tp,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+
+        let mut oracle_db = db.clone();
+        oracle_db.push(Clause::fact(
+            "seenwith",
+            vec![Term::str("don"), Term::str("jane")],
+            Constraint::truth(),
+        ));
+        let (oracle, _) = fixpoint(
+            &oracle_db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::Plain,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            view.instances(&NoDomains, &cfg).unwrap(),
+            oracle.instances(&NoDomains, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn insert_then_stdel_roundtrip() {
+        // Supports issued for insertions keep StDel functional.
+        let db = law_db();
+        let mut view = build(&db, SupportMode::WithSupports);
+        let ins = ConstrainedAtom::fact(
+            "seenwith",
+            vec![Value::str("don"), Value::str("jane")],
+        );
+        insert_atom(
+            &db,
+            &mut view,
+            &ins,
+            &NoDomains,
+            Operator::Tp,
+            &FixpointConfig::default(),
+        )
+        .unwrap();
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            view.query("suspect", &[Some(Value::str("jane"))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+        crate::delete_stdel::stdel_delete(&mut view, &ins, &NoDomains, &cfg).unwrap();
+        assert!(view
+            .query("suspect", &[Some(Value::str("jane"))], &NoDomains, &cfg)
+            .unwrap()
+            .is_empty());
+        // The other suspect (ed) is untouched.
+        assert_eq!(
+            view.query("suspect", &[Some(Value::str("ed"))], &NoDomains, &cfg)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Equality propagation: the normalization that keeps derived constraints
+//! small.
+//!
+//! `T_P` manufactures constraints of the form
+//! `φ0 ∧ φ1 ∧ … ∧ {X⃗1 = t⃗1} ∧ … ∧ {X⃗ = t⃗0}` — chains of variable
+//! aliases that compound exponentially through deep derivations. The
+//! paper's worked examples always display the *simplified* forms
+//! (`A(X) ← X ≤ 5`, not `A(X) ← X = X' ∧ X' ≤ 5`); this module performs
+//! that rewrite: solve the top-level variable/variable and
+//! variable/constant equalities by substitution, then clean up with
+//! [`mmv_constraints::simplify`].
+//!
+//! The rewrite is time-independent (it never consults a resolver), so it
+//! is safe for `W_P` views, whose syntactic stability across external
+//! updates (Theorem 4) must not be disturbed.
+
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{simplify, Constraint, Lit, Simplified, Subst, Term, Value, Var};
+
+/// The constraint is false by pure syntax (e.g. `X = 1 ∧ X = 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntacticallyFalse;
+
+/// Union-find over variables with optional constant bindings.
+#[derive(Default)]
+struct VarClasses {
+    parent: FxHashMap<Var, Var>,
+    binding: FxHashMap<Var, Value>,
+}
+
+impl VarClasses {
+    fn find(&mut self, v: Var) -> Var {
+        let mut root = v;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = v;
+        while cur != root {
+            let next = self.parent.insert(cur, root).unwrap_or(root);
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) -> Result<(), SyntacticallyFalse> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        match (self.binding.get(&ra).cloned(), self.binding.get(&rb).cloned()) {
+            (Some(x), Some(y)) if x != y => return Err(SyntacticallyFalse),
+            (None, Some(y)) => {
+                self.binding.insert(ra, y);
+            }
+            _ => {}
+        }
+        self.parent.insert(rb, ra);
+        Ok(())
+    }
+
+    fn bind(&mut self, v: Var, c: Value) -> Result<(), SyntacticallyFalse> {
+        let r = self.find(v);
+        match self.binding.get(&r) {
+            Some(existing) if *existing != c => Err(SyntacticallyFalse),
+            _ => {
+                self.binding.insert(r, c);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Computes the substitution induced by the top-level equalities of `c`,
+/// choosing, per class, the earliest variable of `occurrence_order` (then
+/// any class member) as representative — or the bound constant.
+pub fn equality_subst(
+    c: &Constraint,
+    occurrence_order: &[Var],
+) -> Result<Subst, SyntacticallyFalse> {
+    let mut classes = VarClasses::default();
+    for lit in &c.lits {
+        if let Lit::Eq(a, b) = lit {
+            match (a, b) {
+                (Term::Var(x), Term::Var(y)) => classes.union(*x, *y)?,
+                (Term::Var(x), Term::Const(v)) | (Term::Const(v), Term::Var(x)) => {
+                    classes.bind(*x, v.clone())?
+                }
+                (Term::Const(u), Term::Const(v))
+                    if u != v => {
+                        return Err(SyntacticallyFalse);
+                    }
+                // Field terms are left to the full solver.
+                _ => {}
+            }
+        }
+    }
+    // Rank variables by the caller's preferred order.
+    let rank: FxHashMap<Var, usize> = occurrence_order
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i))
+        .collect();
+    // Choose representatives.
+    let mut all_vars: Vec<Var> = c.free_vars();
+    for v in occurrence_order {
+        if !all_vars.contains(v) {
+            all_vars.push(*v);
+        }
+    }
+    let mut rep_of: FxHashMap<Var, Var> = FxHashMap::default();
+    for &v in &all_vars {
+        let r = classes.find(v);
+        let entry = rep_of.entry(r).or_insert(v);
+        let better = match (rank.get(&v), rank.get(entry)) {
+            (Some(a), Some(b)) => a < b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => v < *entry,
+        };
+        if better {
+            *entry = v;
+        }
+    }
+    let mut subst = Subst::new();
+    for &v in &all_vars {
+        let r = classes.find(v);
+        if let Some(value) = classes.binding.get(&r) {
+            subst.bind(v, Term::Const(value.clone()));
+        } else {
+            let rep = rep_of[&r];
+            if rep != v {
+                subst.bind(v, Term::Var(rep));
+            }
+        }
+    }
+    Ok(subst)
+}
+
+/// Normalizes a constraint: equality substitution, then syntactic
+/// simplification. `Err(SyntacticallyFalse)` means the constraint has no
+/// solutions at any time point.
+pub fn normalize(
+    c: &Constraint,
+    occurrence_order: &[Var],
+) -> Result<(Subst, Constraint), SyntacticallyFalse> {
+    let subst = equality_subst(c, occurrence_order)?;
+    let substituted = c.substitute(&subst);
+    match simplify(&substituted) {
+        Simplified::Unsat => Err(SyntacticallyFalse),
+        Simplified::Constraint(out) => Ok((subst, out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_constraints::CmpOp;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+    fn t(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn alias_chain_collapses() {
+        // X0 = X1 & X1 = X2 & X2 <= 5  ==>  X0 <= 5 (rep = X0).
+        let c = Constraint::eq(t(0), t(1))
+            .and(Constraint::eq(t(1), t(2)))
+            .and(Constraint::cmp(t(2), CmpOp::Le, Term::int(5)));
+        let (_, out) = normalize(&c, &[v(0)]).unwrap();
+        assert_eq!(out, Constraint::cmp(t(0), CmpOp::Le, Term::int(5)));
+    }
+
+    #[test]
+    fn constant_binding_substitutes() {
+        // X0 = 3 & X1 = X0 & X1 != 4 ==> true (3 != 4 folds away).
+        let c = Constraint::eq(t(0), Term::int(3))
+            .and(Constraint::eq(t(1), t(0)))
+            .and(Constraint::neq(t(1), Term::int(4)));
+        let (subst, out) = normalize(&c, &[v(0)]).unwrap();
+        assert!(out.is_truth());
+        assert_eq!(subst.get(v(0)), Some(&Term::int(3)));
+        assert_eq!(subst.get(v(1)), Some(&Term::int(3)));
+    }
+
+    #[test]
+    fn conflicting_constants_are_false() {
+        let c = Constraint::eq(t(0), Term::int(1)).and(Constraint::eq(t(0), Term::int(2)));
+        assert!(normalize(&c, &[]).is_err());
+    }
+
+    #[test]
+    fn preferred_representative_wins() {
+        // Prefer X5 as representative.
+        let c = Constraint::eq(t(0), t(5)).and(Constraint::cmp(t(0), CmpOp::Ge, Term::int(1)));
+        let (_, out) = normalize(&c, &[v(5)]).unwrap();
+        assert_eq!(out, Constraint::cmp(t(5), CmpOp::Ge, Term::int(1)));
+    }
+
+    #[test]
+    fn substitution_reaches_inside_not() {
+        // X0 = 6 & not(X1 = X0) with X1 = X0 at top level... instead:
+        // X0 = X1 & not(X1 = 6) ==> not(X0 = 6) ==> X0 != 6.
+        let c = Constraint::eq(t(0), t(1))
+            .and_lit(Lit::Not(Constraint::eq(t(1), Term::int(6))));
+        let (_, out) = normalize(&c, &[v(0)]).unwrap();
+        assert_eq!(out, Constraint::neq(t(0), Term::int(6)));
+    }
+
+    #[test]
+    fn equalities_to_field_terms_survive() {
+        let field = Term::field(t(2), "name");
+        let c = Constraint::eq(t(0), field.clone()).and(Constraint::eq(t(0), t(1)));
+        let (_, out) = normalize(&c, &[v(0)]).unwrap();
+        // X0 = X2.name survives; alias X1 collapsed.
+        assert_eq!(out, Constraint::eq(t(0), field));
+    }
+
+    #[test]
+    fn example5_replacement_normalizes() {
+        // From the paper's Example 5: X <= 5 & not(X <= 5 & X = 6)
+        // normalizes to X <= 5 & X != 6.
+        let inner = Constraint::cmp(t(0), CmpOp::Le, Term::int(5))
+            .and(Constraint::eq(t(0), Term::int(6)));
+        let c = Constraint::cmp(t(0), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
+        let (_, out) = normalize(&c, &[v(0)]).unwrap();
+        assert_eq!(
+            out,
+            Constraint::cmp(t(0), CmpOp::Le, Term::int(5))
+                .and(Constraint::neq(t(0), Term::int(6)))
+        );
+    }
+}

@@ -1,0 +1,765 @@
+//! Parser for the paper's mediator rule language.
+//!
+//! Grammar (HERMES-style, §2.1):
+//!
+//! ```text
+//! program    := clause*
+//! clause     := atom [ "<-" constraint ] [ "||" body ] "."
+//! body       := atom ("," atom)*
+//! atom       := IDENT "(" [ term ("," term)* ] ")"
+//! constraint := lit ("&" lit)*
+//! lit        := "in" "(" term "," call ")"
+//!             | "notin" "(" term "," call ")"
+//!             | "not" "(" constraint ")"
+//!             | term relop term
+//! relop      := "=" | "!=" | "<=" | ">=" | "<" | ">"
+//! call       := IDENT ":" IDENT "(" [ term ("," term)* ] ")"
+//! term       := primary ( "." IDENT )*           (record field access)
+//! primary    := VAR | INT | STRING | IDENT
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables
+//! (Prolog convention); lowercase identifiers are string constants.
+//! `%` starts a line comment.
+
+use crate::atom::ConstrainedAtom;
+use crate::program::{BodyAtom, Clause, ConstrainedDatabase};
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{Call, CmpOp, Constraint, Lit, Term, Value, Var};
+use std::fmt;
+
+/// A parse failure, with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Variable(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,     // <-
+    Parallel,  // ||
+    Amp,       // &
+    Colon,     // :
+    Eq,        // =
+    Neq,       // !=
+    Le,        // <=
+    Ge,        // >=
+    Lt,        // <
+    Gt,        // >
+    End,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Variable(s) => write!(f, "variable {s:?}"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Dot => write!(f, "'.'"),
+            Tok::Arrow => write!(f, "'<-'"),
+            Tok::Parallel => write!(f, "'||'"),
+            Tok::Amp => write!(f, "'&'"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::Neq => write!(f, "'!='"),
+            Tok::Le => write!(f, "'<='"),
+            Tok::Ge => write!(f, "'>='"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::End => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// A saved parser position, for bounded backtracking at the `'.'`
+/// ambiguity (field access vs. clause terminator).
+#[derive(Clone)]
+struct Checkpoint {
+    pos: usize,
+    line: usize,
+    col: usize,
+    tok: Tok,
+    tok_line: usize,
+    tok_col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::End, line, col));
+        };
+        let tok = match b {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'&' => {
+                self.bump();
+                Tok::Amp
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'=' => {
+                self.bump();
+                Tok::Eq
+            }
+            b'|' => {
+                self.bump();
+                if self.peek_byte() == Some(b'|') {
+                    self.bump();
+                    Tok::Parallel
+                } else {
+                    return Err(self.error("expected '||'"));
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::Neq
+                } else {
+                    return Err(self.error("expected '!='"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek_byte() {
+                    Some(b'=') => {
+                        self.bump();
+                        Tok::Le
+                    }
+                    Some(b'-') => {
+                        self.bump();
+                        Tok::Arrow
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(c) if c == quote => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c) => s.push(c as char),
+                            None => return Err(self.error("unterminated string")),
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'-' | b'0'..=b'9' => {
+                let mut s = String::new();
+                if b == b'-' {
+                    s.push('-');
+                    self.bump();
+                }
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_digit() {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "-" {
+                    return Err(self.error("expected digits after '-'"));
+                }
+                match s.parse::<i64>() {
+                    Ok(i) => Tok::Int(i),
+                    Err(_) => return Err(self.error(format!("integer out of range: {s}"))),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let first = s.as_bytes()[0];
+                if first.is_ascii_uppercase() || first == b'_' {
+                    Tok::Variable(s)
+                } else {
+                    Tok::Ident(s)
+                }
+            }
+            other => {
+                return Err(self.error(format!("unexpected character {:?}", other as char)))
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+/// A parsed program together with the source names of its variables.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The constrained database.
+    pub db: ConstrainedDatabase,
+    /// Source name of each variable id.
+    pub var_names: FxHashMap<Var, String>,
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: usize,
+    col: usize,
+    /// Clause-local variable scope.
+    scope: FxHashMap<String, Var>,
+    var_names: FxHashMap<Var, String>,
+    next_var: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next_token()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+            scope: FxHashMap::default(),
+            var_names: FxHashMap::default(),
+            next_var: 0,
+        })
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn advance(&mut self) -> Result<(), ParseError> {
+        let (tok, line, col) = self.lexer.next_token()?;
+        self.tok = tok;
+        self.line = line;
+        self.col = col;
+        Ok(())
+    }
+
+    fn expect(&mut self, expected: &Tok) -> Result<(), ParseError> {
+        if &self.tok == expected {
+            self.advance()
+        } else {
+            Err(self.error(format!("expected {expected}, found {}", self.tok)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match std::mem::replace(&mut self.tok, Tok::End) {
+            Tok::Ident(s) => {
+                self.advance()?;
+                Ok(s)
+            }
+            other => {
+                self.tok = other;
+                Err(self.error(format!("expected identifier, found {}", self.tok)))
+            }
+        }
+    }
+
+    fn var(&mut self, name: String) -> Var {
+        if let Some(&v) = self.scope.get(&name) {
+            return v;
+        }
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        self.scope.insert(name.clone(), v);
+        self.var_names.insert(v, name);
+        v
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let mut base = match std::mem::replace(&mut self.tok, Tok::End) {
+            Tok::Variable(name) => {
+                self.advance()?;
+                Term::Var(self.var(name))
+            }
+            Tok::Int(i) => {
+                self.advance()?;
+                Term::Const(Value::Int(i))
+            }
+            Tok::Str(s) => {
+                self.advance()?;
+                Term::Const(Value::str(&s))
+            }
+            Tok::Ident(s) => {
+                self.advance()?;
+                match s.as_str() {
+                    "true" => Term::Const(Value::Bool(true)),
+                    "false" => Term::Const(Value::Bool(false)),
+                    _ => Term::Const(Value::str(&s)),
+                }
+            }
+            other => {
+                self.tok = other;
+                return Err(self.error(format!("expected a term, found {}", self.tok)));
+            }
+        };
+        // Field access chains (X.origin.name …) vs. the clause
+        // terminator: `X >= 5. q(X).` must NOT read `5.q` as a field.
+        // A dot starts a field access only if an identifier follows that
+        // is itself not the head of a new clause (i.e. not followed by
+        // '('); otherwise restore and let the caller see the dot.
+        while self.tok == Tok::Dot {
+            let cp = self.checkpoint();
+            self.advance()?;
+            match std::mem::replace(&mut self.tok, Tok::End) {
+                Tok::Ident(f) => {
+                    self.advance()?;
+                    if self.tok == Tok::LParen {
+                        self.restore(cp);
+                        break;
+                    }
+                    base = Term::field(base, &f);
+                }
+                other => {
+                    self.tok = other;
+                    self.restore(cp);
+                    break;
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            pos: self.lexer.pos,
+            line: self.lexer.line,
+            col: self.lexer.col,
+            tok: self.tok.clone(),
+            tok_line: self.line,
+            tok_col: self.col,
+        }
+    }
+
+    fn restore(&mut self, cp: Checkpoint) {
+        self.lexer.pos = cp.pos;
+        self.lexer.line = cp.line;
+        self.lexer.col = cp.col;
+        self.tok = cp.tok;
+        self.line = cp.tok_line;
+        self.col = cp.tok_col;
+    }
+
+    fn call(&mut self) -> Result<Call, ParseError> {
+        let domain = self.ident()?;
+        self.expect(&Tok::Colon)?;
+        let func = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                args.push(self.checked_term()?);
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Call::new(&domain, &func, args))
+    }
+
+    /// A term in argument/relation position.
+    fn checked_term(&mut self) -> Result<Term, ParseError> {
+        self.term()
+    }
+
+    fn lit(&mut self) -> Result<Lit, ParseError> {
+        // in(...) / notin(...) / not(...)
+        if let Tok::Ident(name) = &self.tok {
+            match name.as_str() {
+                "in" | "notin" => {
+                    let positive = name == "in";
+                    self.advance()?;
+                    self.expect(&Tok::LParen)?;
+                    let x = self.checked_term()?;
+                    self.expect(&Tok::Comma)?;
+                    let call = self.call()?;
+                    self.expect(&Tok::RParen)?;
+                    return Ok(if positive {
+                        Lit::In(x, call)
+                    } else {
+                        Lit::NotIn(x, call)
+                    });
+                }
+                "not" => {
+                    self.advance()?;
+                    self.expect(&Tok::LParen)?;
+                    let inner = self.constraint()?;
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Lit::Not(inner));
+                }
+                _ => {}
+            }
+        }
+        let lhs = self.checked_term()?;
+        let op = match self.tok {
+            Tok::Eq => None,
+            Tok::Neq => Some(None),
+            Tok::Le => Some(Some(CmpOp::Le)),
+            Tok::Ge => Some(Some(CmpOp::Ge)),
+            Tok::Lt => Some(Some(CmpOp::Lt)),
+            Tok::Gt => Some(Some(CmpOp::Gt)),
+            _ => return Err(self.error(format!("expected a relation, found {}", self.tok))),
+        };
+        self.advance()?;
+        let rhs = self.checked_term()?;
+        Ok(match op {
+            None => Lit::Eq(lhs, rhs),
+            Some(None) => Lit::Neq(lhs, rhs),
+            Some(Some(cmp)) => Lit::Cmp(lhs, cmp, rhs),
+        })
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let mut lits = vec![self.lit()?];
+        while self.tok == Tok::Amp {
+            self.advance()?;
+            lits.push(self.lit()?);
+        }
+        Ok(Constraint { lits })
+    }
+
+    fn atom(&mut self) -> Result<(String, Vec<Term>), ParseError> {
+        let pred = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.tok != Tok::RParen {
+            loop {
+                args.push(self.checked_term()?);
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok((pred, args))
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        self.scope.clear();
+        let (pred, args) = self.atom()?;
+        let mut constraint = Constraint::truth();
+        let mut body = Vec::new();
+        if self.tok == Tok::Arrow {
+            self.advance()?;
+            if self.tok != Tok::Parallel {
+                constraint = self.constraint()?;
+            }
+        }
+        if self.tok == Tok::Parallel {
+            self.advance()?;
+            loop {
+                let (bp, ba) = self.atom()?;
+                body.push(BodyAtom::new(&bp, ba));
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        Ok(Clause::new(&pred, args, constraint, body))
+    }
+
+    fn program(&mut self) -> Result<ConstrainedDatabase, ParseError> {
+        let mut db = ConstrainedDatabase::new();
+        while self.tok != Tok::End {
+            db.push(self.clause()?);
+        }
+        Ok(db)
+    }
+}
+
+/// Parses a mediator program.
+pub fn parse_program(src: &str) -> Result<Parsed, ParseError> {
+    let mut p = Parser::new(src)?;
+    let db = p.program()?;
+    Ok(Parsed {
+        db,
+        var_names: p.var_names,
+    })
+}
+
+/// Parses a single constrained atom `pred(args) [<- constraint]` (no
+/// trailing dot required), as used for update requests.
+pub fn parse_atom(src: &str) -> Result<ConstrainedAtom, ParseError> {
+    let mut p = Parser::new(src)?;
+    let (pred, args) = p.atom()?;
+    let mut constraint = Constraint::truth();
+    if p.tok == Tok::Arrow {
+        p.advance()?;
+        constraint = p.constraint()?;
+    }
+    if p.tok == Tok::Dot {
+        p.advance()?;
+    }
+    if p.tok != Tok::End {
+        return Err(p.error(format!("trailing input: {}", p.tok)));
+    }
+    Ok(ConstrainedAtom::new(&pred, args, constraint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ground_facts() {
+        let parsed = parse_program(r#"edge(a, b). edge("b", 3)."#).unwrap();
+        assert_eq!(parsed.db.len(), 2);
+        let c0 = parsed.db.clause(crate::program::ClauseId(0));
+        assert_eq!(c0.head_pred.as_ref(), "edge");
+        assert_eq!(c0.head_args[0], Term::Const(Value::str("a")));
+        let c1 = parsed.db.clause(crate::program::ClauseId(1));
+        assert_eq!(c1.head_args[1], Term::int(3));
+    }
+
+    #[test]
+    fn parses_constrained_fact() {
+        let parsed = parse_program("b(X) <- X >= 5.").unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert_eq!(c.constraint.to_string(), "X0 >= 5");
+        assert_eq!(parsed.var_names[&Var(0)], "X");
+    }
+
+    #[test]
+    fn parses_rule_with_body_and_constraint() {
+        let parsed = parse_program(
+            "swlndc(X, Y) <- in(A, paradox:select_eq(phonebook, name, X)) & \
+             A.city = dc || seenwith(X, Y).",
+        )
+        .unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert_eq!(c.body.len(), 1);
+        assert_eq!(c.body[0].pred.as_ref(), "seenwith");
+        assert_eq!(c.constraint.lits.len(), 2);
+        assert!(matches!(&c.constraint.lits[0], Lit::In(_, call)
+            if call.domain.as_ref() == "paradox" && call.func.as_ref() == "select_eq"));
+        assert!(matches!(&c.constraint.lits[1], Lit::Eq(Term::Field(_, f), _)
+            if f.as_ref() == "city"));
+    }
+
+    #[test]
+    fn parses_rule_with_body_only() {
+        let parsed = parse_program("c(X) <- || a(X).").unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert!(c.constraint.is_truth());
+        assert_eq!(c.body.len(), 1);
+    }
+
+    #[test]
+    fn variables_scoped_per_clause() {
+        let parsed = parse_program("p(X) <- X >= 1. q(X) <- X >= 2.").unwrap();
+        let c0 = parsed.db.clause(crate::program::ClauseId(0));
+        let c1 = parsed.db.clause(crate::program::ClauseId(1));
+        assert_ne!(c0.head_args, c1.head_args, "each clause gets fresh vars");
+    }
+
+    #[test]
+    fn parses_not_and_notin() {
+        let parsed =
+            parse_program("p(X) <- not(X = 2 & X <= 5) & notin(X, arith:leq(0)).").unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert!(matches!(&c.constraint.lits[0], Lit::Not(inner) if inner.lits.len() == 2));
+        assert!(matches!(&c.constraint.lits[1], Lit::NotIn(_, _)));
+    }
+
+    #[test]
+    fn parses_field_chains_and_comparisons() {
+        let parsed = parse_program("p(P1, P2) <- P1.origin = P2.origin & P1 != P2.").unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert_eq!(c.constraint.lits.len(), 2);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let parsed = parse_program("% the mediator\np(a). % fact\n").unwrap();
+        assert_eq!(parsed.db.len(), 1);
+    }
+
+    #[test]
+    fn parse_atom_for_updates() {
+        let a = parse_atom("seenwith(don, john)").unwrap();
+        assert_eq!(a.pred.as_ref(), "seenwith");
+        assert!(a.constraint.is_truth());
+        let b = parse_atom("b(X) <- X = 6").unwrap();
+        assert_eq!(b.constraint.to_string(), "X0 = 6");
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_program("p(X) <- X >= .").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("term") || err.message.contains("'.'"), "{err}");
+        let err2 = parse_program("p(X)").unwrap_err();
+        assert!(err2.message.contains("'.'"), "{err2}");
+    }
+
+    #[test]
+    fn negative_integers() {
+        let parsed = parse_program("p(X) <- X >= -5.").unwrap();
+        let c = parsed.db.clause(crate::program::ClauseId(0));
+        assert!(matches!(&c.constraint.lits[0], Lit::Cmp(_, CmpOp::Ge, t) if *t == Term::int(-5)));
+    }
+
+    #[test]
+    fn law_enforcement_mediator_parses() {
+        // The paper's three clauses (1)–(3), in this crate's syntax.
+        let src = r#"
+            % clause (1)
+            seenwith(X, Y) <-
+                in(P1, facextract:segmentface(surveillancedata)) &
+                in(P2, facextract:segmentface(surveillancedata)) &
+                P1.origin = P2.origin & P1 != P2 &
+                in(P3, facedb:findface(X)) &
+                in(true, facextract:matchface(P1, P3)) &
+                in(Y, facedb:findname(P2)).
+            % clause (2)
+            swlndc(X, Y) <-
+                in(A, paradox:select_eq(phonebook, name, Y)) &
+                in(Pt1, spatialdb:locate_address(A.streetnum, A.streetname, A.cityname)) &
+                in(true, spatialdb:range(dcareamap, dc, Pt1.x, Pt1.y, 100))
+                || seenwith(X, Y).
+            % clause (3)
+            suspect(X, Y) <-
+                in(T, dbase:select_eq(empl_abc, name, Y))
+                || swlndc(X, Y).
+        "#;
+        let parsed = parse_program(src).unwrap();
+        assert_eq!(parsed.db.len(), 3);
+        assert_eq!(parsed.db.clauses_for_head("suspect").len(), 1);
+        let c1 = parsed.db.clause(crate::program::ClauseId(0));
+        assert_eq!(c1.constraint.lits.len(), 7);
+    }
+}

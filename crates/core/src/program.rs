@@ -1,0 +1,441 @@
+//! Constrained databases (mediators): numbered clauses of the form
+//! `A ← D1 ∧ … ∧ Dm ‖ A1, …, An` (paper §2.1).
+
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{Constraint, Term, Var, VarGen};
+use std::fmt;
+use std::sync::Arc;
+
+/// The number of a clause within its database (the paper's `Cn(C)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseId(pub usize);
+
+impl fmt::Display for ClauseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A body atom `Ai(t⃗i)` (ordinary, non-constraint).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BodyAtom {
+    /// Predicate name.
+    pub pred: Arc<str>,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl BodyAtom {
+    /// Builds a body atom.
+    pub fn new(pred: &str, args: Vec<Term>) -> Self {
+        BodyAtom {
+            pred: Arc::from(pred),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for BodyAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A clause `head(t⃗0) ← φ0 ‖ A1(t⃗1), …, An(t⃗n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Head predicate.
+    pub head_pred: Arc<str>,
+    /// Head argument terms `t⃗0`.
+    pub head_args: Vec<Term>,
+    /// The constraint part `φ0` (DCA-atoms, equalities, …).
+    pub constraint: Constraint,
+    /// The ordinary body atoms.
+    pub body: Vec<BodyAtom>,
+}
+
+impl Clause {
+    /// Builds a clause.
+    pub fn new(
+        head_pred: &str,
+        head_args: Vec<Term>,
+        constraint: Constraint,
+        body: Vec<BodyAtom>,
+    ) -> Self {
+        Clause {
+            head_pred: Arc::from(head_pred),
+            head_args,
+            constraint,
+            body,
+        }
+    }
+
+    /// A constrained fact (empty body).
+    pub fn fact(head_pred: &str, head_args: Vec<Term>, constraint: Constraint) -> Self {
+        Clause::new(head_pred, head_args, constraint, vec![])
+    }
+
+    /// All variables of the clause, deduplicated in occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.head_args {
+            t.collect_vars(&mut out);
+        }
+        for l in &self.constraint.lits {
+            l.collect_vars(&mut out);
+        }
+        for a in &self.body {
+            for t in &a.args {
+                t.collect_vars(&mut out);
+            }
+        }
+        let mut seen = mmv_constraints::fxhash::FxHashSet::default();
+        out.retain(|v| seen.insert(*v));
+        out
+    }
+
+    /// Standardizes the clause apart with fresh variables.
+    pub fn rename(&self, gen: &mut VarGen) -> Clause {
+        let mut map: FxHashMap<Var, Var> = FxHashMap::default();
+        Clause {
+            head_pred: self.head_pred.clone(),
+            head_args: self
+                .head_args
+                .iter()
+                .map(|t| t.rename_into(&mut map, gen))
+                .collect(),
+            constraint: self.constraint.rename_into(&mut map, gen),
+            body: self
+                .body
+                .iter()
+                .map(|a| BodyAtom {
+                    pred: a.pred.clone(),
+                    args: a.args.iter().map(|t| t.rename_into(&mut map, gen)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_pred)?;
+        for (i, a) in self.head_args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if !self.constraint.is_truth() {
+            write!(f, " <- {}", self.constraint)?;
+        }
+        if !self.body.is_empty() {
+            if self.constraint.is_truth() {
+                write!(f, " <-")?;
+            }
+            write!(f, " || ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A constrained database: an ordered, numbered set of clauses.
+#[derive(Debug, Clone, Default)]
+pub struct ConstrainedDatabase {
+    clauses: Vec<Clause>,
+    /// Clause ids by head predicate, for head-indexed access.
+    by_head: FxHashMap<Arc<str>, Vec<ClauseId>>,
+    /// First variable id guaranteed unused by any clause.
+    var_watermark: u32,
+}
+
+impl ConstrainedDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from clauses.
+    pub fn from_clauses<I: IntoIterator<Item = Clause>>(clauses: I) -> Self {
+        let mut db = Self::new();
+        for c in clauses {
+            db.push(c);
+        }
+        db
+    }
+
+    /// Appends a clause, returning its id.
+    pub fn push(&mut self, clause: Clause) -> ClauseId {
+        let id = ClauseId(self.clauses.len());
+        for v in clause.vars() {
+            self.var_watermark = self.var_watermark.max(v.0 + 1);
+        }
+        self.by_head
+            .entry(clause.head_pred.clone())
+            .or_default()
+            .push(id);
+        self.clauses.push(clause);
+        id
+    }
+
+    /// The clause with the given id.
+    pub fn clause(&self, id: ClauseId) -> &Clause {
+        &self.clauses[id.0]
+    }
+
+    /// All clauses with their ids.
+    pub fn clauses(&self) -> impl Iterator<Item = (ClauseId, &Clause)> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClauseId(i), c))
+    }
+
+    /// Ids of clauses whose head predicate is `pred`.
+    pub fn clauses_for_head(&self, pred: &str) -> &[ClauseId] {
+        self.by_head.get(pred).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the database has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// A variable generator guaranteed to produce variables unused by any
+    /// clause of this database.
+    pub fn fresh_gen(&self) -> VarGen {
+        VarGen::starting_at(self.var_watermark)
+    }
+
+    /// Head predicates (intensional and fact predicates alike), sorted.
+    pub fn predicates(&self) -> Vec<Arc<str>> {
+        let mut ps: Vec<Arc<str>> = self.by_head.keys().cloned().collect();
+        ps.sort();
+        ps
+    }
+
+    /// Static sanity checks: inconsistent predicate arities (across heads
+    /// and body uses) and body predicates with no defining clause. These
+    /// are the mistakes a hand-written mediator most often contains; none
+    /// is fatal (an undefined body predicate simply never matches), so
+    /// they are reported rather than rejected.
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+        let mut arity: FxHashMap<Arc<str>, (usize, ClauseId)> = FxHashMap::default();
+        let mut check = |pred: &Arc<str>, len: usize, cid: ClauseId, issues: &mut Vec<ValidationIssue>| {
+            match arity.get(pred) {
+                Some(&(expected, first)) if expected != len => {
+                    issues.push(ValidationIssue::ArityMismatch {
+                        pred: pred.clone(),
+                        expected,
+                        first_seen_in: first,
+                        got: len,
+                        clause: cid,
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    arity.insert(pred.clone(), (len, cid));
+                }
+            }
+        };
+        for (cid, clause) in self.clauses() {
+            check(&clause.head_pred, clause.head_args.len(), cid, &mut issues);
+            for b in &clause.body {
+                check(&b.pred, b.args.len(), cid, &mut issues);
+            }
+        }
+        for (cid, clause) in self.clauses() {
+            for b in &clause.body {
+                if self.clauses_for_head(&b.pred).is_empty() {
+                    issues.push(ValidationIssue::UndefinedBodyPredicate {
+                        pred: b.pred.clone(),
+                        clause: cid,
+                    });
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// A static problem found by [`ConstrainedDatabase::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// The predicate.
+        pred: Arc<str>,
+        /// The arity first seen.
+        expected: usize,
+        /// Where it was first seen.
+        first_seen_in: ClauseId,
+        /// The conflicting arity.
+        got: usize,
+        /// Where the conflict occurs.
+        clause: ClauseId,
+    },
+    /// A body atom references a predicate no clause defines.
+    UndefinedBodyPredicate {
+        /// The predicate.
+        pred: Arc<str>,
+        /// The clause whose body references it.
+        clause: ClauseId,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::ArityMismatch {
+                pred,
+                expected,
+                first_seen_in,
+                got,
+                clause,
+            } => write!(
+                f,
+                "predicate {pred:?} used with arity {got} in clause {clause} \
+                 but arity {expected} in clause {first_seen_in}"
+            ),
+            ValidationIssue::UndefinedBodyPredicate { pred, clause } => write!(
+                f,
+                "clause {clause} references predicate {pred:?}, which no clause defines"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ConstrainedDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, c) in self.clauses() {
+            writeln!(f, "% clause {id}")?;
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_constraints::CmpOp;
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    /// The constrained database of the paper's Example 5.
+    pub(crate) fn example5() -> ConstrainedDatabase {
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(3))),
+            Clause::new(
+                "A",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("B", vec![x()])],
+            ),
+            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+            Clause::new(
+                "C",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("A", vec![x()])],
+            ),
+        ])
+    }
+
+    #[test]
+    fn clause_numbering_and_head_index() {
+        let db = example5();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.clauses_for_head("A"), &[ClauseId(0), ClauseId(1)]);
+        assert_eq!(db.clauses_for_head("C"), &[ClauseId(3)]);
+        assert!(db.clauses_for_head("Z").is_empty());
+    }
+
+    #[test]
+    fn watermark_covers_clause_vars() {
+        let db = example5();
+        let mut gen = db.fresh_gen();
+        let fresh = gen.fresh();
+        assert!(fresh.0 >= 1);
+    }
+
+    #[test]
+    fn rename_standardizes_apart() {
+        let db = example5();
+        let mut gen = db.fresh_gen();
+        let c1 = db.clause(ClauseId(1)).rename(&mut gen);
+        let c2 = db.clause(ClauseId(1)).rename(&mut gen);
+        assert_ne!(c1.head_args, c2.head_args);
+        // Head and body share the renamed variable consistently.
+        assert_eq!(c1.head_args[0], c1.body[0].args[0]);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let db = example5();
+        let s = db.clause(ClauseId(0)).to_string();
+        assert_eq!(s, "A(X0) <- X0 <= 3.");
+        let s2 = db.clause(ClauseId(3)).to_string();
+        assert_eq!(s2, "C(X0) <- || A(X0).");
+    }
+
+    #[test]
+    fn validation_passes_clean_database() {
+        assert!(example5().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_reports_arity_mismatch() {
+        let mut db = example5();
+        db.push(Clause::fact(
+            "A",
+            vec![x(), Term::var(Var(1))],
+            Constraint::truth(),
+        ));
+        let issues = db.validate();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::ArityMismatch { pred, .. } if pred.as_ref() == "A")));
+    }
+
+    #[test]
+    fn validation_reports_undefined_body_predicate() {
+        let mut db = example5();
+        db.push(Clause::new(
+            "D",
+            vec![x()],
+            Constraint::truth(),
+            vec![BodyAtom::new("ghost", vec![x()])],
+        ));
+        let issues = db.validate();
+        assert!(issues.iter().any(
+            |i| matches!(i, ValidationIssue::UndefinedBodyPredicate { pred, .. } if pred.as_ref() == "ghost")
+        ));
+        // Render all issues (exercises Display).
+        for i in &issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Supports: the derivation indexes of the Straight Delete algorithm
+//! (paper §3.1.2).
+//!
+//! `spt(A ← φ) = ⟨Cn(C), spt(B1), …, spt(Bk)⟩` records which clause and
+//! which child derivations produced a view entry. By Lemma 1, a support
+//! uniquely identifies a constraint atom of `T_P ↑ ω(∅)` — which is why
+//! the view can key entries by support and why semi-naive iteration can
+//! use "new support" as its delta test.
+
+use crate::program::ClauseId;
+use mmv_constraints::fxhash::FxHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// What produced a view entry at the root of a support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Producer {
+    /// A clause of the constrained database.
+    Clause(ClauseId),
+    /// An external insertion (Algorithm 3); the payload is a unique
+    /// insertion ticket so distinct insertions have distinct supports.
+    External(u64),
+}
+
+impl fmt::Display for Producer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Producer::Clause(c) => write!(f, "{c}"),
+            Producer::External(t) => write!(f, "ext{t}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SupportNode {
+    producer: Producer,
+    children: Vec<Support>,
+    /// Structural hash, precomputed for O(1) map keys.
+    hash: u64,
+    /// Derivation height (leaf = 0), used to process StDel replacements
+    /// children-before-parents.
+    height: u32,
+}
+
+/// A derivation index: an immutable, cheaply clonable tree.
+#[derive(Debug, Clone)]
+pub struct Support(Arc<SupportNode>);
+
+impl Support {
+    /// A leaf support `⟨Cn(C)⟩` (or an external-insertion ticket).
+    pub fn leaf(producer: Producer) -> Support {
+        Support::node(producer, vec![])
+    }
+
+    /// An internal support `⟨producer, children…⟩`.
+    pub fn node(producer: Producer, children: Vec<Support>) -> Support {
+        let mut h = FxHasher::default();
+        producer.hash(&mut h);
+        for c in &children {
+            h.write_u64(c.0.hash);
+        }
+        let height = children.iter().map(|c| c.0.height + 1).max().unwrap_or(0);
+        Support(Arc::new(SupportNode {
+            producer,
+            children,
+            hash: h.finish(),
+            height,
+        }))
+    }
+
+    /// The root producer.
+    pub fn producer(&self) -> Producer {
+        self.0.producer
+    }
+
+    /// The child supports.
+    pub fn children(&self) -> &[Support] {
+        &self.0.children
+    }
+
+    /// Derivation height (leaf = 0).
+    pub fn height(&self) -> u32 {
+        self.0.height
+    }
+
+    /// The precomputed structural hash.
+    pub fn structural_hash(&self) -> u64 {
+        self.0.hash
+    }
+}
+
+impl PartialEq for Support {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        self.0.hash == other.0.hash
+            && self.0.producer == other.0.producer
+            && self.0.children == other.0.children
+    }
+}
+
+impl Eq for Support {}
+
+impl Hash for Support {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.0.producer)?;
+        for c in &self.0.children {
+            write!(f, ", {c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(i: usize) -> Producer {
+        Producer::Clause(ClauseId(i))
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // Example 5's support <4, <2, <3>>>.
+        let s3 = Support::leaf(clause(3));
+        let s23 = Support::node(clause(2), vec![s3]);
+        let s = Support::node(clause(4), vec![s23]);
+        assert_eq!(s.to_string(), "<4, <2, <3>>>");
+        assert_eq!(s.height(), 2);
+    }
+
+    #[test]
+    fn structural_equality_and_hash() {
+        let a = Support::node(clause(4), vec![Support::leaf(clause(1))]);
+        let b = Support::node(clause(4), vec![Support::leaf(clause(1))]);
+        let c = Support::node(clause(4), vec![Support::leaf(clause(2))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        let mut map = mmv_constraints::fxhash::FxHashMap::default();
+        map.insert(a.clone(), 1);
+        assert_eq!(map.get(&b), Some(&1));
+        assert_eq!(map.get(&c), None);
+    }
+
+    #[test]
+    fn external_supports_distinct() {
+        let a = Support::leaf(Producer::External(0));
+        let b = Support::leaf(Producer::External(1));
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "<ext0>");
+    }
+
+    #[test]
+    fn children_accessible() {
+        let child = Support::leaf(clause(3));
+        let s = Support::node(clause(2), vec![child.clone()]);
+        assert_eq!(s.children(), &[child]);
+        assert_eq!(s.producer(), clause(2));
+    }
+}

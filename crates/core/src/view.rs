@@ -1,0 +1,475 @@
+//! Materialized mediated views: sets of constrained atoms under duplicate
+//! semantics (one entry per derivation), optionally indexed by supports.
+//!
+//! The paper's two deletion algorithms place different demands on the
+//! view: Extended DRed (Algorithm 1) works on duplicate-free views
+//! ([`SupportMode::Plain`]); StDel (Algorithm 2) requires every entry to
+//! carry its support ([`SupportMode::WithSupports`]). The mode is fixed at
+//! construction, which also gives experiment E6 (support overhead
+//! ablation) its two arms.
+
+use crate::atom::ConstrainedAtom;
+use crate::support::Support;
+use mmv_constraints::fxhash::{FxHashMap, FxHasher};
+use mmv_constraints::solver::SolverConfig;
+use mmv_constraints::{DomainResolver, Subst, Term, Value, Var, VarGen};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Whether view entries carry supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportMode {
+    /// Entries carry supports; duplicates (same support) impossible by
+    /// Lemma 1. Required by StDel.
+    WithSupports,
+    /// No supports; entries deduplicated by syntactic canonical form.
+    Plain,
+}
+
+/// Index of a view entry.
+pub type EntryId = usize;
+
+/// One constrained atom of the view, with its derivation metadata.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The constrained atom.
+    pub atom: ConstrainedAtom,
+    /// The derivation index (present in `WithSupports` mode).
+    pub support: Option<Support>,
+    /// Per child of the support: the child's head-argument tuple as
+    /// instantiated (standardized apart) inside this entry's constraint.
+    /// StDel's step 3 ties the negated child constraint to these terms.
+    pub children_args: Vec<Vec<Term>>,
+    /// Whether the entry is live (dead entries are tombstones).
+    pub alive: bool,
+}
+
+/// A ground fact of the instance semantics `[M]`.
+pub type GroundFact = (Arc<str>, Vec<Value>);
+
+/// Failure to materialize `[M]` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// An entry's instance enumeration exceeded budgets.
+    Overflow(String),
+    /// An entry's instances are not finitely enumerable.
+    Unknown(String),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Overflow(a) => write!(f, "instance overflow on {a}"),
+            InstanceError::Unknown(a) => write!(f, "non-enumerable instances on {a}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A materialized mediated view.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    mode: SupportMode,
+    entries: Vec<Entry>,
+    by_pred: FxHashMap<Arc<str>, Vec<EntryId>>,
+    by_support: FxHashMap<Support, EntryId>,
+    by_canon: FxHashMap<u64, Vec<EntryId>>,
+    live: usize,
+    next_external: u64,
+    var_gen: VarGen,
+}
+
+impl MaterializedView {
+    /// An empty view. `var_gen` must dominate the variables of the
+    /// database the view will be built from (use
+    /// [`crate::program::ConstrainedDatabase::fresh_gen`]).
+    pub fn new(mode: SupportMode, var_gen: VarGen) -> Self {
+        MaterializedView {
+            mode,
+            entries: Vec::new(),
+            by_pred: FxHashMap::default(),
+            by_support: FxHashMap::default(),
+            by_canon: FxHashMap::default(),
+            live: 0,
+            next_external: 0,
+            var_gen,
+        }
+    }
+
+    /// The view's support mode.
+    pub fn mode(&self) -> SupportMode {
+        self.mode
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the view has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The view's variable generator (used by maintenance algorithms to
+    /// standardize apart consistently with the view's contents).
+    pub fn var_gen_mut(&mut self) -> &mut VarGen {
+        &mut self.var_gen
+    }
+
+    /// A fresh external-insertion ticket (for Algorithm 3 supports).
+    pub fn fresh_external_ticket(&mut self) -> u64 {
+        let t = self.next_external;
+        self.next_external += 1;
+        t
+    }
+
+    /// Inserts an entry. Returns `None` if it duplicates an existing one
+    /// (same support in `WithSupports` mode; same canonical form in
+    /// `Plain` mode).
+    pub fn insert(
+        &mut self,
+        atom: ConstrainedAtom,
+        support: Option<Support>,
+        children_args: Vec<Vec<Term>>,
+    ) -> Option<EntryId> {
+        match self.mode {
+            SupportMode::WithSupports => {
+                let support = support.expect("WithSupports entries need a support");
+                if self.by_support.contains_key(&support) {
+                    return None;
+                }
+                let id = self.push_entry(atom, Some(support.clone()), children_args);
+                self.by_support.insert(support, id);
+                Some(id)
+            }
+            SupportMode::Plain => {
+                let key = canonical_hash(&atom);
+                if let Some(ids) = self.by_canon.get(&key) {
+                    let canon = canonicalize(&atom);
+                    if ids.iter().any(|&i| {
+                        self.entries[i].alive && canonicalize(&self.entries[i].atom) == canon
+                    }) {
+                        return None;
+                    }
+                }
+                let id = self.push_entry(atom, None, children_args);
+                self.by_canon.entry(key).or_default().push(id);
+                Some(id)
+            }
+        }
+    }
+
+    fn push_entry(
+        &mut self,
+        atom: ConstrainedAtom,
+        support: Option<Support>,
+        children_args: Vec<Vec<Term>>,
+    ) -> EntryId {
+        let id = self.entries.len();
+        self.by_pred
+            .entry(atom.pred.clone())
+            .or_default()
+            .push(id);
+        self.entries.push(Entry {
+            atom,
+            support,
+            children_args,
+            alive: true,
+        });
+        self.live += 1;
+        id
+    }
+
+    /// The entry with the given id (live or dead).
+    pub fn entry(&self, id: EntryId) -> &Entry {
+        &self.entries[id]
+    }
+
+    /// Iterates live entries.
+    pub fn live_entries(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+    }
+
+    /// Ids of live entries for a predicate.
+    pub fn entries_for_pred(&self, pred: &str) -> Vec<EntryId> {
+        self.by_pred
+            .get(pred)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&i| self.entries[i].alive)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The entry owning `support`, if live.
+    pub fn entry_by_support(&self, support: &Support) -> Option<EntryId> {
+        self.by_support
+            .get(support)
+            .copied()
+            .filter(|&i| self.entries[i].alive)
+    }
+
+    /// Tombstones an entry.
+    pub fn remove(&mut self, id: EntryId) -> bool {
+        let e = &mut self.entries[id];
+        if !e.alive {
+            return false;
+        }
+        e.alive = false;
+        self.live -= 1;
+        true
+    }
+
+    /// Replaces an entry's constraint in place (StDel's replacement
+    /// step). The support and children metadata are retained.
+    pub fn replace_constraint(&mut self, id: EntryId, c: mmv_constraints::Constraint) {
+        self.entries[id].atom.constraint = c;
+    }
+
+    /// The instance semantics `[M]`, evaluated against the resolver's
+    /// current state. Errors if any entry cannot be enumerated exactly.
+    pub fn instances(
+        &self,
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<BTreeSet<GroundFact>, InstanceError> {
+        let mut out = BTreeSet::new();
+        for (_, e) in self.live_entries() {
+            match e.atom.instances(resolver, config) {
+                crate::atom::Instances::Exact(tuples) => {
+                    for t in tuples {
+                        out.insert((e.atom.pred.clone(), t));
+                    }
+                }
+                crate::atom::Instances::Overflow => {
+                    return Err(InstanceError::Overflow(e.atom.to_string()))
+                }
+                crate::atom::Instances::Unknown => {
+                    return Err(InstanceError::Unknown(e.atom.to_string()))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Answers a query `pred(pattern)` where `None` positions are free:
+    /// the set of matching ground tuples, evaluated at the resolver's
+    /// current state (the `W_P` query-time semantics).
+    pub fn query(
+        &self,
+        pred: &str,
+        pattern: &[Option<Value>],
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<BTreeSet<Vec<Value>>, InstanceError> {
+        let mut out = BTreeSet::new();
+        for id in self.entries_for_pred(pred) {
+            let e = &self.entries[id];
+            if e.atom.args.len() != pattern.len() {
+                continue;
+            }
+            let mut atom = e.atom.clone();
+            for (t, p) in atom.args.iter().zip(pattern) {
+                if let Some(v) = p {
+                    atom.constraint = atom
+                        .constraint
+                        .and_lit(mmv_constraints::Lit::Eq(t.clone(), Term::Const(v.clone())));
+                }
+            }
+            match atom.instances(resolver, config) {
+                crate::atom::Instances::Exact(tuples) => out.extend(tuples),
+                crate::atom::Instances::Overflow => {
+                    return Err(InstanceError::Overflow(e.atom.to_string()))
+                }
+                crate::atom::Instances::Unknown => {
+                    return Err(InstanceError::Unknown(e.atom.to_string()))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Boolean query: whether `pred(args)` is an instance of the view at
+    /// the resolver's current state.
+    pub fn ask(
+        &self,
+        pred: &str,
+        args: &[Value],
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<bool, InstanceError> {
+        let pattern: Vec<Option<Value>> = args.iter().cloned().map(Some).collect();
+        Ok(!self.query(pred, &pattern, resolver, config)?.is_empty())
+    }
+
+    /// Whether two views are *syntactically* identical (same live atoms
+    /// and supports, order-insensitive) — the property Theorem 4
+    /// guarantees for `W_P` views across external updates.
+    pub fn syntactically_equal(&self, other: &MaterializedView) -> bool {
+        let mut a: Vec<String> = self
+            .live_entries()
+            .map(|(_, e)| format!("{} @ {:?}", e.atom, e.support.as_ref().map(|s| s.to_string())))
+            .collect();
+        let mut b: Vec<String> = other
+            .live_entries()
+            .map(|(_, e)| format!("{} @ {:?}", e.atom, e.support.as_ref().map(|s| s.to_string())))
+            .collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Deep-copies the live entries into a fresh view (compaction).
+    pub fn compact(&self) -> MaterializedView {
+        let mut v = MaterializedView::new(self.mode, self.var_gen.clone());
+        v.next_external = self.next_external;
+        for (_, e) in self.live_entries() {
+            v.insert(e.atom.clone(), e.support.clone(), e.children_args.clone());
+        }
+        v
+    }
+}
+
+impl fmt::Display for MaterializedView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, e) in self.live_entries() {
+            match &e.support {
+                Some(s) => writeln!(f, "{}    {}", e.atom, s)?,
+                None => writeln!(f, "{}", e.atom)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Canonicalizes an atom: variables renamed to 0.. in first-occurrence
+/// order (arguments first, then constraint literals).
+pub fn canonicalize(atom: &ConstrainedAtom) -> ConstrainedAtom {
+    let vars = atom.free_vars();
+    let subst: Subst = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, Term::Var(Var(i as u32))))
+        .collect();
+    atom.substitute(&subst)
+}
+
+fn canonical_hash(atom: &ConstrainedAtom) -> u64 {
+    let c = canonicalize(atom);
+    let mut h = FxHasher::default();
+    c.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ClauseId;
+    use crate::support::Producer;
+    use mmv_constraints::{CmpOp, Constraint, NoDomains};
+
+    fn atom(pred: &str, v: u32, hi: i64) -> ConstrainedAtom {
+        let t = Term::var(Var(v));
+        ConstrainedAtom::new(
+            pred,
+            vec![t.clone()],
+            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1))
+                .and(Constraint::cmp(t, CmpOp::Le, Term::int(hi))),
+        )
+    }
+
+    #[test]
+    fn plain_mode_dedups_by_canonical_form() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        assert!(v.insert(atom("p", 1, 3), None, vec![]).is_some());
+        // Same atom up to variable renaming: deduplicated.
+        assert!(v.insert(atom("p", 7, 3), None, vec![]).is_none());
+        // Different bound: a new entry.
+        assert!(v.insert(atom("p", 1, 4), None, vec![]).is_some());
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn support_mode_dedups_by_support() {
+        let mut v = MaterializedView::new(SupportMode::WithSupports, VarGen::starting_at(100));
+        let s1 = Support::leaf(Producer::Clause(ClauseId(1)));
+        let s2 = Support::leaf(Producer::Clause(ClauseId(2)));
+        assert!(v.insert(atom("p", 1, 3), Some(s1.clone()), vec![]).is_some());
+        // Same support: rejected even with a different constraint.
+        assert!(v.insert(atom("p", 1, 4), Some(s1.clone()), vec![]).is_none());
+        // Same atom, different support: duplicate semantics keeps both.
+        assert!(v.insert(atom("p", 1, 3), Some(s2), vec![]).is_some());
+        assert_eq!(v.len(), 2);
+        assert!(v.entry_by_support(&s1).is_some());
+    }
+
+    #[test]
+    fn instances_union_over_entries() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        v.insert(atom("p", 1, 2), None, vec![]);
+        v.insert(atom("p", 1, 4), None, vec![]);
+        let inst = v.instances(&NoDomains, &SolverConfig::default()).unwrap();
+        assert_eq!(inst.len(), 4); // {1,2} ∪ {1,2,3,4}
+    }
+
+    #[test]
+    fn query_with_pattern() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        v.insert(atom("p", 1, 5), None, vec![]);
+        let hits = v
+            .query("p", &[Some(Value::int(3))], &NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        let misses = v
+            .query("p", &[Some(Value::int(9))], &NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert!(misses.is_empty());
+        let all = v
+            .query("p", &[None], &NoDomains, &SolverConfig::default())
+            .unwrap();
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn removal_tombstones() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        let id = v.insert(atom("p", 1, 3), None, vec![]).unwrap();
+        assert!(v.remove(id));
+        assert!(!v.remove(id));
+        assert_eq!(v.len(), 0);
+        assert!(v.entries_for_pred("p").is_empty());
+    }
+
+    #[test]
+    fn syntactic_equality_ignores_order() {
+        let mut a = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        let mut b = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        a.insert(atom("p", 1, 3), None, vec![]);
+        a.insert(atom("q", 1, 3), None, vec![]);
+        b.insert(atom("q", 1, 3), None, vec![]);
+        b.insert(atom("p", 1, 3), None, vec![]);
+        assert!(a.syntactically_equal(&b));
+        b.insert(atom("r", 1, 1), None, vec![]);
+        assert!(!a.syntactically_equal(&b));
+    }
+
+    #[test]
+    fn compact_drops_tombstones() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        let id = v.insert(atom("p", 1, 3), None, vec![]).unwrap();
+        v.insert(atom("q", 1, 3), None, vec![]);
+        v.remove(id);
+        let c = v.compact();
+        assert_eq!(c.len(), 1);
+        assert!(c.syntactically_equal(&v));
+    }
+}

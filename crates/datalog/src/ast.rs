@@ -1,0 +1,204 @@
+//! Ground Datalog abstract syntax: the language of the *unconstrained*
+//! deductive databases that the paper's baselines (DRed [22], counting
+//! [21]) operate on. The constrained engine specializes to this case when
+//! every constraint is a variable/constant equality, which is how the
+//! cross-engine equivalence tests are built.
+
+use mmv_constraints::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Datalog variable (rule-local).
+pub type DlVar = u32;
+
+/// A term in a rule atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DlTerm {
+    /// A rule variable.
+    Var(DlVar),
+    /// A constant.
+    Const(Value),
+}
+
+impl DlTerm {
+    /// Convenience integer constant.
+    pub fn int(i: i64) -> Self {
+        DlTerm::Const(Value::Int(i))
+    }
+
+    /// Convenience string constant.
+    pub fn str(s: &str) -> Self {
+        DlTerm::Const(Value::str(s))
+    }
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "V{v}"),
+            DlTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A (possibly non-ground) atom in a rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DlAtom {
+    /// Predicate name.
+    pub pred: Arc<str>,
+    /// Argument terms.
+    pub args: Vec<DlTerm>,
+}
+
+impl DlAtom {
+    /// Builds an atom.
+    pub fn new(pred: &str, args: Vec<DlTerm>) -> Self {
+        DlAtom {
+            pred: Arc::from(pred),
+            args,
+        }
+    }
+
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = DlVar> + '_ {
+        self.args.iter().filter_map(|t| match t {
+            DlTerm::Var(v) => Some(*v),
+            DlTerm::Const(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for DlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A ground fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Predicate name.
+    pub pred: Arc<str>,
+    /// Ground arguments.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Builds a fact.
+    pub fn new(pred: &str, args: Vec<Value>) -> Self {
+        Fact {
+            pred: Arc::from(pred),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A definite rule `head :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlRule {
+    /// The head atom.
+    pub head: DlAtom,
+    /// The body atoms (all positive).
+    pub body: Vec<DlAtom>,
+}
+
+impl DlRule {
+    /// Builds a rule, checking *safety*: every head variable must occur
+    /// in the body.
+    pub fn new(head: DlAtom, body: Vec<DlAtom>) -> Result<Self, UnsafeRule> {
+        let body_vars: std::collections::HashSet<DlVar> =
+            body.iter().flat_map(|a| a.vars()).collect();
+        for v in head.vars() {
+            if !body_vars.contains(&v) {
+                return Err(UnsafeRule {
+                    rule: format!("{head} :- …"),
+                    var: v,
+                });
+            }
+        }
+        Ok(DlRule { head, body })
+    }
+}
+
+impl fmt::Display for DlRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error: a head variable does not occur in the rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeRule {
+    /// Rendering of the offending rule.
+    pub rule: String,
+    /// The unbound head variable.
+    pub var: DlVar,
+}
+
+impl fmt::Display for UnsafeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsafe rule {}: head variable V{}", self.rule, self.var)
+    }
+}
+
+impl std::error::Error for UnsafeRule {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_check() {
+        let head = DlAtom::new("p", vec![DlTerm::Var(0)]);
+        let ok = DlRule::new(head.clone(), vec![DlAtom::new("q", vec![DlTerm::Var(0)])]);
+        assert!(ok.is_ok());
+        let bad = DlRule::new(head, vec![DlAtom::new("q", vec![DlTerm::Var(1)])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn ground_head_is_safe_with_empty_body() {
+        let head = DlAtom::new("p", vec![DlTerm::int(1)]);
+        assert!(DlRule::new(head, vec![]).is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = DlRule::new(
+            DlAtom::new("tc", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+            vec![
+                DlAtom::new("edge", vec![DlTerm::Var(0), DlTerm::Var(2)]),
+                DlAtom::new("tc", vec![DlTerm::Var(2), DlTerm::Var(1)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.to_string(), "tc(V0, V1) :- edge(V0, V2), tc(V2, V1)");
+    }
+}

@@ -1,0 +1,257 @@
+//! Tuple storage for the ground engine: per-predicate relations with
+//! per-position hash indexes, chosen-most-selective at lookup time.
+
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::Value;
+use std::sync::Arc;
+
+use crate::ast::Fact;
+
+/// A stored relation: deduplicated tuples plus one hash index per column.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    tuples: Vec<Vec<Value>>,
+    position_of: FxHashMap<Vec<Value>, usize>,
+    /// `indexes[col][value]` = tuple slots having `value` at `col`.
+    indexes: Vec<FxHashMap<Value, Vec<usize>>>,
+    /// Tombstoned slots (deleted tuples keep their slot).
+    dead: Vec<bool>,
+    live: usize,
+}
+
+impl Relation {
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `tuple` is present.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        match self.position_of.get(tuple) {
+            Some(&i) => !self.dead[i],
+            None => false,
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        if let Some(&i) = self.position_of.get(&tuple) {
+            if !self.dead[i] {
+                return false;
+            }
+            // Resurrect the tombstoned slot (indexes still point at it).
+            self.dead[i] = false;
+            self.live += 1;
+            return true;
+        }
+        let slot = self.tuples.len();
+        if self.indexes.len() < tuple.len() {
+            self.indexes.resize_with(tuple.len(), FxHashMap::default);
+        }
+        for (col, v) in tuple.iter().enumerate() {
+            self.indexes[col].entry(v.clone()).or_default().push(slot);
+        }
+        self.position_of.insert(tuple.clone(), slot);
+        self.tuples.push(tuple);
+        self.dead.push(false);
+        self.live += 1;
+        true
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        match self.position_of.get(tuple) {
+            Some(&i) if !self.dead[i] => {
+                self.dead[i] = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates live tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.dead[*i])
+            .map(|(_, t)| t.as_slice())
+    }
+
+    /// Live tuples matching a pattern (`None` = wildcard), using the most
+    /// selective bound column's index.
+    pub fn matching<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        // Pick the bound column with the smallest candidate list.
+        let mut best: Option<(usize, &Vec<usize>)> = None;
+        for (col, p) in pattern.iter().enumerate() {
+            if let Some(v) = p {
+                let slots: Option<&Vec<usize>> =
+                    self.indexes.get(col).and_then(|ix| ix.get(v));
+                match slots {
+                    None => return Vec::new(), // value never seen in col
+                    Some(s) => {
+                        if best.as_ref().is_none_or(|(_, b)| s.len() < b.len()) {
+                            best = Some((col, s));
+                        }
+                    }
+                }
+            }
+        }
+        let check = |t: &[Value]| {
+            pattern
+                .iter()
+                .zip(t)
+                .all(|(p, v)| p.as_ref().is_none_or(|pv| pv == v))
+        };
+        match best {
+            Some((_, slots)) => slots
+                .iter()
+                .filter(|&&i| !self.dead[i])
+                .map(|&i| self.tuples[i].as_slice())
+                .filter(|t| check(t))
+                .collect(),
+            None => self.iter().filter(|t| check(t)).collect(),
+        }
+    }
+}
+
+/// A set of named relations.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    rels: FxHashMap<Arc<str>, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(&f);
+        }
+        db
+    }
+
+    /// Inserts a fact; returns `true` if new.
+    pub fn insert(&mut self, fact: &Fact) -> bool {
+        self.rels
+            .entry(fact.pred.clone())
+            .or_default()
+            .insert(fact.args.clone())
+    }
+
+    /// Removes a fact; returns `true` if present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        self.rels
+            .get_mut(&fact.pred)
+            .map(|r| r.remove(&fact.args))
+            .unwrap_or(false)
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels
+            .get(&fact.pred)
+            .map(|r| r.contains(&fact.args))
+            .unwrap_or(false)
+    }
+
+    /// The relation for `pred`, if any tuples were ever stored.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.rels.get(pred)
+    }
+
+    /// Total number of live facts.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(|r| r.len()).sum()
+    }
+
+    /// Whether no live facts exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates all live facts.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels.iter().flat_map(|(p, r)| {
+            r.iter().map(move |t| Fact {
+                pred: p.clone(),
+                args: t.to_vec(),
+            })
+        })
+    }
+
+    /// All facts as a sorted vector (for deterministic comparison).
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.facts().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(p: &str, args: &[i64]) -> Fact {
+        Fact::new(p, args.iter().map(|&i| Value::int(i)).collect())
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut db = Database::new();
+        assert!(db.insert(&f("e", &[1, 2])));
+        assert!(!db.insert(&f("e", &[1, 2])));
+        assert!(db.contains(&f("e", &[1, 2])));
+        assert!(db.remove(&f("e", &[1, 2])));
+        assert!(!db.contains(&f("e", &[1, 2])));
+        assert!(!db.remove(&f("e", &[1, 2])));
+        assert_eq!(db.len(), 0);
+    }
+
+    #[test]
+    fn resurrection_after_delete() {
+        let mut db = Database::new();
+        db.insert(&f("e", &[1, 2]));
+        db.remove(&f("e", &[1, 2]));
+        assert!(db.insert(&f("e", &[1, 2])));
+        assert_eq!(db.len(), 1);
+        let r = db.relation("e").unwrap();
+        assert_eq!(r.matching(&[Some(Value::int(1)), None]).len(), 1);
+    }
+
+    #[test]
+    fn pattern_matching_uses_selective_index() {
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.insert(&f("e", &[1, i]));
+        }
+        db.insert(&f("e", &[2, 5]));
+        let r = db.relation("e").unwrap();
+        // Bound second column is far more selective.
+        let hits = r.matching(&[None, Some(Value::int(5))]);
+        assert_eq!(hits.len(), 2);
+        let hits2 = r.matching(&[Some(Value::int(2)), Some(Value::int(5))]);
+        assert_eq!(hits2.len(), 1);
+        let all = r.matching(&[None, None]);
+        assert_eq!(all.len(), 101);
+    }
+
+    #[test]
+    fn unseen_value_short_circuits() {
+        let mut db = Database::new();
+        db.insert(&f("e", &[1, 2]));
+        let r = db.relation("e").unwrap();
+        assert!(r.matching(&[Some(Value::int(99)), None]).is_empty());
+    }
+}

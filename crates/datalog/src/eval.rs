@@ -1,0 +1,308 @@
+//! Bottom-up evaluation: naive and semi-naive fixpoints, plus the rule-
+//! body join machinery shared by DRed and the counting baseline.
+
+use crate::ast::{DlAtom, DlTerm, DlVar, Fact};
+use crate::database::{Database, Relation};
+use crate::program::DlProgram;
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::Value;
+
+/// A variable binding during rule matching.
+pub type Bindings = FxHashMap<DlVar, Value>;
+
+/// Instantiates an atom's arguments under bindings; `None` if a variable
+/// is unbound.
+pub fn instantiate(atom: &DlAtom, b: &Bindings) -> Option<Vec<Value>> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(v) => Some(v.clone()),
+            DlTerm::Var(v) => b.get(v).cloned(),
+        })
+        .collect()
+}
+
+/// The lookup pattern for an atom under partial bindings.
+fn pattern(atom: &DlAtom, b: &Bindings) -> Vec<Option<Value>> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(v) => Some(v.clone()),
+            DlTerm::Var(v) => b.get(v).cloned(),
+        })
+        .collect()
+}
+
+/// Extends bindings by matching `tuple` against `atom`; `false` on clash.
+fn bind_tuple(atom: &DlAtom, tuple: &[Value], b: &mut Bindings, trail: &mut Vec<DlVar>) -> bool {
+    for (t, v) in atom.args.iter().zip(tuple) {
+        match t {
+            DlTerm::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            DlTerm::Var(var) => match b.get(var) {
+                Some(bound) => {
+                    if bound != v {
+                        return false;
+                    }
+                }
+                None => {
+                    b.insert(*var, v.clone());
+                    trail.push(*var);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// A source of tuples for one body position during a join.
+pub trait TupleSource {
+    /// Live tuples of `pred` matching the pattern.
+    fn candidates<'a>(&'a self, pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]>;
+}
+
+impl TupleSource for Database {
+    fn candidates<'a>(&'a self, pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        match self.relation(pred) {
+            Some(r) => r.matching(pattern),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl TupleSource for Relation {
+    fn candidates<'a>(&'a self, _pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        self.matching(pattern)
+    }
+}
+
+/// An empty source.
+pub struct NoTuples;
+
+impl TupleSource for NoTuples {
+    fn candidates<'a>(&'a self, _pred: &str, _pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        Vec::new()
+    }
+}
+
+/// Enumerates every way of matching `body` with position `i` drawing
+/// tuples from `sources[i]`; calls `on_match` with the final bindings.
+pub fn join<'s>(
+    body: &[DlAtom],
+    sources: &[&'s dyn TupleSource],
+    on_match: &mut dyn FnMut(&Bindings),
+) {
+    assert_eq!(body.len(), sources.len(), "one source per body atom");
+    let mut bindings = Bindings::default();
+    join_rec(body, sources, 0, &mut bindings, on_match);
+}
+
+fn join_rec(
+    body: &[DlAtom],
+    sources: &[&dyn TupleSource],
+    pos: usize,
+    bindings: &mut Bindings,
+    on_match: &mut dyn FnMut(&Bindings),
+) {
+    if pos == body.len() {
+        on_match(bindings);
+        return;
+    }
+    let atom = &body[pos];
+    let pat = pattern(atom, bindings);
+    let cands = sources[pos].candidates(&atom.pred, &pat);
+    for tuple in cands {
+        let mut trail = Vec::new();
+        if bind_tuple(atom, tuple, bindings, &mut trail) {
+            join_rec(body, sources, pos + 1, bindings, on_match);
+        }
+        for v in trail {
+            bindings.remove(&v);
+        }
+    }
+}
+
+/// Computes the least model of `program` by semi-naive iteration.
+/// Returns the full database (EDB ∪ IDB).
+pub fn evaluate(program: &DlProgram) -> Database {
+    let mut db = Database::from_facts(program.edb.iter().cloned());
+    // Round 0: rules with empty bodies and the first derivations.
+    let mut delta = Database::new();
+    for rule in &program.rules {
+        let sources: Vec<&dyn TupleSource> = rule.body.iter().map(|_| &db as _).collect();
+        join(&rule.body, &sources, &mut |b| {
+            if let Some(args) = instantiate(&rule.head, b) {
+                let fact = Fact {
+                    pred: rule.head.pred.clone(),
+                    args,
+                };
+                if !db.contains(&fact) {
+                    delta.insert(&fact);
+                }
+            }
+        });
+    }
+    for f in delta.facts() {
+        db.insert(&f);
+    }
+    // Semi-naive rounds: at least one body atom must match the delta.
+    while !delta.is_empty() {
+        let mut next = Database::new();
+        for rule in &program.rules {
+            for dpos in 0..rule.body.len() {
+                if delta.relation(&rule.body[dpos].pred).is_none() {
+                    continue;
+                }
+                let sources: Vec<&dyn TupleSource> = (0..rule.body.len())
+                    .map(|i| {
+                        if i == dpos {
+                            &delta as &dyn TupleSource
+                        } else {
+                            &db as &dyn TupleSource
+                        }
+                    })
+                    .collect();
+                join(&rule.body, &sources, &mut |b| {
+                    if let Some(args) = instantiate(&rule.head, b) {
+                        let fact = Fact {
+                            pred: rule.head.pred.clone(),
+                            args,
+                        };
+                        if !db.contains(&fact) {
+                            next.insert(&fact);
+                        }
+                    }
+                });
+            }
+        }
+        for f in next.facts() {
+            db.insert(&f);
+        }
+        delta = next;
+    }
+    db
+}
+
+/// Full recomputation baseline: [`evaluate`] under its benchmark name.
+pub fn recompute(program: &DlProgram) -> Database {
+    evaluate(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DlRule;
+
+    fn v(i: i64) -> Value {
+        Value::int(i)
+    }
+
+    fn tc_program(edges: &[(i64, i64)]) -> DlProgram {
+        let rules = vec![
+            DlRule::new(
+                DlAtom::new("tc", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![DlAtom::new("e", vec![DlTerm::Var(0), DlTerm::Var(1)])],
+            )
+            .unwrap(),
+            DlRule::new(
+                DlAtom::new("tc", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![
+                    DlAtom::new("e", vec![DlTerm::Var(0), DlTerm::Var(2)]),
+                    DlAtom::new("tc", vec![DlTerm::Var(2), DlTerm::Var(1)]),
+                ],
+            )
+            .unwrap(),
+        ];
+        let edb = edges
+            .iter()
+            .map(|&(a, b)| Fact::new("e", vec![v(a), v(b)]))
+            .collect();
+        DlProgram::new(rules, edb)
+    }
+
+    #[test]
+    fn transitive_closure_on_a_chain() {
+        let db = evaluate(&tc_program(&[(1, 2), (2, 3), (3, 4)]));
+        for (a, b) in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)] {
+            assert!(db.contains(&Fact::new("tc", vec![v(a), v(b)])), "tc({a},{b})");
+        }
+        assert!(!db.contains(&Fact::new("tc", vec![v(2), v(1)])));
+        // 3 edges + 6 tc facts.
+        assert_eq!(db.len(), 9);
+    }
+
+    #[test]
+    fn cycle_closure_terminates() {
+        let db = evaluate(&tc_program(&[(1, 2), (2, 3), (3, 1)]));
+        // Every pair is reachable on a 3-cycle.
+        let tc_count = db
+            .facts()
+            .filter(|f| f.pred.as_ref() == "tc")
+            .count();
+        assert_eq!(tc_count, 9);
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        // only_from_one(Y) :- e(1, Y).
+        let mut p = tc_program(&[(1, 2), (2, 3)]);
+        p.rules.push(
+            DlRule::new(
+                DlAtom::new("only_from_one", vec![DlTerm::Var(0)]),
+                vec![DlAtom::new("e", vec![DlTerm::int(1), DlTerm::Var(0)])],
+            )
+            .unwrap(),
+        );
+        let db = evaluate(&p);
+        assert!(db.contains(&Fact::new("only_from_one", vec![v(2)])));
+        assert!(!db.contains(&Fact::new("only_from_one", vec![v(3)])));
+    }
+
+    #[test]
+    fn facts_via_empty_body_rules() {
+        let p = DlProgram::new(
+            vec![DlRule::new(DlAtom::new("p", vec![DlTerm::int(7)]), vec![]).unwrap()],
+            vec![],
+        );
+        let db = evaluate(&p);
+        assert!(db.contains(&Fact::new("p", vec![v(7)])));
+    }
+
+    #[test]
+    fn join_respects_shared_variables() {
+        // sibling-ish: same second column: s(X, Y) :- e(X, Z), e(Y, Z).
+        let p = DlProgram::new(
+            vec![DlRule::new(
+                DlAtom::new("s", vec![DlTerm::Var(0), DlTerm::Var(1)]),
+                vec![
+                    DlAtom::new("e", vec![DlTerm::Var(0), DlTerm::Var(2)]),
+                    DlAtom::new("e", vec![DlTerm::Var(1), DlTerm::Var(2)]),
+                ],
+            )
+            .unwrap()],
+            vec![
+                Fact::new("e", vec![v(1), v(10)]),
+                Fact::new("e", vec![v(2), v(10)]),
+                Fact::new("e", vec![v(3), v(11)]),
+            ],
+        );
+        let db = evaluate(&p);
+        assert!(db.contains(&Fact::new("s", vec![v(1), v(2)])));
+        assert!(db.contains(&Fact::new("s", vec![v(1), v(1)])));
+        assert!(!db.contains(&Fact::new("s", vec![v(1), v(3)])));
+    }
+
+    #[test]
+    fn diamond_counts_once() {
+        // Two paths 1->4; tc(1,4) appears once (set semantics).
+        let db = evaluate(&tc_program(&[(1, 2), (2, 4), (1, 3), (3, 4)]));
+        let hits = db
+            .facts()
+            .filter(|f| *f == Fact::new("tc", vec![v(1), v(4)]))
+            .count();
+        assert_eq!(hits, 1);
+    }
+}

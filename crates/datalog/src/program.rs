@@ -1,0 +1,155 @@
+//! Datalog programs: rule collections, the predicate dependency graph,
+//! and stratification by dependency (used by the counting baseline, which
+//! is only defined for nonrecursive programs — the paper's motivation for
+//! StDel).
+
+use crate::ast::{DlRule, Fact};
+use mmv_constraints::fxhash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// A ground Datalog program: rules plus the extensional facts.
+#[derive(Debug, Clone, Default)]
+pub struct DlProgram {
+    /// The rules (IDB definitions).
+    pub rules: Vec<DlRule>,
+    /// The extensional (EDB) facts.
+    pub edb: Vec<Fact>,
+}
+
+impl DlProgram {
+    /// Builds a program.
+    pub fn new(rules: Vec<DlRule>, edb: Vec<Fact>) -> Self {
+        DlProgram { rules, edb }
+    }
+
+    /// Predicates defined by rules (intensional).
+    pub fn idb_predicates(&self) -> FxHashSet<Arc<str>> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+
+    /// Topological strata of intensional predicates: stratum k's rules
+    /// only depend on EDB predicates and strata `< k`… unless the program
+    /// is recursive, in which case `Err` names a predicate on a cycle.
+    pub fn strata(&self) -> Result<Vec<Vec<Arc<str>>>, Recursive> {
+        let idb = self.idb_predicates();
+        // Edges: head depends on each IDB body predicate.
+        let mut deps: FxHashMap<Arc<str>, FxHashSet<Arc<str>>> = FxHashMap::default();
+        for p in &idb {
+            deps.entry(p.clone()).or_default();
+        }
+        for r in &self.rules {
+            for b in &r.body {
+                if idb.contains(&b.pred) {
+                    deps.entry(r.head.pred.clone())
+                        .or_default()
+                        .insert(b.pred.clone());
+                }
+            }
+        }
+        // Kahn's algorithm grouping by depth.
+        let mut remaining: FxHashMap<Arc<str>, FxHashSet<Arc<str>>> = deps.clone();
+        let mut strata: Vec<Vec<Arc<str>>> = Vec::new();
+        let mut placed: FxHashSet<Arc<str>> = FxHashSet::default();
+        while !remaining.is_empty() {
+            let mut ready: Vec<Arc<str>> = remaining
+                .iter()
+                .filter(|(_, ds)| ds.iter().all(|d| placed.contains(d)))
+                .map(|(p, _)| p.clone())
+                .collect();
+            if ready.is_empty() {
+                // A cycle: report some member.
+                let p = remaining.keys().next().expect("nonempty").clone();
+                return Err(Recursive { predicate: p });
+            }
+            ready.sort();
+            for p in &ready {
+                remaining.remove(p);
+                placed.insert(p.clone());
+            }
+            strata.push(ready);
+        }
+        Ok(strata)
+    }
+
+    /// Whether any intensional predicate depends on itself (directly or
+    /// transitively).
+    pub fn is_recursive(&self) -> bool {
+        self.strata().is_err()
+    }
+}
+
+/// Error: the program is recursive (cycle through `predicate`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recursive {
+    /// A predicate on the dependency cycle.
+    pub predicate: Arc<str>,
+}
+
+impl std::fmt::Display for Recursive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "program is recursive through predicate {:?} (the counting \
+             algorithm is not applicable — see paper §3.1.2)",
+            self.predicate
+        )
+    }
+}
+
+impl std::error::Error for Recursive {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DlAtom, DlTerm};
+
+    fn rule(head: (&str, &[u32]), body: &[(&str, &[u32])]) -> DlRule {
+        let mk = |(p, vs): (&str, &[u32])| {
+            DlAtom::new(p, vs.iter().map(|&v| DlTerm::Var(v)).collect())
+        };
+        DlRule::new(mk(head), body.iter().map(|&a| mk(a)).collect()).unwrap()
+    }
+
+    #[test]
+    fn layered_program_stratifies() {
+        let p = DlProgram::new(
+            vec![
+                rule(("a", &[0]), &[("e", &[0])]),
+                rule(("b", &[0]), &[("a", &[0])]),
+                rule(("c", &[0]), &[("a", &[0]), ("b", &[0])]),
+            ],
+            vec![],
+        );
+        let s = p.strata().unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], vec![Arc::<str>::from("a")]);
+        assert_eq!(s[1], vec![Arc::<str>::from("b")]);
+        assert_eq!(s[2], vec![Arc::<str>::from("c")]);
+        assert!(!p.is_recursive());
+    }
+
+    #[test]
+    fn transitive_closure_is_recursive() {
+        let p = DlProgram::new(
+            vec![
+                rule(("tc", &[0, 1]), &[("e", &[0, 1])]),
+                rule(("tc", &[0, 1]), &[("e", &[0, 2]), ("tc", &[2, 1])]),
+            ],
+            vec![],
+        );
+        assert!(p.is_recursive());
+        assert_eq!(p.strata().unwrap_err().predicate.as_ref(), "tc");
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let p = DlProgram::new(
+            vec![
+                rule(("p", &[0]), &[("q", &[0])]),
+                rule(("q", &[0]), &[("p", &[0])]),
+            ],
+            vec![],
+        );
+        assert!(p.is_recursive());
+    }
+}

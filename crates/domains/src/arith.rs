@@ -1,0 +1,135 @@
+//! The arithmetic constraint domain of the paper's Example 2
+//! (Kanellakis-style constrained databases).
+//!
+//! `great(X)` denotes the *infinite* set of integers greater than `X`;
+//! following the paper's remark, the set is represented symbolically (an
+//! integer range) rather than computed extensionally. `plus(X, Y)` returns
+//! the singleton `{X + Y}`.
+
+use crate::manager::Domain;
+use mmv_constraints::{Value, ValueSet};
+
+/// The `arith` domain. Pure and immutable: its version is always 0, so
+/// `W_P` views over it never need revalidation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ArithDomain;
+
+fn int_arg(args: &[Value], i: usize) -> Option<i64> {
+    args.get(i).and_then(|v| v.as_int())
+}
+
+impl Domain for ArithDomain {
+    fn name(&self) -> &str {
+        "arith"
+    }
+
+    fn call(&self, func: &str, args: &[Value]) -> ValueSet {
+        match func {
+            // The paper's great(X): all integers > X.
+            "great" | "greater" => match int_arg(args, 0) {
+                Some(k) if k < i64::MAX => ValueSet::ints_from(k + 1),
+                _ => ValueSet::Empty,
+            },
+            "geq" => match int_arg(args, 0) {
+                Some(k) => ValueSet::ints_from(k),
+                None => ValueSet::Empty,
+            },
+            "less" => match int_arg(args, 0) {
+                Some(k) if k > i64::MIN => ValueSet::ints_to(k - 1),
+                _ => ValueSet::Empty,
+            },
+            "leq" => match int_arg(args, 0) {
+                Some(k) => ValueSet::ints_to(k),
+                None => ValueSet::Empty,
+            },
+            "between" => match (int_arg(args, 0), int_arg(args, 1)) {
+                (Some(lo), Some(hi)) => ValueSet::ints_between(lo, hi),
+                _ => ValueSet::Empty,
+            },
+            // The paper's plus(X, Y): the singleton {X + Y}.
+            "plus" => match (int_arg(args, 0), int_arg(args, 1)) {
+                (Some(a), Some(b)) => match a.checked_add(b) {
+                    Some(s) => ValueSet::singleton(Value::Int(s)),
+                    None => ValueSet::Empty,
+                },
+                _ => ValueSet::Empty,
+            },
+            "minus" => match (int_arg(args, 0), int_arg(args, 1)) {
+                (Some(a), Some(b)) => match a.checked_sub(b) {
+                    Some(s) => ValueSet::singleton(Value::Int(s)),
+                    None => ValueSet::Empty,
+                },
+                _ => ValueSet::Empty,
+            },
+            "times" => match (int_arg(args, 0), int_arg(args, 1)) {
+                (Some(a), Some(b)) => match a.checked_mul(b) {
+                    Some(s) => ValueSet::singleton(Value::Int(s)),
+                    None => ValueSet::Empty,
+                },
+                _ => ValueSet::Empty,
+            },
+            "abs" => match int_arg(args, 0) {
+                Some(a) => match a.checked_abs() {
+                    Some(s) => ValueSet::singleton(Value::Int(s)),
+                    None => ValueSet::Empty,
+                },
+                None => ValueSet::Empty,
+            },
+            _ => ValueSet::Empty,
+        }
+    }
+
+    fn functions(&self) -> Vec<&'static str> {
+        vec![
+            "great", "greater", "geq", "less", "leq", "between", "plus", "minus", "times", "abs",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn great_is_open_range() {
+        let d = ArithDomain;
+        let s = d.call("great", &[Value::int(3)]);
+        assert!(s.contains(&Value::int(4)));
+        assert!(!s.contains(&Value::int(3)));
+        assert_eq!(s.finite_len(), None);
+    }
+
+    #[test]
+    fn plus_singleton() {
+        let d = ArithDomain;
+        assert_eq!(
+            d.call("plus", &[Value::int(2), Value::int(40)]),
+            ValueSet::singleton(Value::int(42))
+        );
+    }
+
+    #[test]
+    fn between_bounds() {
+        let d = ArithDomain;
+        assert_eq!(
+            d.call("between", &[Value::int(1), Value::int(3)]),
+            ValueSet::ints_between(1, 3)
+        );
+        assert!(d.call("between", &[Value::int(3), Value::int(1)]).is_empty());
+    }
+
+    #[test]
+    fn ill_typed_args_empty() {
+        let d = ArithDomain;
+        assert!(d.call("plus", &[Value::str("x"), Value::int(1)]).is_empty());
+        assert!(d.call("great", &[]).is_empty());
+        assert!(d.call("nonsense", &[Value::int(1)]).is_empty());
+    }
+
+    #[test]
+    fn overflow_is_empty_not_panic() {
+        let d = ArithDomain;
+        assert!(d.call("plus", &[Value::int(i64::MAX), Value::int(1)]).is_empty());
+        assert!(d.call("great", &[Value::int(i64::MAX)]).is_empty());
+    }
+}

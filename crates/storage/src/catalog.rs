@@ -1,0 +1,254 @@
+//! The catalog: named tables, a monotone version counter, and a change
+//! log. Section 4 of the paper models an update to an external database as
+//! a change in the behaviour of the functions that read it, characterised
+//! by the deltas `f+_{t,t+1}` and `f-_{t,t+1}` (equations (6), (7)). The
+//! change log is what lets the domain layer compute those deltas between
+//! any two catalog versions.
+
+use crate::schema::{Schema, SchemaViolation};
+use crate::table::{RowId, Table};
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::Value;
+use std::sync::Arc;
+
+/// A monotone logical timestamp; bumped on every mutation.
+pub type Version = u64;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Change {
+    /// A row was inserted into `table`.
+    Insert {
+        /// Table name.
+        table: Arc<str>,
+        /// The inserted record.
+        row: Value,
+    },
+    /// A row was deleted from `table`.
+    Delete {
+        /// Table name.
+        table: Arc<str>,
+        /// The removed record.
+        row: Value,
+    },
+}
+
+impl Change {
+    /// The affected table's name.
+    pub fn table(&self) -> &str {
+        match self {
+            Change::Insert { table, .. } | Change::Delete { table, .. } => table,
+        }
+    }
+}
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A table with that name already exists.
+    TableExists(String),
+    /// The row violated the table's schema.
+    Schema(SchemaViolation),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NoSuchTable(n) => write!(f, "no such table {n:?}"),
+            CatalogError::TableExists(n) => write!(f, "table {n:?} already exists"),
+            CatalogError::Schema(v) => write!(f, "schema violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<SchemaViolation> for CatalogError {
+    fn from(v: SchemaViolation) -> Self {
+        CatalogError::Schema(v)
+    }
+}
+
+/// A named collection of tables with versioned change capture.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: FxHashMap<Arc<str>, Table>,
+    version: Version,
+    /// `(version-at-which-applied, change)` pairs, oldest first.
+    log: Vec<(Version, Change)>,
+}
+
+impl Catalog {
+    /// An empty catalog at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), CatalogError> {
+        if self.tables.contains_key(name) {
+            return Err(CatalogError::TableExists(name.to_string()));
+        }
+        self.tables.insert(Arc::from(name), Table::new(schema));
+        Ok(())
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table, CatalogError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_string()))
+    }
+
+    /// Structural (non-row) mutation access to a table, e.g. to create an
+    /// index. Row mutations must go through [`Catalog::insert`] /
+    /// [`Catalog::delete_where_eq`] so the change log stays complete.
+    pub fn table_config(&mut self, name: &str) -> Result<&mut Table, CatalogError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::NoSuchTable(name.to_string()))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|k| k.as_ref()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Inserts a row, bumping the version and logging the change.
+    pub fn insert(&mut self, table: &str, row: &[Value]) -> Result<RowId, CatalogError> {
+        let name: Arc<str> = match self.tables.get_key_value(table) {
+            Some((k, _)) => k.clone(),
+            None => return Err(CatalogError::NoSuchTable(table.to_string())),
+        };
+        let t = self.tables.get_mut(&name).expect("checked above");
+        let id = t.insert(row)?;
+        let record = t.get(id).expect("just inserted").clone();
+        self.version += 1;
+        self.log.push((
+            self.version,
+            Change::Insert {
+                table: name,
+                row: record,
+            },
+        ));
+        Ok(id)
+    }
+
+    /// Deletes rows where `col = key`, bumping the version once per
+    /// removed row. Returns the removed records.
+    pub fn delete_where_eq(
+        &mut self,
+        table: &str,
+        col: &str,
+        key: &Value,
+    ) -> Result<Vec<Value>, CatalogError> {
+        let name: Arc<str> = match self.tables.get_key_value(table) {
+            Some((k, _)) => k.clone(),
+            None => return Err(CatalogError::NoSuchTable(table.to_string())),
+        };
+        let t = self.tables.get_mut(&name).expect("checked above");
+        let removed = t.delete_where_eq(col, key);
+        for row in &removed {
+            self.version += 1;
+            self.log.push((
+                self.version,
+                Change::Delete {
+                    table: name.clone(),
+                    row: row.clone(),
+                },
+            ));
+        }
+        Ok(removed)
+    }
+
+    /// The changes applied after `since`, oldest first.
+    pub fn changes_since(&self, since: Version) -> &[(Version, Change)] {
+        let start = self.log.partition_point(|(v, _)| *v <= since);
+        &self.log[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "phonebook",
+            Schema::new(vec![("name", ColumnType::Str), ("city", ColumnType::Str)]),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn versions_bump_on_mutation() {
+        let mut c = cat();
+        assert_eq!(c.version(), 0);
+        c.insert("phonebook", &[Value::str("ann"), Value::str("dc")])
+            .unwrap();
+        assert_eq!(c.version(), 1);
+        c.insert("phonebook", &[Value::str("bob"), Value::str("nyc")])
+            .unwrap();
+        assert_eq!(c.version(), 2);
+        c.delete_where_eq("phonebook", "name", &Value::str("ann"))
+            .unwrap();
+        assert_eq!(c.version(), 3);
+    }
+
+    #[test]
+    fn change_log_slicing() {
+        let mut c = cat();
+        c.insert("phonebook", &[Value::str("ann"), Value::str("dc")])
+            .unwrap();
+        let mid = c.version();
+        c.insert("phonebook", &[Value::str("bob"), Value::str("nyc")])
+            .unwrap();
+        c.delete_where_eq("phonebook", "name", &Value::str("ann"))
+            .unwrap();
+        let changes = c.changes_since(mid);
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(changes[0].1, Change::Insert { .. }));
+        assert!(matches!(changes[1].1, Change::Delete { .. }));
+        assert!(c.changes_since(c.version()).is_empty());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let mut c = cat();
+        assert!(matches!(
+            c.insert("nope", &[Value::int(1)]),
+            Err(CatalogError::NoSuchTable(_))
+        ));
+        assert!(matches!(c.table("nope"), Err(CatalogError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = cat();
+        assert!(matches!(
+            c.create_table("phonebook", Schema::new(vec![])),
+            Err(CatalogError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn schema_errors_do_not_bump_version() {
+        let mut c = cat();
+        let v = c.version();
+        assert!(c.insert("phonebook", &[Value::int(5)]).is_err());
+        assert_eq!(c.version(), v);
+        assert!(c.changes_since(0).is_empty());
+    }
+}

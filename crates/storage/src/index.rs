@@ -1,0 +1,69 @@
+//! Hash indexes mapping column values to row ids.
+
+use crate::table::RowId;
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::Value;
+
+/// A hash index over one column.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: FxHashMap<Value, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `id` under `key`.
+    pub fn add(&mut self, key: Value, id: RowId) {
+        self.map.entry(key).or_default().push(id);
+    }
+
+    /// Unregisters `id` from `key`.
+    pub fn remove(&mut self, key: &Value, id: RowId) {
+        if let Some(ids) = self.map.get_mut(key) {
+            ids.retain(|&x| x != id);
+            if ids.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Row ids stored under `key`.
+    pub fn lookup(&self, key: &Value) -> &[RowId] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut idx = HashIndex::new();
+        idx.add(Value::int(1), 10);
+        idx.add(Value::int(1), 11);
+        idx.add(Value::int(2), 12);
+        assert_eq!(idx.lookup(&Value::int(1)), &[10, 11]);
+        assert_eq!(idx.key_count(), 2);
+        idx.remove(&Value::int(1), 10);
+        assert_eq!(idx.lookup(&Value::int(1)), &[11]);
+        idx.remove(&Value::int(1), 11);
+        assert_eq!(idx.lookup(&Value::int(1)), &[] as &[RowId]);
+        assert_eq!(idx.key_count(), 1);
+    }
+
+    #[test]
+    fn missing_key_is_empty() {
+        let idx = HashIndex::new();
+        assert!(idx.lookup(&Value::str("none")).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Table schemas: named, typed columns.
+
+use mmv_constraints::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integers.
+    Int,
+    /// Strings.
+    Str,
+    /// Booleans.
+    Bool,
+    /// Any value kind (schema does not constrain the column).
+    Any,
+}
+
+impl ColumnType {
+    /// Whether `v` belongs to this column type.
+    pub fn admits(self, v: &Value) -> bool {
+        match self {
+            ColumnType::Int => matches!(v, Value::Int(_)),
+            ColumnType::Str => matches!(v, Value::Str(_)),
+            ColumnType::Bool => matches!(v, Value::Bool(_)),
+            ColumnType::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "int",
+            ColumnType::Str => "str",
+            ColumnType::Bool => "bool",
+            ColumnType::Any => "any",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(Arc<str>, ColumnType)>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names — schemas are static program
+    /// configuration, so this is a programming error.
+    pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
+        let columns: Vec<(Arc<str>, ColumnType)> = columns
+            .into_iter()
+            .map(|(n, t)| (Arc::from(n), t))
+            .collect();
+        for (i, (n, _)) in columns.iter().enumerate() {
+            assert!(
+                columns[i + 1..].iter().all(|(m, _)| m != n),
+                "duplicate column name {n:?}"
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Iterates `(name, type)` pairs in declaration order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, ColumnType)> {
+        self.columns.iter().map(|(n, t)| (n.as_ref(), *t))
+    }
+
+    /// The position of a column by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n.as_ref() == name)
+    }
+
+    /// The type of a column by name.
+    pub fn column_type(&self, name: &str) -> Option<ColumnType> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Validates a positional row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), SchemaViolation> {
+        if row.len() != self.arity() {
+            return Err(SchemaViolation::Arity {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for ((name, ty), v) in self.columns().zip(row) {
+            if !ty.admits(v) {
+                return Err(SchemaViolation::Type {
+                    column: name.to_string(),
+                    expected: ty,
+                    got: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A schema validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaViolation {
+    /// Wrong number of values in the row.
+    Arity {
+        /// Declared column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// A value did not match its column's type.
+    Type {
+        /// The offending column.
+        column: String,
+        /// The declared type.
+        expected: ColumnType,
+        /// The offending value.
+        got: Value,
+    },
+}
+
+impl fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaViolation::Arity { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            SchemaViolation::Type {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} expects {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("name", ColumnType::Str), ("age", ColumnType::Int)])
+    }
+
+    #[test]
+    fn positions_and_types() {
+        let s = schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position("age"), Some(1));
+        assert_eq!(s.position("zip"), None);
+        assert_eq!(s.column_type("name"), Some(ColumnType::Str));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = schema();
+        assert!(s.check_row(&[Value::str("ann"), Value::int(30)]).is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::str("ann")]),
+            Err(SchemaViolation::Arity { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::int(1), Value::int(30)]),
+            Err(SchemaViolation::Type { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        Schema::new(vec![("a", ColumnType::Int), ("a", ColumnType::Int)]);
+    }
+
+    #[test]
+    fn any_admits_everything() {
+        let s = Schema::new(vec![("x", ColumnType::Any)]);
+        assert!(s.check_row(&[Value::Bool(true)]).is_ok());
+        assert!(s.check_row(&[Value::tuple(vec![])]).is_ok());
+    }
+}

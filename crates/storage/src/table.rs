@@ -1,0 +1,246 @@
+//! In-memory tables with tombstoned rows and optional hash indexes.
+//!
+//! Rows are exposed as [`Value::Record`]s so mediator rules can use the
+//! HERMES field-access idiom (`A.streetnum`, `P1.origin`).
+
+use crate::index::HashIndex;
+use crate::schema::{Schema, SchemaViolation};
+use mmv_constraints::fxhash::FxHashMap;
+use mmv_constraints::{Record, Value};
+use std::sync::Arc;
+
+/// Identifier of a row slot within a table (stable across deletions).
+pub type RowId = usize;
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    /// Row slots; `None` marks a deleted row (tombstone).
+    rows: Vec<Option<Value>>,
+    /// Live-row count.
+    live: usize,
+    /// Hash indexes by column name.
+    indexes: FxHashMap<Arc<str>, HashIndex>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Builds the record value for a positional row.
+    fn make_record(&self, row: &[Value]) -> Value {
+        let fields: Vec<(Arc<str>, Value)> = self
+            .schema
+            .columns()
+            .zip(row)
+            .map(|((n, _), v)| (Arc::from(n), v.clone()))
+            .collect();
+        Value::Record(Arc::new(Record::new(fields)))
+    }
+
+    /// Inserts a positional row; returns its id.
+    pub fn insert(&mut self, row: &[Value]) -> Result<RowId, SchemaViolation> {
+        self.schema.check_row(row)?;
+        let record = self.make_record(row);
+        let id = self.rows.len();
+        for (col, idx) in self.indexes.iter_mut() {
+            let key = record.field(col).expect("indexed column exists").clone();
+            idx.add(key, id);
+        }
+        self.rows.push(Some(record));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Deletes a row by id; returns the removed record if it was live.
+    pub fn delete(&mut self, id: RowId) -> Option<Value> {
+        let slot = self.rows.get_mut(id)?;
+        let record = slot.take()?;
+        self.live -= 1;
+        for (col, idx) in self.indexes.iter_mut() {
+            let key = record.field(col).expect("indexed column exists");
+            idx.remove(key, id);
+        }
+        Some(record)
+    }
+
+    /// Deletes all rows matching `col = key`; returns the removed records.
+    pub fn delete_where_eq(&mut self, col: &str, key: &Value) -> Vec<Value> {
+        let ids: Vec<RowId> = self.select_ids_eq(col, key);
+        ids.into_iter().filter_map(|id| self.delete(id)).collect()
+    }
+
+    /// Fetches a live row by id.
+    pub fn get(&self, id: RowId) -> Option<&Value> {
+        self.rows.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Iterates live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Value)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    /// Creates (or refreshes) a hash index on `col`.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist (static configuration error).
+    pub fn create_index(&mut self, col: &str) {
+        assert!(
+            self.schema.position(col).is_some(),
+            "no such column {col:?}"
+        );
+        let mut idx = HashIndex::new();
+        for (id, row) in self.scan() {
+            idx.add(row.field(col).expect("column exists").clone(), id);
+        }
+        self.indexes.insert(Arc::from(col), idx);
+    }
+
+    /// Whether an index exists on `col`.
+    pub fn has_index(&self, col: &str) -> bool {
+        self.indexes.contains_key(col)
+    }
+
+    /// Ids of rows where `col = key` (index-accelerated when available).
+    pub fn select_ids_eq(&self, col: &str, key: &Value) -> Vec<RowId> {
+        if let Some(idx) = self.indexes.get(col) {
+            return idx.lookup(key).to_vec();
+        }
+        self.scan()
+            .filter(|(_, r)| r.field(col) == Some(key))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Rows where `col = key`.
+    pub fn select_eq(&self, col: &str, key: &Value) -> Vec<Value> {
+        self.select_ids_eq(col, key)
+            .into_iter()
+            .filter_map(|id| self.get(id).cloned())
+            .collect()
+    }
+
+    /// Rows satisfying an arbitrary predicate (always a scan).
+    pub fn select_where<F: Fn(&Value) -> bool>(&self, pred: F) -> Vec<Value> {
+        self.scan()
+            .filter(|(_, r)| pred(r))
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Projects a column across all live rows.
+    pub fn project(&self, col: &str) -> Vec<Value> {
+        self.scan()
+            .filter_map(|(_, r)| r.field(col).cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn people() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("age", ColumnType::Int),
+        ]));
+        t.insert(&[Value::str("ann"), Value::int(30)]).unwrap();
+        t.insert(&[Value::str("bob"), Value::int(40)]).unwrap();
+        t.insert(&[Value::str("ann"), Value::int(50)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = people();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.scan().count(), 3);
+    }
+
+    #[test]
+    fn select_eq_scan_and_index_agree() {
+        let mut t = people();
+        let scan_result = t.select_eq("name", &Value::str("ann"));
+        t.create_index("name");
+        let index_result = t.select_eq("name", &Value::str("ann"));
+        assert_eq!(scan_result.len(), 2);
+        assert_eq!(scan_result, index_result);
+    }
+
+    #[test]
+    fn delete_updates_index() {
+        let mut t = people();
+        t.create_index("name");
+        let removed = t.delete_where_eq("name", &Value::str("ann"));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.select_eq("name", &Value::str("ann")).is_empty());
+        assert_eq!(t.select_eq("name", &Value::str("bob")).len(), 1);
+    }
+
+    #[test]
+    fn rows_are_records_with_field_access() {
+        let t = people();
+        let rows = t.select_eq("name", &Value::str("bob"));
+        assert_eq!(rows[0].field("age"), Some(&Value::int(40)));
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = people();
+        assert!(t.insert(&[Value::int(1), Value::int(2)]).is_err());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn insert_after_index_creation_is_indexed() {
+        let mut t = people();
+        t.create_index("age");
+        t.insert(&[Value::str("cyd"), Value::int(40)]).unwrap();
+        assert_eq!(t.select_eq("age", &Value::int(40)).len(), 2);
+    }
+
+    #[test]
+    fn tombstones_keep_ids_stable() {
+        let mut t = people();
+        let kept = t.get(2).cloned();
+        t.delete(0);
+        assert_eq!(t.get(2).cloned(), kept);
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn project_column() {
+        let t = people();
+        let ages = t.project("age");
+        assert_eq!(ages, vec![Value::int(30), Value::int(40), Value::int(50)]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: define a mediated view, materialize it, query it, and
+//! maintain it under both kinds of updates.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mmv::constraints::{NoDomains, SolverConfig, Value};
+use mmv::core::{
+    fixpoint, insert_atom, parse_atom, parse_program, stdel_delete, FixpointConfig, Operator,
+    SupportMode,
+};
+
+fn main() {
+    // 1. A tiny constrained database (the paper's Example 5 family):
+    //    facts carry *constraints*, not just ground tuples.
+    let program = r#"
+        % base data: b holds the integers 0..9
+        b(X) <- X >= 0 & X <= 9.
+        % a is everything in b, plus 7..12 independently
+        a(X) <- || b(X).
+        a(X) <- X >= 7 & X <= 12.
+        % c is derived from a
+        c(X) <- || a(X).
+    "#;
+    let parsed = parse_program(program).expect("parses");
+    println!("mediator:\n{}", parsed.db);
+
+    // 2. Materialize with T_P, tracking supports (one entry per
+    //    derivation, each carrying its derivation index).
+    let cfg = FixpointConfig::default();
+    let (mut view, stats) = fixpoint(
+        &parsed.db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg,
+    )
+    .expect("materializes");
+    println!(
+        "materialized view ({} entries, {} rounds):\n{view}",
+        view.len(),
+        stats.iterations
+    );
+
+    // 3. Query: which values does c hold?
+    let scfg = SolverConfig::default();
+    let answers = view.query("c", &[None], &NoDomains, &scfg).expect("query");
+    println!("c has {} instances: {:?}\n", answers.len(),
+        answers.iter().map(|t| t[0].clone()).collect::<Vec<_>>());
+
+    // 4. View update, kind 1a — deletion (Straight Delete, Algorithm 2):
+    //    remove 8 from b. c keeps 8 via the independent a-fact.
+    let deletion = parse_atom("b(X) <- X = 8").expect("parses");
+    let dstats = stdel_delete(&mut view, &deletion, &NoDomains, &scfg).expect("stdel");
+    println!(
+        "deleted [b(8)]: {} direct + {} propagated replacements, no rederivation",
+        dstats.direct_replacements, dstats.propagated_replacements
+    );
+    let b8 = view.query("b", &[Some(Value::int(8))], &NoDomains, &scfg).unwrap();
+    let c8 = view.query("c", &[Some(Value::int(8))], &NoDomains, &scfg).unwrap();
+    println!("b(8) gone: {}; c(8) survives via the independent fact: {}\n",
+        b8.is_empty(), !c8.is_empty());
+
+    // 5. View update, kind 1b — insertion (Algorithm 3): add 20..22 to b;
+    //    the insertion propagates up through a to c.
+    let insertion = parse_atom("b(X) <- X >= 20 & X <= 22").expect("parses");
+    let istats = insert_atom(
+        &parsed.db,
+        &mut view,
+        &insertion,
+        &NoDomains,
+        Operator::Tp,
+        &cfg,
+    )
+    .expect("insert");
+    println!(
+        "inserted [b(20..22)]: base added = {}, {} derived entries propagated",
+        istats.added, istats.propagated
+    );
+    let c21 = view.query("c", &[Some(Value::int(21))], &NoDomains, &scfg).unwrap();
+    println!("c(21) now derivable: {}", !c21.is_empty());
+    println!("\nfinal view:\n{view}");
+}

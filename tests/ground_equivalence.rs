@@ -1,0 +1,157 @@
+//! Differential testing across engines: on *ground* programs the
+//! constrained engine (non-ground views, supports, StDel/DRed) must
+//! coincide exactly with the ground Datalog engine and all its baselines
+//! (semi-naive evaluation, ground DRed, counting where applicable).
+
+use mmv::constraints::{NoDomains, SolverConfig, Value};
+use mmv::core::{
+    dred_delete, fixpoint, stdel_delete, ConstrainedAtom, FixpointConfig, Operator, SupportMode,
+};
+use mmv::datalog::{apply_update, evaluate, CountingEngine, Fact};
+use mmv_bench::gen::ground::{ground_to_constrained, tc_program, two_hop_program};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type FactSet = BTreeSet<(String, Vec<Value>)>;
+
+fn ground_set(db: &mmv::datalog::Database) -> FactSet {
+    db.facts().map(|f| (f.pred.to_string(), f.args)).collect()
+}
+
+fn constrained_set(
+    view: &mmv::core::MaterializedView,
+    cfg: &SolverConfig,
+) -> FactSet {
+    view.instances(&NoDomains, cfg)
+        .expect("finite instances on ground programs")
+        .into_iter()
+        .map(|(p, t)| (p.to_string(), t))
+        .collect()
+}
+
+/// Random DAG edges over `nodes` vertices (i -> j only for i < j), so
+/// the recursive closure has finitely many derivations.
+fn dag_edges(nodes: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::btree_set((0..nodes as i64 - 1, 1..nodes as i64), 1..nodes * 2)
+        .prop_map(|set| {
+            set.into_iter()
+                .filter(|(a, b)| a < b)
+                .collect::<Vec<_>>()
+        })
+        .prop_filter("need at least one edge", |v| !v.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(16), failure_persistence: None, ..ProptestConfig::default()
+    })]
+
+    /// Least models agree between engines (recursive TC on DAGs).
+    #[test]
+    fn least_models_agree(edges in dag_edges(8)) {
+        let p = tc_program(&edges);
+        let ground = evaluate(&p);
+        let cdb = ground_to_constrained(&p);
+        let cfg = FixpointConfig::default();
+        let (view, _) = fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
+        prop_assert_eq!(ground_set(&ground), constrained_set(&view, &cfg.solver));
+    }
+
+    /// Edge deletion: ground DRed == constrained StDel == constrained
+    /// Extended DRed, on recursive closures.
+    #[test]
+    fn deletion_agrees_across_engines(edges in dag_edges(7), victim_idx in 0usize..64) {
+        let p = tc_program(&edges);
+        let materialized = evaluate(&p);
+        let victim = edges[victim_idx % edges.len()];
+        let vfact = Fact::new("edge", vec![Value::Int(victim.0), Value::Int(victim.1)]);
+        let (ground_after, _) = apply_update(&p, &materialized, &[vfact], &[]);
+
+        let cdb = ground_to_constrained(&p);
+        let cfg = FixpointConfig { max_entries: 4_000_000, ..FixpointConfig::default() };
+        let deletion = ConstrainedAtom::fact(
+            "edge",
+            vec![Value::Int(victim.0), Value::Int(victim.1)],
+        );
+
+        let (mut vs, _) = fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+        stdel_delete(&mut vs, &deletion, &NoDomains, &cfg.solver).unwrap();
+        prop_assert_eq!(ground_set(&ground_after), constrained_set(&vs, &cfg.solver));
+
+        let (mut vp, _) = fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
+        dred_delete(&cdb, &mut vp, &deletion, &NoDomains, &cfg).unwrap();
+        prop_assert_eq!(ground_set(&ground_after), constrained_set(&vp, &cfg.solver));
+    }
+
+    /// Nonrecursive programs: the counting engine agrees with semi-naive
+    /// recomputation under random mixed updates.
+    #[test]
+    fn counting_agrees_on_nonrecursive(
+        edges in dag_edges(8),
+        dels in proptest::collection::vec(0usize..64, 0..3),
+        adds in proptest::collection::vec((0i64..8, 0i64..8), 0..3),
+    ) {
+        let p = two_hop_program(&edges);
+        let mut engine = CountingEngine::new(p.clone()).unwrap();
+        let deletions: Vec<Fact> = dels
+            .iter()
+            .map(|&i| {
+                let e = edges[i % edges.len()];
+                Fact::new("edge", vec![Value::Int(e.0), Value::Int(e.1)])
+            })
+            .collect();
+        let insertions: Vec<Fact> = adds
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| Fact::new("edge", vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        engine.update(&deletions, &insertions);
+
+        let mut p2 = p.clone();
+        p2.edb.retain(|f| !deletions.contains(f));
+        for f in &insertions {
+            if !p2.edb.contains(f) {
+                p2.edb.push(f.clone());
+            }
+        }
+        let expected = evaluate(&p2);
+        prop_assert_eq!(
+            engine.database().sorted_facts(),
+            expected.sorted_facts()
+        );
+    }
+
+    /// Ground DRed with mixed updates agrees with recomputation.
+    #[test]
+    fn ground_dred_mixed_updates(
+        edges in dag_edges(8),
+        dels in proptest::collection::vec(0usize..64, 0..3),
+        adds in proptest::collection::vec((0i64..8, 0i64..8), 0..3),
+    ) {
+        let p = tc_program(&edges);
+        let materialized = evaluate(&p);
+        let deletions: Vec<Fact> = dels
+            .iter()
+            .map(|&i| {
+                let e = edges[i % edges.len()];
+                Fact::new("edge", vec![Value::Int(e.0), Value::Int(e.1)])
+            })
+            .collect();
+        let insertions: Vec<Fact> = adds
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| Fact::new("edge", vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        let (after, _) = apply_update(&p, &materialized, &deletions, &insertions);
+
+        let mut p2 = p.clone();
+        p2.edb.retain(|f| !deletions.contains(f));
+        for f in &insertions {
+            if !p2.edb.contains(f) {
+                p2.edb.push(f.clone());
+            }
+        }
+        let expected = evaluate(&p2);
+        prop_assert_eq!(after.sorted_facts(), expected.sorted_facts());
+    }
+}

@@ -1,0 +1,131 @@
+//! Coverage of the remaining public-API surface: boolean queries,
+//! view compaction, statistics, database validation, the facade
+//! re-exports, and error rendering.
+
+use mmv::constraints::{NoDomains, SolverConfig, Value};
+use mmv::core::{
+    fixpoint, parse_atom, parse_program, stdel_delete, FixpointConfig, Operator, SupportMode,
+};
+
+fn demo_view() -> (mmv::core::ConstrainedDatabase, mmv::core::MaterializedView) {
+    let db = parse_program(
+        "b(X) <- X >= 0 & X <= 9.\n\
+         a(X) <- || b(X).",
+    )
+    .expect("parses")
+    .db;
+    let (view, stats) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &FixpointConfig::default(),
+    )
+    .expect("fixpoint");
+    assert!(stats.derivations_tried >= 2);
+    (db, view)
+}
+
+#[test]
+fn ask_boolean_queries() {
+    let (_, view) = demo_view();
+    let cfg = SolverConfig::default();
+    assert!(view.ask("a", &[Value::int(5)], &NoDomains, &cfg).unwrap());
+    assert!(!view.ask("a", &[Value::int(50)], &NoDomains, &cfg).unwrap());
+    assert!(!view.ask("ghost", &[Value::int(5)], &NoDomains, &cfg).unwrap());
+    // Wrong arity: simply no matching instances.
+    assert!(!view
+        .ask("a", &[Value::int(1), Value::int(2)], &NoDomains, &cfg)
+        .unwrap());
+}
+
+#[test]
+fn compaction_preserves_semantics_and_drops_tombstones() {
+    let (_, mut view) = demo_view();
+    let cfg = SolverConfig::default();
+    let deletion = parse_atom("b(X) <- X >= 0 & X <= 9").expect("parses");
+    stdel_delete(&mut view, &deletion, &NoDomains, &cfg).expect("stdel");
+    let before_inst = view.instances(&NoDomains, &cfg).unwrap();
+    let compacted = view.compact();
+    assert!(compacted.len() <= view.len());
+    assert_eq!(compacted.instances(&NoDomains, &cfg).unwrap(), before_inst);
+    assert!(before_inst.is_empty(), "everything was deleted");
+}
+
+#[test]
+fn fixpoint_stats_are_meaningful() {
+    let db = parse_program(
+        "b(X) <- X >= 0 & X <= 4.\n\
+         dead(X) <- X >= 10 & X <= 4.  % syntactically unsatisfiable\n\
+         a(X) <- X >= 100 || b(X).     % unsolvable join under T_P",
+    )
+    .expect("parses")
+    .db;
+    let (view, stats) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &FixpointConfig::default(),
+    )
+    .expect("fixpoint");
+    assert_eq!(view.len(), 1, "only the b fact survives");
+    assert!(stats.pruned_unsolvable >= 1 || stats.pruned_syntactic >= 1);
+    // Under W_P everything is kept.
+    let (wp, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Wp,
+        SupportMode::WithSupports,
+        &FixpointConfig::default(),
+    )
+    .expect("fixpoint");
+    assert!(wp.len() >= 2);
+}
+
+#[test]
+fn validation_through_parser() {
+    let db = parse_program("a(X) <- || ghost(X). a(X, Y) <- X = Y.")
+        .expect("parses")
+        .db;
+    let issues = db.validate();
+    assert_eq!(issues.len(), 2, "{issues:?}");
+    for i in &issues {
+        assert!(!i.to_string().is_empty());
+    }
+}
+
+#[test]
+fn parse_errors_render_positions() {
+    let err = parse_program("a(X) <- X >=").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parse error at 1:"), "{msg}");
+}
+
+#[test]
+fn facade_reexports_all_crates() {
+    // Touch one item from each re-exported crate so the facade stays
+    // complete.
+    let _ = mmv::constraints::ValueSet::ints_between(1, 3);
+    let _ = mmv::storage::Schema::new(vec![("k", mmv::storage::ColumnType::Int)]);
+    let _ = mmv::domains::ArithDomain;
+    let _ = mmv::datalog::Database::new();
+    let _ = mmv::core::ConstrainedDatabase::new();
+}
+
+#[test]
+fn fixpoint_error_renders() {
+    let db = parse_program(
+        "n(X) <- X >= 0.\n\
+         n(X) <- X > Y || n(Y).",
+    )
+    .expect("parses")
+    .db;
+    let cfg = FixpointConfig {
+        max_iterations: 4,
+        ..FixpointConfig::default()
+    };
+    let err = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
+        .expect_err("diverges");
+    assert!(err.to_string().contains("budget"));
+}
