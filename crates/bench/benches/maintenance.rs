@@ -31,8 +31,14 @@ fn bench_deletion(c: &mut Criterion) {
     let spec = spec();
     let db = layered_program(&spec);
     let cfg = FixpointConfig::default();
-    let (with_supports, _) =
-        fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+    let (with_supports, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg,
+    )
+    .unwrap();
     let (plain, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
     let deletion = random_deletion(&spec, 0xBE);
 
@@ -70,8 +76,14 @@ fn bench_insertion(c: &mut Criterion) {
     let spec = spec();
     let db = layered_program(&spec);
     let cfg = FixpointConfig::default();
-    let (view, _) =
-        fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+    let (view, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg,
+    )
+    .unwrap();
     let ins = random_insertion(&spec, 0xBE, 10);
 
     let mut g = c.benchmark_group("e3_insertion");
@@ -90,8 +102,14 @@ fn bench_insertion(c: &mut Criterion) {
                 ins.args.clone(),
                 ins.constraint.clone(),
             ));
-            fixpoint(&extended, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-                .unwrap()
+            fixpoint(
+                &extended,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -123,8 +141,13 @@ fn bench_external(c: &mut Criterion) {
         b.iter(|| {
             tick += 1;
             sensors.set((tick as usize) % n, vec![40 + tick % 30, 90]);
-            wp.query(&format!("alert{}", (tick as usize) % n), &[None], &manager, &scfg)
-                .unwrap()
+            wp.query(
+                &format!("alert{}", (tick as usize) % n),
+                &[None],
+                &manager,
+                &scfg,
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -138,7 +161,14 @@ fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_build");
     g.bench_function("with_supports", |b| {
         b.iter(|| {
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap()
+            fixpoint(
+                &db,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .unwrap()
         })
     });
     g.bench_function("plain", |b| {
@@ -151,16 +181,22 @@ fn bench_build(c: &mut Criterion) {
 fn bench_solver(c: &mut Criterion) {
     use mmv_constraints::{satisfiable, CmpOp, Constraint, Lit, Term, Var};
     let x = Term::var(Var(0));
-    let mut constraint = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
-        .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(1000)));
+    let mut constraint = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+        x.clone(),
+        CmpOp::Le,
+        Term::int(1000),
+    ));
     for k in 0..8 {
         constraint = constraint.and_lit(Lit::Not(Constraint::eq(x.clone(), Term::int(k * 7))));
     }
     c.bench_function("solver_sat_8_exclusions", |b| {
         b.iter(|| satisfiable(&constraint, &NoDomains))
     });
-    let q = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
-        .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(50)));
+    let q = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+        x.clone(),
+        CmpOp::Le,
+        Term::int(50),
+    ));
     c.bench_function("enumerate_interval_51", |b| {
         b.iter(|| {
             mmv_constraints::solutions(&q, &[Var(0)], &NoDomains)

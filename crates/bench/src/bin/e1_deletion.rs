@@ -48,11 +48,16 @@ fn main() {
         };
         let db = layered_program(&spec);
         let cfg = FixpointConfig::default();
-        let (with_supports, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-                .expect("fixpoint");
-        let (plain, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg)
-            .expect("fixpoint");
+        let (with_supports, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .expect("fixpoint");
+        let (plain, _) =
+            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).expect("fixpoint");
         let deletion = random_deletion(&spec, 0xE1);
 
         let t_stdel = median_time(1, runs, || {
@@ -77,7 +82,10 @@ fn main() {
             fmt_duration(t_stdel),
             fmt_duration(t_dred),
             fmt_duration(t_recompute),
-            format!("{:.2}x", t_dred.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                t_dred.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)
+            ),
             format!(
                 "{:.2}x",
                 t_recompute.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)

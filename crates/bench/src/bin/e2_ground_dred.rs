@@ -49,22 +49,30 @@ fn main() {
         );
 
         let t_ground = median_time(1, runs, || {
-            let (_, _) =
-                mmv_datalog::apply_update(&program, &materialized, std::slice::from_ref(&victim), &[]);
+            let (_, _) = mmv_datalog::apply_update(
+                &program,
+                &materialized,
+                std::slice::from_ref(&victim),
+                &[],
+            );
         });
 
         let cdb = ground_to_constrained(&program);
         let cfg = FixpointConfig::default();
-        let (plain, _) = fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg)
-            .expect("fixpoint");
+        let (plain, _) =
+            fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).expect("fixpoint");
         let deletion = mmv_core::ConstrainedAtom::fact(
             "edge",
             vec![Value::Int(edge_list[0].0), Value::Int(edge_list[0].1)],
         );
         // Correctness: the two engines agree after the deletion.
         {
-            let (ground_after, _) =
-                mmv_datalog::apply_update(&program, &materialized, std::slice::from_ref(&victim), &[]);
+            let (ground_after, _) = mmv_datalog::apply_update(
+                &program,
+                &materialized,
+                std::slice::from_ref(&victim),
+                &[],
+            );
             let mut v = plain.clone();
             dred_delete(&cdb, &mut v, &deletion, &NoDomains, &cfg).expect("dred");
             let ci = v.instances(&NoDomains, &cfg.solver).expect("instances");

@@ -16,7 +16,11 @@ fn main() {
         "E3: insertion latency — Algorithm 3 vs recompute",
         "P_ADD propagation touches only the new derivations (paper §3.2)",
     );
-    let batches: Vec<usize> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let batches: Vec<usize> = if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let sizes: Vec<usize> = if quick { vec![8] } else { vec![8, 16, 32] };
     let runs = if quick { 3 } else { 5 };
     let mut table = Table::new(&[
@@ -37,9 +41,14 @@ fn main() {
         };
         let db = layered_program(&spec);
         let cfg = FixpointConfig::default();
-        let (view, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-                .expect("fixpoint");
+        let (view, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .expect("fixpoint");
         for &batch in &batches {
             let insertions: Vec<_> = (0..batch)
                 .map(|k| random_insertion(&spec, 0xE3 + k as u64, 10))
@@ -47,8 +56,7 @@ fn main() {
             let t_incremental = median_time(1, runs, || {
                 let mut v = view.clone();
                 for ins in &insertions {
-                    insert_atom(&db, &mut v, ins, &NoDomains, Operator::Tp, &cfg)
-                        .expect("insert");
+                    insert_atom(&db, &mut v, ins, &NoDomains, Operator::Tp, &cfg).expect("insert");
                 }
             });
             let t_recompute = median_time(1, runs, || {

@@ -28,14 +28,9 @@ fn run_scenario(
     manager.register(sensors.clone());
     let db = monitoring_db(n_sensors, 50);
     let cfg = mmv_core::FixpointConfig::default();
-    let mut mv = MediatedMaterializedView::materialize(
-        db,
-        strategy,
-        &manager,
-        manager.clock(),
-        cfg,
-    )
-    .expect("materialize");
+    let mut mv =
+        MediatedMaterializedView::materialize(db, strategy, &manager, manager.clock(), cfg)
+            .expect("materialize");
     let scfg = SolverConfig::default();
     let mut maintenance = Duration::ZERO;
     let mut query_time = Duration::ZERO;

@@ -87,9 +87,14 @@ fn main() {
             max_entries: 4_000_000,
             ..FixpointConfig::default()
         };
-        let (view, _) =
-            fixpoint(&cdb, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-                .expect("fixpoint (finite derivations on a DAG)");
+        let (view, _) = fixpoint(
+            &cdb,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .expect("fixpoint (finite derivations on a DAG)");
         let deletion = mmv_core::ConstrainedAtom::fact(
             "edge",
             vec![Value::Int(victim_edge.0), Value::Int(victim_edge.1)],
@@ -101,8 +106,12 @@ fn main() {
 
         // Cross-check: StDel == ground DRed == recompute.
         let agree = {
-            let (ground_after, _) =
-                mmv_datalog::apply_update(&program, &materialized, std::slice::from_ref(&victim), &[]);
+            let (ground_after, _) = mmv_datalog::apply_update(
+                &program,
+                &materialized,
+                std::slice::from_ref(&victim),
+                &[],
+            );
             let mut v = view.clone();
             stdel_delete(&mut v, &deletion, &NoDomains, &cfg.solver).expect("stdel");
             let ci = v.instances(&NoDomains, &cfg.solver).expect("instances");

@@ -69,15 +69,26 @@ fn main() {
         let db = layered_program(&spec);
         let cfg = FixpointConfig::default();
         let t_with = median_time(1, runs, || {
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-                .expect("fixpoint");
+            fixpoint(
+                &db,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .expect("fixpoint");
         });
         let t_plain = median_time(1, runs, || {
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg)
-                .expect("fixpoint");
+            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).expect("fixpoint");
         });
-        let (vw, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+        let (vw, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .unwrap();
         let (vp, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
         table.row(vec![
             layers.to_string(),

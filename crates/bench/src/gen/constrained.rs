@@ -66,8 +66,11 @@ pub fn layered_program(spec: &LayeredSpec) -> ConstrainedDatabase {
             db.push(Clause::fact(
                 &pred_name(0, j),
                 vec![x.clone()],
-                Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo))
-                    .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(hi))),
+                Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
+                    x.clone(),
+                    CmpOp::Le,
+                    Term::int(hi),
+                )),
             ));
         }
     }
@@ -120,8 +123,11 @@ pub fn random_insertion(spec: &LayeredSpec, seed: u64, width: i64) -> Constraine
     ConstrainedAtom::new(
         &pred_name(0, j),
         vec![x.clone()],
-        Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo))
-            .and(Constraint::cmp(x, CmpOp::Le, Term::int(lo + width))),
+        Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
+            x,
+            CmpOp::Le,
+            Term::int(lo + width),
+        )),
     )
 }
 

@@ -40,7 +40,9 @@ pub fn random_edges(spec: &GraphSpec) -> Vec<(i64, i64)> {
 
 /// A simple chain `0 -> 1 -> … -> n-1`.
 pub fn chain_edges(n: usize) -> Vec<(i64, i64)> {
-    (0..n.saturating_sub(1) as i64).map(|i| (i, i + 1)).collect()
+    (0..n.saturating_sub(1) as i64)
+        .map(|i| (i, i + 1))
+        .collect()
 }
 
 /// The recursive transitive-closure program over `edge` facts.
@@ -173,15 +175,15 @@ mod tests {
             &FixpointConfig::default(),
         )
         .unwrap();
-        let inst = view.instances(&NoDomains, &SolverConfig::default()).unwrap();
+        let inst = view
+            .instances(&NoDomains, &SolverConfig::default())
+            .unwrap();
         let ground_set: std::collections::BTreeSet<(String, Vec<_>)> = ground
             .facts()
             .map(|f| (f.pred.to_string(), f.args))
             .collect();
-        let constrained_set: std::collections::BTreeSet<(String, Vec<_>)> = inst
-            .into_iter()
-            .map(|(p, t)| (p.to_string(), t))
-            .collect();
+        let constrained_set: std::collections::BTreeSet<(String, Vec<_>)> =
+            inst.into_iter().map(|(p, t)| (p.to_string(), t)).collect();
         assert_eq!(ground_set, constrained_set);
     }
 }

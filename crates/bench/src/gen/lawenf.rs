@@ -231,9 +231,7 @@ mod tests {
         // Everyone is near DC and employed; everyone except the target
         // who shares a photo with him is a suspect.
         assert!(!suspects.is_empty());
-        assert!(suspects
-            .iter()
-            .all(|t| t[1] != Value::str(&world.target)));
+        assert!(suspects.iter().all(|t| t[1] != Value::str(&world.target)));
     }
 
     #[test]

@@ -468,8 +468,8 @@ mod tests {
 
     #[test]
     fn ground_eval_conjunction() {
-        let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-            .and(Constraint::neq(x(), Term::int(3)));
+        let c =
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::neq(x(), Term::int(3)));
         let mut asg = FxHashMap::default();
         asg.insert(Var(0), Value::int(4));
         assert_eq!(c.eval_ground(&asg, &NoDomains), Some(true));
@@ -482,8 +482,8 @@ mod tests {
     #[test]
     fn ground_eval_not() {
         // X <= 5 & not(X <= 5 & X = 6)  — example 5's replaced atom.
-        let inner = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-            .and(Constraint::eq(x(), Term::int(6)));
+        let inner =
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::eq(x(), Term::int(6)));
         let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
         let mut asg = FxHashMap::default();
         asg.insert(Var(0), Value::int(4));
@@ -509,10 +509,8 @@ mod tests {
 
     #[test]
     fn display_readable() {
-        let c = Constraint::eq(x(), Term::int(2)).and_lit(Lit::Not(Constraint::neq(
-            y(),
-            Term::str("don"),
-        )));
+        let c = Constraint::eq(x(), Term::int(2))
+            .and_lit(Lit::Not(Constraint::neq(y(), Term::str("don"))));
         assert_eq!(c.to_string(), "X0 = 2 & not(X1 != \"don\")");
         assert_eq!(Constraint::truth().to_string(), "true");
     }

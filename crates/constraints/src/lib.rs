@@ -35,7 +35,9 @@ pub mod valueset;
 
 pub use constraint::{Call, CmpOp, Constraint, DomainResolver, Lit, NoDomains};
 pub use simplify::{simplify, Simplified};
-pub use solver::{satisfiable, satisfiable_with, solutions, solutions_with, EnumResult, SolverConfig, Truth};
+pub use solver::{
+    satisfiable, satisfiable_with, solutions, solutions_with, EnumResult, SolverConfig, Truth,
+};
 pub use term::{Subst, Term, Var, VarGen};
 pub use value::{Record, Value};
 pub use valueset::{IntBound, ValueSet};

@@ -18,7 +18,11 @@ pub struct DnfOverflow {
 
 impl std::fmt::Display for DnfOverflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DNF expansion exceeded budget of {} disjuncts", self.budget)
+        write!(
+            f,
+            "DNF expansion exceeded budget of {} disjuncts",
+            self.budget
+        )
     }
 }
 
@@ -191,21 +195,23 @@ mod tests {
     #[test]
     fn single_not_expands_to_disjunction() {
         // X <= 5 & not(X <= 5 & X = 6)
-        let inner = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-            .and(Constraint::eq(x(), Term::int(6)));
+        let inner =
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::eq(x(), Term::int(6)));
         let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
         let d = dnf(&c).unwrap();
         assert_eq!(d.len(), 2);
         // Disjunct 1: X<=5 & X>5 ; disjunct 2: X<=5 & X!=6.
         assert_eq!(
             d[0],
-            Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-                .and(Constraint::cmp(x(), CmpOp::Gt, Term::int(5)))
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::cmp(
+                x(),
+                CmpOp::Gt,
+                Term::int(5)
+            ))
         );
         assert_eq!(
             d[1],
-            Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-                .and(Constraint::neq(x(), Term::int(6)))
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::neq(x(), Term::int(6)))
         );
     }
 

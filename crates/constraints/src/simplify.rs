@@ -63,7 +63,11 @@ fn lit_status(l: Lit) -> LitStatus {
                 return LitStatus::True;
             }
             if let Some((x, y)) = const_pair(a, b) {
-                return if x == y { LitStatus::True } else { LitStatus::False };
+                return if x == y {
+                    LitStatus::True
+                } else {
+                    LitStatus::False
+                };
             }
             LitStatus::Open(l)
         }
@@ -72,7 +76,11 @@ fn lit_status(l: Lit) -> LitStatus {
                 return LitStatus::False;
             }
             if let Some((x, y)) = const_pair(a, b) {
-                return if x != y { LitStatus::True } else { LitStatus::False };
+                return if x != y {
+                    LitStatus::True
+                } else {
+                    LitStatus::False
+                };
             }
             LitStatus::Open(l)
         }
@@ -160,7 +168,9 @@ fn simplify_in_context(c: &Constraint, context: &FxHashSet<Lit>) -> Simplified {
                         } else {
                             // Negating a Not produced a conjunction; keep
                             // as nested (recursively simplified) Not.
-                            Lit::Not(Constraint { lits: kept_to_vec(neg.lits) })
+                            Lit::Not(Constraint {
+                                lits: kept_to_vec(neg.lits),
+                            })
                         }
                     }
                     _ => {
@@ -210,8 +220,8 @@ mod tests {
     #[test]
     fn paper_example_5_simplification() {
         // X <= 5 & not(X <= 5 & X = 6)  ==>  X <= 5 & X != 6
-        let inner = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-            .and(Constraint::eq(x(), Term::int(6)));
+        let inner =
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::eq(x(), Term::int(6)));
         let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
         let s = simp(&c);
         assert_eq!(
@@ -239,8 +249,8 @@ mod tests {
     #[test]
     fn not_of_context_literal_is_unsat() {
         // X = 3 & not(X = 3): inner conjunct implied by context -> not(true).
-        let c = Constraint::eq(x(), Term::int(3))
-            .and_lit(Lit::Not(Constraint::eq(x(), Term::int(3))));
+        let c =
+            Constraint::eq(x(), Term::int(3)).and_lit(Lit::Not(Constraint::eq(x(), Term::int(3))));
         assert_eq!(simplify(&c), Simplified::Unsat);
     }
 
@@ -272,10 +282,7 @@ mod tests {
     #[test]
     fn field_projection_folds() {
         let rec = Value::record(vec![("k", Value::int(3))]);
-        let c = Constraint::eq(
-            Term::field(Term::Const(rec), "k"),
-            Term::int(3),
-        );
+        let c = Constraint::eq(Term::field(Term::Const(rec), "k"), Term::int(3));
         assert_eq!(simp(&c), Constraint::truth());
     }
 }

@@ -358,7 +358,12 @@ impl<'a> ConjSolver<'a> {
         Ok(if unresolved { None } else { Some(args) })
     }
 
-    fn apply_membership(&mut self, x: &Term, set: ValueSet, positive: bool) -> Result<(), Conflict> {
+    fn apply_membership(
+        &mut self,
+        x: &Term,
+        set: ValueSet,
+        positive: bool,
+    ) -> Result<(), Conflict> {
         match self.repr(x)? {
             Repr::Val(v) => {
                 if set.contains(&v) == positive {
@@ -405,7 +410,11 @@ impl<'a> ConjSolver<'a> {
             return Ok(());
         };
         let ld = self.data[loser].take().expect("loser data");
-        let winner_binding = self.data[winner].as_ref().expect("winner data").binding.clone();
+        let winner_binding = self.data[winner]
+            .as_ref()
+            .expect("winner data")
+            .binding
+            .clone();
 
         let mut deferred_bind: Option<Value> = None;
         match (&winner_binding, &ld.binding) {
@@ -535,9 +544,7 @@ impl<'a> ConjSolver<'a> {
                     }
                 }
                 _ => {
-                    if d.numeric
-                        || !matches!((d.lo, d.hi), (IntBound::Open, IntBound::Open))
-                    {
+                    if d.numeric || !matches!((d.lo, d.hi), (IntBound::Open, IntBound::Open)) {
                         return Err(Conflict);
                     }
                 }
@@ -575,7 +582,9 @@ impl<'a> ConjSolver<'a> {
         for res in residuals {
             match self.try_ground_call(&res.call)? {
                 Some(args) => {
-                    let set = self.resolver.resolve(&res.call.domain, &res.call.func, &args);
+                    let set = self
+                        .resolver
+                        .resolve(&res.call.domain, &res.call.func, &args);
                     self.apply_membership(&res.x, set, res.positive)?;
                     self.drain_ops()?;
                     changed = true;
@@ -608,10 +617,7 @@ impl<'a> ConjSolver<'a> {
             canon.push((ra, rb, strict));
         }
         // Tarjan over the set of roots involved.
-        let mut ids: Vec<NodeId> = canon
-            .iter()
-            .flat_map(|&(a, b, _)| [a, b])
-            .collect();
+        let mut ids: Vec<NodeId> = canon.iter().flat_map(|&(a, b, _)| [a, b]).collect();
         ids.sort_unstable();
         ids.dedup();
         let index_of: FxHashMap<NodeId, usize> =
@@ -705,8 +711,7 @@ impl<'a> ConjSolver<'a> {
             inc[ib].push((ia, strict));
             indeg[ib] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             topo.push(i);
@@ -774,16 +779,18 @@ impl<'a> ConjSolver<'a> {
             if d.binding.is_some() {
                 continue;
             }
-            if let Some(cands) = self.compute_candidates(r, 64)? { match cands.len() {
-                0 => return Err(Conflict),
-                1 => {
-                    let v = cands.into_iter().next().unwrap();
-                    self.ops.push_back(Op::Bind(r, v));
-                    self.drain_ops()?;
-                    changed = true;
+            if let Some(cands) = self.compute_candidates(r, 64)? {
+                match cands.len() {
+                    0 => return Err(Conflict),
+                    1 => {
+                        let v = cands.into_iter().next().unwrap();
+                        self.ops.push_back(Op::Bind(r, v));
+                        self.drain_ops()?;
+                        changed = true;
+                    }
+                    _ => {}
                 }
-                _ => {}
-            } }
+            }
         }
         Ok(changed)
     }
@@ -901,7 +908,6 @@ impl<'a> ConjSolver<'a> {
             None => Ok(Candidates::Infinite),
         }
     }
-
 }
 
 /// Whether value-set `a` is a superset of `b` (sound, not complete: only
@@ -1105,11 +1111,17 @@ mod tests {
 
     #[test]
     fn interval_conflict() {
-        let c = Constraint::cmp(x(), CmpOp::Le, Term::int(3))
-            .and(Constraint::cmp(x(), CmpOp::Gt, Term::int(3)));
+        let c = Constraint::cmp(x(), CmpOp::Le, Term::int(3)).and(Constraint::cmp(
+            x(),
+            CmpOp::Gt,
+            Term::int(3),
+        ));
         assert_eq!(solve(&c), Truth::Unsat);
-        let c2 = Constraint::cmp(x(), CmpOp::Le, Term::int(3))
-            .and(Constraint::cmp(x(), CmpOp::Ge, Term::int(3)));
+        let c2 = Constraint::cmp(x(), CmpOp::Le, Term::int(3)).and(Constraint::cmp(
+            x(),
+            CmpOp::Ge,
+            Term::int(3),
+        ));
         assert_eq!(solve(&c2), Truth::Sat);
     }
 
@@ -1159,8 +1171,11 @@ mod tests {
     fn diseq_pigeonhole() {
         // x,y,z in {1,2} pairwise distinct: unsat (pigeonhole).
         let two = |t: Term| {
-            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1))
-                .and(Constraint::cmp(t, CmpOp::Le, Term::int(2)))
+            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+                t,
+                CmpOp::Le,
+                Term::int(2),
+            ))
         };
         let c = two(x())
             .and(two(y()))
@@ -1171,8 +1186,11 @@ mod tests {
         assert_eq!(solve(&c), Truth::Unsat);
         // With three candidate values it becomes satisfiable.
         let three = |t: Term| {
-            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1))
-                .and(Constraint::cmp(t, CmpOp::Le, Term::int(3)))
+            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+                t,
+                CmpOp::Le,
+                Term::int(3),
+            ))
         };
         let c2 = three(x())
             .and(three(y()))
@@ -1320,15 +1338,15 @@ mod tests {
         // Regression (found by proptest): the bind happens before the
         // interval tightening, so the conflict must be caught when the
         // interval arrives, not only at bind time.
-        let c = Constraint::eq(Term::int(6), x())
-            .and(Constraint::cmp(Term::int(1), CmpOp::Gt, x()));
+        let c =
+            Constraint::eq(Term::int(6), x()).and(Constraint::cmp(Term::int(1), CmpOp::Gt, x()));
         assert_eq!(solve(&c), Truth::Unsat);
         // Same for exclusions arriving after the bind.
         let c2 = Constraint::eq(x(), Term::int(3)).and(Constraint::neq(x(), Term::int(3)));
         assert_eq!(solve(&c2), Truth::Unsat);
         // And for a non-integer binding meeting a later interval.
-        let c3 = Constraint::eq(x(), Term::str("s"))
-            .and(Constraint::cmp(x(), CmpOp::Le, Term::int(9)));
+        let c3 =
+            Constraint::eq(x(), Term::str("s")).and(Constraint::cmp(x(), CmpOp::Le, Term::int(9)));
         assert_eq!(solve(&c3), Truth::Unsat);
     }
 }

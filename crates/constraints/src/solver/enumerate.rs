@@ -149,9 +149,7 @@ fn eliminate_local_existentials(
                     {
                         Some(true)
                     }
-                    (Term::Var(v), Term::Var(w))
-                        if v != w && is_local(v) && is_local(w) =>
-                    {
+                    (Term::Var(v), Term::Var(w)) if v != w && is_local(v) && is_local(w) => {
                         Some(true)
                     }
                     _ => None,
@@ -184,7 +182,9 @@ fn eliminate_local_existentials(
                             call.args.iter().map(|t| t.as_const().cloned()).collect();
                         match (x.as_const(), args) {
                             (Some(v), Some(args)) => Some(
-                                !resolver.resolve(&call.domain, &call.func, &args).contains(v),
+                                !resolver
+                                    .resolve(&call.domain, &call.func, &args)
+                                    .contains(v),
                             ),
                             _ => None,
                         }
@@ -380,9 +380,10 @@ impl<'a> JoinSearch<'a> {
             let mut vs = Vec::new();
             lit.collect_vars(&mut vs);
             if vs.iter().all(|v| self.asg.contains_key(v))
-                && lit.eval_ground(&self.asg, self.resolver) != Some(true) {
-                    return false;
-                }
+                && lit.eval_ground(&self.asg, self.resolver) != Some(true)
+            {
+                return false;
+            }
         }
         true
     }
@@ -448,12 +449,19 @@ mod tests {
 
     #[test]
     fn bounded_interval_enumeration() {
-        let c = Constraint::cmp(x(), CmpOp::Ge, Term::int(1))
-            .and(Constraint::cmp(x(), CmpOp::Le, Term::int(3)));
+        let c = Constraint::cmp(x(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+            x(),
+            CmpOp::Le,
+            Term::int(3),
+        ));
         let r = solutions(&c, &[Var(0)], &NoDomains);
         assert_eq!(
             tuples(&r),
-            vec![vec![Value::int(1)], vec![Value::int(2)], vec![Value::int(3)]]
+            vec![
+                vec![Value::int(1)],
+                vec![Value::int(2)],
+                vec![Value::int(3)]
+            ]
         );
     }
 
@@ -498,7 +506,11 @@ mod tests {
         let r = solutions(&c, &[Var(0)], &NoDomains);
         assert_eq!(
             tuples(&r),
-            vec![vec![Value::int(1)], vec![Value::int(3)], vec![Value::int(4)]]
+            vec![
+                vec![Value::int(1)],
+                vec![Value::int(3)],
+                vec![Value::int(4)]
+            ]
         );
     }
 
@@ -552,8 +564,11 @@ mod tests {
             product_budget: 4,
             ..SolverConfig::default()
         };
-        let c = Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-            .and(Constraint::cmp(x(), CmpOp::Le, Term::int(100)));
+        let c = Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+            x(),
+            CmpOp::Le,
+            Term::int(100),
+        ));
         assert_eq!(
             solutions_with(&c, &[Var(0)], &NoDomains, &cfg),
             EnumResult::Overflow

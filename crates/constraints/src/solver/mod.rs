@@ -115,8 +115,8 @@ mod tests {
     #[test]
     fn not_literal_satisfiability() {
         // X <= 5 & not(X <= 5 & X = 6): satisfiable (e.g. X = 0).
-        let inner = Constraint::cmp(x(), CmpOp::Le, Term::int(5))
-            .and(Constraint::eq(x(), Term::int(6)));
+        let inner =
+            Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and(Constraint::eq(x(), Term::int(6)));
         let c = Constraint::cmp(x(), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
         assert_eq!(satisfiable(&c, &NoDomains), Truth::Sat);
     }
@@ -124,8 +124,8 @@ mod tests {
     #[test]
     fn contradictory_not_unsat() {
         // X = 3 & not(X = 3): unsatisfiable.
-        let c = Constraint::eq(x(), Term::int(3))
-            .and_lit(Lit::Not(Constraint::eq(x(), Term::int(3))));
+        let c =
+            Constraint::eq(x(), Term::int(3)).and_lit(Lit::Not(Constraint::eq(x(), Term::int(3))));
         assert_eq!(satisfiable(&c, &NoDomains), Truth::Unsat);
     }
 
@@ -133,7 +133,8 @@ mod tests {
     fn paper_example_6_deleted_constraint() {
         // X = c & Y = d & not(X = c & Y = d) is not solvable (Example 6).
         let y = Term::var(Var(1));
-        let inner = Constraint::eq(x(), Term::str("c")).and(Constraint::eq(y.clone(), Term::str("d")));
+        let inner =
+            Constraint::eq(x(), Term::str("c")).and(Constraint::eq(y.clone(), Term::str("d")));
         let c = Constraint::eq(x(), Term::str("c"))
             .and(Constraint::eq(y, Term::str("d")))
             .and_lit(Lit::Not(inner));

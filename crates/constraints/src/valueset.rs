@@ -140,9 +140,12 @@ impl ValueSet {
             (Finite(a), Finite(b)) => {
                 ValueSet::finite(a.intersection(b).cloned().collect::<Vec<_>>())
             }
-            (Finite(a), r @ IntRange(_, _)) | (r @ IntRange(_, _), Finite(a)) => {
-                ValueSet::finite(a.iter().filter(|v| r.contains(v)).cloned().collect::<Vec<_>>())
-            }
+            (Finite(a), r @ IntRange(_, _)) | (r @ IntRange(_, _), Finite(a)) => ValueSet::finite(
+                a.iter()
+                    .filter(|v| r.contains(v))
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            ),
             (IntRange(lo1, hi1), IntRange(lo2, hi2)) => {
                 let lo = lo1.min_with_lower(*lo2);
                 let hi = hi1.max_with_upper(*hi2);

@@ -24,10 +24,7 @@ fn var_term() -> impl Strategy<Value = Term> {
 }
 
 fn any_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        var_term(),
-        (LO..=HI).prop_map(Term::int),
-    ]
+    prop_oneof![var_term(), (LO..=HI).prop_map(Term::int),]
 }
 
 fn cmp_op() -> impl Strategy<Value = CmpOp> {
@@ -51,8 +48,8 @@ fn prim_lit() -> impl Strategy<Value = Lit> {
 /// A constraint: primitive literals plus bounding-box literals so the
 /// solution space is finite, with optional `not(·)` of small conjunctions.
 fn constraint() -> impl Strategy<Value = Constraint> {
-    let bounded_not = proptest::collection::vec(prim_lit(), 1..3)
-        .prop_map(|lits| Lit::Not(Constraint { lits }));
+    let bounded_not =
+        proptest::collection::vec(prim_lit(), 1..3).prop_map(|lits| Lit::Not(Constraint { lits }));
     let lit = prop_oneof![4 => prim_lit(), 1 => bounded_not];
     proptest::collection::vec(lit, 0..5).prop_map(|mut lits| {
         // Bound every variable to the box so enumeration is finite.
@@ -188,8 +185,11 @@ mod regressions {
         // φ = (0 <= X <= 5) ∧ not(∃Z: Z = X ∧ Z >= 3): instances {0,1,2}.
         let x = Term::var(Var(0));
         let z = Term::var(Var(9));
-        let region = Constraint::eq(z.clone(), x.clone())
-            .and(Constraint::cmp(z.clone(), CmpOp::Ge, Term::int(3)));
+        let region = Constraint::eq(z.clone(), x.clone()).and(Constraint::cmp(
+            z.clone(),
+            CmpOp::Ge,
+            Term::int(3),
+        ));
         let c = Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(0))
             .and(Constraint::cmp(x.clone(), CmpOp::Le, Term::int(5)))
             .and_lit(Lit::Not(region));
@@ -239,9 +239,7 @@ mod regressions {
                 match f {
                     "base" => mmv_constraints::ValueSet::finite([Value::int(1), Value::int(2)]),
                     "next" => match args[0] {
-                        Value::Int(k) => {
-                            mmv_constraints::ValueSet::singleton(Value::Int(k * 10))
-                        }
+                        Value::Int(k) => mmv_constraints::ValueSet::singleton(Value::Int(k * 10)),
                         _ => mmv_constraints::ValueSet::Empty,
                     },
                     _ => mmv_constraints::ValueSet::Empty,
@@ -250,8 +248,9 @@ mod regressions {
         }
         let p = Term::var(Var(0));
         let y = Term::var(Var(1));
-        let c = Constraint::member(p.clone(), Call::new("d", "base", vec![]))
-            .and(Constraint::member(y.clone(), Call::new("d", "next", vec![p.clone()])));
+        let c = Constraint::member(p.clone(), Call::new("d", "base", vec![])).and(
+            Constraint::member(y.clone(), Call::new("d", "next", vec![p.clone()])),
+        );
         let got = solutions(&c, &[Var(1)], &R);
         let tuples: Vec<i64> = got
             .exact()

@@ -88,11 +88,7 @@ impl ConstrainedAtom {
     pub fn rename_into(&self, map: &mut FxHashMap<Var, Var>, gen: &mut VarGen) -> Self {
         ConstrainedAtom {
             pred: self.pred.clone(),
-            args: self
-                .args
-                .iter()
-                .map(|t| t.rename_into(map, gen))
-                .collect(),
+            args: self.args.iter().map(|t| t.rename_into(map, gen)).collect(),
             constraint: self.constraint.rename_into(map, gen),
         }
     }
@@ -232,8 +228,11 @@ mod tests {
         let a = ConstrainedAtom::new(
             "a",
             vec![x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(1))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(3))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(3),
+            )),
         );
         let inst = a.instances(&NoDomains, &SolverConfig::default());
         let s = inst.exact().unwrap();
@@ -256,8 +255,11 @@ mod tests {
         let a = ConstrainedAtom::new(
             "p",
             vec![x(), x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(1))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(2))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(2),
+            )),
         );
         let inst = a.instances(&NoDomains, &SolverConfig::default());
         let s = inst.exact().unwrap();
@@ -296,7 +298,10 @@ mod tests {
         let cfg = SolverConfig::default();
         assert_eq!(a.covers(&[Value::int(3)], &NoDomains, &cfg), Some(true));
         assert_eq!(a.covers(&[Value::int(9)], &NoDomains, &cfg), Some(false));
-        assert_eq!(a.covers(&[Value::int(1), Value::int(2)], &NoDomains, &cfg), Some(false));
+        assert_eq!(
+            a.covers(&[Value::int(1), Value::int(2)], &NoDomains, &cfg),
+            Some(false)
+        );
     }
 
     #[test]

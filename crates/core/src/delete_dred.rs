@@ -58,9 +58,9 @@ pub enum DredError {
 impl fmt::Display for DredError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DredError::NeedsPlainView =>
-
-                write!(f, "Extended DRed requires a SupportMode::Plain view"),
+            DredError::NeedsPlainView => {
+                write!(f, "Extended DRed requires a SupportMode::Plain view")
+            }
             DredError::Budget(e) => write!(f, "{e}"),
         }
     }
@@ -166,15 +166,10 @@ pub fn dred_delete(
                             .collect();
                         let children: Vec<(&ConstrainedAtom, Support)> =
                             owned.iter().map(|a| (a, throwaway.clone())).collect();
-                        if let Some(derived) =
-                            derive(cid, clause, &children, view.var_gen_mut())
-                        {
+                        if let Some(derived) = derive(cid, clause, &children, view.var_gen_mut()) {
                             stats.solver_calls += 1;
-                            if satisfiable_with(
-                                &derived.atom.constraint,
-                                resolver,
-                                &config.solver,
-                            ) != Truth::Unsat
+                            if satisfiable_with(&derived.atom.constraint, resolver, &config.solver)
+                                != Truth::Unsat
                             {
                                 let canon = canonicalize(&derived.atom);
                                 if seen.insert(canon) {
@@ -210,7 +205,10 @@ pub fn dred_delete(
     // ---- Step 2: over-delete to M' ----------------------------------------
     let mut pout_by_pred: FxHashMap<Arc<str>, Vec<ConstrainedAtom>> = FxHashMap::default();
     for p in &pout {
-        pout_by_pred.entry(p.pred.clone()).or_default().push(p.clone());
+        pout_by_pred
+            .entry(p.pred.clone())
+            .or_default()
+            .push(p.clone());
     }
     let mut touched: Vec<EntryId> = Vec::new();
     for (pred, pouts) in &pout_by_pred {
@@ -311,7 +309,10 @@ pub fn dred_delete(
         for (id, e) in view.live_entries() {
             all.entry(e.atom.pred.clone()).or_default().push(id);
             if delta_set.contains(&id) {
-                delta_by_pred.entry(e.atom.pred.clone()).or_default().push(id);
+                delta_by_pred
+                    .entry(e.atom.pred.clone())
+                    .or_default()
+                    .push(id);
             } else {
                 old.entry(e.atom.pred.clone()).or_default().push(id);
             }
@@ -377,18 +378,17 @@ pub fn dred_delete(
                         }
                         if overlaps {
                             stats.solver_calls += 1;
-                            if satisfiable_with(
-                                &derived.atom.constraint,
-                                resolver,
-                                &config.solver,
-                            ) != Truth::Unsat
+                            if satisfiable_with(&derived.atom.constraint, resolver, &config.solver)
+                                != Truth::Unsat
                             {
                                 if let Some(id) = view.insert(derived.atom, None, vec![]) {
                                     next_ids.push(id);
                                     stats.rederived += 1;
                                     if view.len() > config.max_entries {
                                         return Err(DredError::Budget(
-                                            FixpointError::EntryBudget { entries: view.len() },
+                                            FixpointError::EntryBudget {
+                                                entries: view.len(),
+                                            },
                                         ));
                                     }
                                 }
@@ -470,14 +470,22 @@ mod tests {
     /// The Examples 4/5 database (>= reading; see delete_stdel.rs).
     fn example4_db() -> ConstrainedDatabase {
         ConstrainedDatabase::from_clauses(vec![
-            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(3))),
+            Clause::fact(
+                "A",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(3)),
+            ),
             Clause::new(
                 "A",
                 vec![x()],
                 Constraint::truth(),
                 vec![BodyAtom::new("B", vec![x()])],
             ),
-            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(5))),
+            Clause::fact(
+                "B",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(5)),
+            ),
             Clause::new(
                 "C",
                 vec![x()],
@@ -506,8 +514,7 @@ mod tests {
         // the rederived A.
         let db = example4_db();
         let mut view = build_plain(&db);
-        let deletion =
-            ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(6)));
+        let deletion = ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(6)));
         let stats = dred_delete(
             &db,
             &mut view,
@@ -578,8 +585,7 @@ mod tests {
             ),
         ]);
         let mut view = build_plain(&db);
-        let deletion =
-            ConstrainedAtom::fact("edge", vec![Value::str("s"), Value::str("l")]);
+        let deletion = ConstrainedAtom::fact("edge", vec![Value::str("s"), Value::str("l")]);
         dred_delete(
             &db,
             &mut view,
@@ -621,8 +627,11 @@ mod tests {
             Clause::fact(
                 "B",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(8))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(8),
+                )),
             ),
             Clause::new(
                 "A",
@@ -633,8 +642,11 @@ mod tests {
             Clause::fact(
                 "A",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(5))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(10))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(5)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(10),
+                )),
             ),
         ]);
         let mut view = build_plain(&db);
@@ -714,8 +726,7 @@ mod tests {
             .live_entries()
             .map(|(_, e)| canonicalize(&e.atom).to_string())
             .collect();
-        let deletion =
-            ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(2)));
+        let deletion = ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(2)));
         let stats = dred_delete(
             &db,
             &mut view,

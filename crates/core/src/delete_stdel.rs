@@ -16,9 +16,7 @@ use crate::atom::ConstrainedAtom;
 use crate::support::Support;
 use crate::view::{EntryId, MaterializedView, SupportMode};
 use mmv_constraints::fxhash::FxHashMap;
-use mmv_constraints::{
-    satisfiable_with, Constraint, DomainResolver, Lit, SolverConfig, Truth,
-};
+use mmv_constraints::{satisfiable_with, Constraint, DomainResolver, Lit, SolverConfig, Truth};
 use std::fmt;
 
 /// Statistics of one StDel run.
@@ -47,7 +45,10 @@ impl fmt::Display for StDelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StDelError::NeedsSupports => {
-                write!(f, "StDel requires a view built with SupportMode::WithSupports")
+                write!(
+                    f,
+                    "StDel requires a view built with SupportMode::WithSupports"
+                )
             }
         }
     }
@@ -121,7 +122,9 @@ pub fn stdel_delete(
         let support = entry.support.clone().expect("WithSupports");
         let children: Vec<Support> = support.children().to_vec();
         for (j, child) in children.iter().enumerate() {
-            let Some(pairs) = pout.get(child) else { continue };
+            let Some(pairs) = pout.get(child) else {
+                continue;
+            };
             let pairs = pairs.clone();
             for pair in pairs {
                 let entry = view.entry(id);
@@ -146,11 +149,13 @@ pub fn stdel_delete(
                 view.replace_constraint(id, simplify_keep(new_constraint));
                 stats.propagated_replacements += 1;
                 // Emit (removed region of F, spt(F)).
-                pout.entry(support.clone()).or_default().push(ConstrainedAtom {
-                    pred: atom.pred.clone(),
-                    args: atom.args.clone(),
-                    constraint: region,
-                });
+                pout.entry(support.clone())
+                    .or_default()
+                    .push(ConstrainedAtom {
+                        pred: atom.pred.clone(),
+                        args: atom.args.clone(),
+                        constraint: region,
+                    });
                 stats.pout_pairs += 1;
             }
         }
@@ -177,9 +182,7 @@ pub fn stdel_delete(
 fn simplify_keep(c: Constraint) -> Constraint {
     match mmv_constraints::simplify(&c) {
         mmv_constraints::Simplified::Constraint(s) => s,
-        mmv_constraints::Simplified::Unsat => {
-            Constraint::lit(Lit::Not(Constraint::truth()))
-        }
+        mmv_constraints::Simplified::Unsat => Constraint::lit(Lit::Not(Constraint::truth())),
     }
 }
 
@@ -200,14 +203,22 @@ mod tests {
     /// is the one consistent with both examples' walk-throughs).
     fn example5_db() -> ConstrainedDatabase {
         ConstrainedDatabase::from_clauses(vec![
-            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(3))),
+            Clause::fact(
+                "A",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(3)),
+            ),
             Clause::new(
                 "A",
                 vec![x()],
                 Constraint::truth(),
                 vec![BodyAtom::new("B", vec![x()])],
             ),
-            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(5))),
+            Clause::fact(
+                "B",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(5)),
+            ),
             Clause::new(
                 "C",
                 vec![x()],
@@ -243,13 +254,9 @@ mod tests {
         // Delete B(X) <- X = 6 from Example 5's view.
         let db = example5_db();
         let mut view = build(&db);
-        let deletion = ConstrainedAtom::new(
-            "B",
-            vec![x()],
-            Constraint::eq(x(), Term::int(6)),
-        );
-        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
-            .unwrap();
+        let deletion = ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(6)));
+        let stats =
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()).unwrap();
         // Exactly as the paper walks it: B(X)<-X<=5 replaced (step 2);
         // A(X)<-X<=5 replaced (support <1,<2>> contains <2>);
         // C(X)<-X<=5 replaced (support <3,<1,<2>>>).
@@ -310,8 +317,8 @@ mod tests {
             vec![xv.clone(), yv.clone()],
             Constraint::eq(xv.clone(), Term::str("c")).and(Constraint::eq(yv, Term::str("d"))),
         );
-        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
-            .unwrap();
+        let stats =
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()).unwrap();
         // P(c,d), A(c,d) and the recursive A(a,d) all die.
         assert_eq!(stats.removed, 3);
         assert_eq!(view.len(), 4);
@@ -349,12 +356,10 @@ mod tests {
         ]);
         let mut view = build(&db);
         assert_eq!(view.len(), 4);
-        let deletion = ConstrainedAtom::fact(
-            "seenwith",
-            vec![Value::str("don"), Value::str("john")],
-        );
-        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
-            .unwrap();
+        let deletion =
+            ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("john")]);
+        let stats =
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()).unwrap();
         // seenwith(don, john) and swlndc(don, john) are deleted — the
         // two-atom P_OUT of Example 3.
         assert_eq!(stats.removed, 2);
@@ -362,9 +367,7 @@ mod tests {
             .instances(&NoDomains, &SolverConfig::default())
             .unwrap();
         assert_eq!(inst.len(), 2);
-        assert!(inst
-            .iter()
-            .all(|(_, t)| t[1] == Value::str("ed")));
+        assert!(inst.iter().all(|(_, t)| t[1] == Value::str("ed")));
     }
 
     #[test]
@@ -377,8 +380,8 @@ mod tests {
             vec![x()],
             Constraint::eq(x(), Term::int(2)), // outside X >= 5
         );
-        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
-            .unwrap();
+        let stats =
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()).unwrap();
         assert_eq!(stats.direct_replacements, 0);
         assert_eq!(rendered(&view), before);
     }
@@ -388,8 +391,8 @@ mod tests {
         let db = example5_db();
         let mut view = build(&db);
         let deletion = ConstrainedAtom::fact("zzz", vec![Value::int(1)]);
-        let stats = stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default())
-            .unwrap();
+        let stats =
+            stdel_delete(&mut view, &deletion, &NoDomains, &SolverConfig::default()).unwrap();
         assert_eq!(stats.pout_pairs, 0);
     }
 
@@ -418,11 +421,7 @@ mod tests {
         let mut view = build(&db);
         let cfg = SolverConfig::default();
         for k in [6, 7, 8] {
-            let deletion = ConstrainedAtom::new(
-                "B",
-                vec![x()],
-                Constraint::eq(x(), Term::int(k)),
-            );
+            let deletion = ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(k)));
             stdel_delete(&mut view, &deletion, &NoDomains, &cfg).unwrap();
         }
         // B is now X >= 5 minus {6, 7, 8}.

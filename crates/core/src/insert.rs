@@ -143,9 +143,15 @@ mod tests {
     }
 
     fn build(db: &ConstrainedDatabase, mode: SupportMode) -> MaterializedView {
-        fixpoint(db, &NoDomains, Operator::Tp, mode, &FixpointConfig::default())
-            .unwrap()
-            .0
+        fixpoint(
+            db,
+            &NoDomains,
+            Operator::Tp,
+            mode,
+            &FixpointConfig::default(),
+        )
+        .unwrap()
+        .0
     }
 
     #[test]
@@ -155,10 +161,7 @@ mod tests {
         let db = law_db();
         let mut view = build(&db, SupportMode::WithSupports);
         assert_eq!(view.len(), 3);
-        let ins = ConstrainedAtom::fact(
-            "seenwith",
-            vec![Value::str("don"), Value::str("jane")],
-        );
+        let ins = ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("jane")]);
         let stats = insert_atom(
             &db,
             &mut view,
@@ -184,8 +187,7 @@ mod tests {
     fn duplicate_insertion_is_noop() {
         let db = law_db();
         let mut view = build(&db, SupportMode::WithSupports);
-        let ins =
-            ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("ed")]);
+        let ins = ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("ed")]);
         let stats = insert_atom(
             &db,
             &mut view,
@@ -206,15 +208,21 @@ mod tests {
         let db = ConstrainedDatabase::from_clauses(vec![Clause::fact(
             "B",
             vec![x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(5),
+            )),
         )]);
         let mut view = build(&db, SupportMode::WithSupports);
         let ins = ConstrainedAtom::new(
             "B",
             vec![x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(3))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(8))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(3)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(8),
+            )),
         );
         insert_atom(
             &db,
@@ -260,10 +268,7 @@ mod tests {
         // instance-level reading).
         let db = law_db();
         let mut view = build(&db, SupportMode::Plain);
-        let ins = ConstrainedAtom::fact(
-            "seenwith",
-            vec![Value::str("don"), Value::str("jane")],
-        );
+        let ins = ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("jane")]);
         insert_atom(
             &db,
             &mut view,
@@ -300,10 +305,7 @@ mod tests {
         // Supports issued for insertions keep StDel functional.
         let db = law_db();
         let mut view = build(&db, SupportMode::WithSupports);
-        let ins = ConstrainedAtom::fact(
-            "seenwith",
-            vec![Value::str("don"), Value::str("jane")],
-        );
+        let ins = ConstrainedAtom::fact("seenwith", vec![Value::str("don"), Value::str("jane")]);
         insert_atom(
             &db,
             &mut view,

@@ -50,7 +50,10 @@ impl VarClasses {
         if ra == rb {
             return Ok(());
         }
-        match (self.binding.get(&ra).cloned(), self.binding.get(&rb).cloned()) {
+        match (
+            self.binding.get(&ra).cloned(),
+            self.binding.get(&rb).cloned(),
+        ) {
             (Some(x), Some(y)) if x != y => return Err(SyntacticallyFalse),
             (None, Some(y)) => {
                 self.binding.insert(ra, y);
@@ -88,10 +91,9 @@ pub fn equality_subst(
                 (Term::Var(x), Term::Const(v)) | (Term::Const(v), Term::Var(x)) => {
                     classes.bind(*x, v.clone())?
                 }
-                (Term::Const(u), Term::Const(v))
-                    if u != v => {
-                        return Err(SyntacticallyFalse);
-                    }
+                (Term::Const(u), Term::Const(v)) if u != v => {
+                    return Err(SyntacticallyFalse);
+                }
                 // Field terms are left to the full solver.
                 _ => {}
             }
@@ -206,8 +208,7 @@ mod tests {
     fn substitution_reaches_inside_not() {
         // X0 = 6 & not(X1 = X0) with X1 = X0 at top level... instead:
         // X0 = X1 & not(X1 = 6) ==> not(X0 = 6) ==> X0 != 6.
-        let c = Constraint::eq(t(0), t(1))
-            .and_lit(Lit::Not(Constraint::eq(t(1), Term::int(6))));
+        let c = Constraint::eq(t(0), t(1)).and_lit(Lit::Not(Constraint::eq(t(1), Term::int(6))));
         let (_, out) = normalize(&c, &[v(0)]).unwrap();
         assert_eq!(out, Constraint::neq(t(0), Term::int(6)));
     }
@@ -225,14 +226,13 @@ mod tests {
     fn example5_replacement_normalizes() {
         // From the paper's Example 5: X <= 5 & not(X <= 5 & X = 6)
         // normalizes to X <= 5 & X != 6.
-        let inner = Constraint::cmp(t(0), CmpOp::Le, Term::int(5))
-            .and(Constraint::eq(t(0), Term::int(6)));
+        let inner =
+            Constraint::cmp(t(0), CmpOp::Le, Term::int(5)).and(Constraint::eq(t(0), Term::int(6)));
         let c = Constraint::cmp(t(0), CmpOp::Le, Term::int(5)).and_lit(Lit::Not(inner));
         let (_, out) = normalize(&c, &[v(0)]).unwrap();
         assert_eq!(
             out,
-            Constraint::cmp(t(0), CmpOp::Le, Term::int(5))
-                .and(Constraint::neq(t(0), Term::int(6)))
+            Constraint::cmp(t(0), CmpOp::Le, Term::int(5)).and(Constraint::neq(t(0), Term::int(6)))
         );
     }
 }

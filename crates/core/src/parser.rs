@@ -41,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -57,16 +61,16 @@ enum Tok {
     RParen,
     Comma,
     Dot,
-    Arrow,     // <-
-    Parallel,  // ||
-    Amp,       // &
-    Colon,     // :
-    Eq,        // =
-    Neq,       // !=
-    Le,        // <=
-    Ge,        // >=
-    Lt,        // <
-    Gt,        // >
+    Arrow,    // <-
+    Parallel, // ||
+    Amp,      // &
+    Colon,    // :
+    Eq,       // =
+    Neq,      // !=
+    Le,       // <=
+    Ge,       // >=
+    Lt,       // <
+    Gt,       // >
     End,
 }
 
@@ -301,9 +305,7 @@ impl<'a> Lexer<'a> {
                     Tok::Ident(s)
                 }
             }
-            other => {
-                return Err(self.error(format!("unexpected character {:?}", other as char)))
-            }
+            other => return Err(self.error(format!("unexpected character {:?}", other as char))),
         };
         Ok((tok, line, col))
     }
@@ -666,8 +668,10 @@ mod tests {
         assert_eq!(c.constraint.lits.len(), 2);
         assert!(matches!(&c.constraint.lits[0], Lit::In(_, call)
             if call.domain.as_ref() == "paradox" && call.func.as_ref() == "select_eq"));
-        assert!(matches!(&c.constraint.lits[1], Lit::Eq(Term::Field(_, f), _)
-            if f.as_ref() == "city"));
+        assert!(
+            matches!(&c.constraint.lits[1], Lit::Eq(Term::Field(_, f), _)
+            if f.as_ref() == "city")
+        );
     }
 
     #[test]
@@ -721,7 +725,10 @@ mod tests {
     fn error_positions_reported() {
         let err = parse_program("p(X) <- X >= .").unwrap_err();
         assert_eq!(err.line, 1);
-        assert!(err.message.contains("term") || err.message.contains("'.'"), "{err}");
+        assert!(
+            err.message.contains("term") || err.message.contains("'.'"),
+            "{err}"
+        );
         let err2 = parse_program("p(X)").unwrap_err();
         assert!(err2.message.contains("'.'"), "{err2}");
     }

@@ -117,7 +117,11 @@ impl Clause {
                 .iter()
                 .map(|a| BodyAtom {
                     pred: a.pred.clone(),
-                    args: a.args.iter().map(|t| t.rename_into(&mut map, gen)).collect(),
+                    args: a
+                        .args
+                        .iter()
+                        .map(|t| t.rename_into(&mut map, gen))
+                        .collect(),
                 })
                 .collect(),
         }
@@ -241,23 +245,24 @@ impl ConstrainedDatabase {
     pub fn validate(&self) -> Vec<ValidationIssue> {
         let mut issues = Vec::new();
         let mut arity: FxHashMap<Arc<str>, (usize, ClauseId)> = FxHashMap::default();
-        let mut check = |pred: &Arc<str>, len: usize, cid: ClauseId, issues: &mut Vec<ValidationIssue>| {
-            match arity.get(pred) {
-                Some(&(expected, first)) if expected != len => {
-                    issues.push(ValidationIssue::ArityMismatch {
-                        pred: pred.clone(),
-                        expected,
-                        first_seen_in: first,
-                        got: len,
-                        clause: cid,
-                    });
+        let mut check =
+            |pred: &Arc<str>, len: usize, cid: ClauseId, issues: &mut Vec<ValidationIssue>| {
+                match arity.get(pred) {
+                    Some(&(expected, first)) if expected != len => {
+                        issues.push(ValidationIssue::ArityMismatch {
+                            pred: pred.clone(),
+                            expected,
+                            first_seen_in: first,
+                            got: len,
+                            clause: cid,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        arity.insert(pred.clone(), (len, cid));
+                    }
                 }
-                Some(_) => {}
-                None => {
-                    arity.insert(pred.clone(), (len, cid));
-                }
-            }
-        };
+            };
         for (cid, clause) in self.clauses() {
             check(&clause.head_pred, clause.head_args.len(), cid, &mut issues);
             for b in &clause.body {
@@ -347,14 +352,22 @@ mod tests {
     /// The constrained database of the paper's Example 5.
     pub(crate) fn example5() -> ConstrainedDatabase {
         ConstrainedDatabase::from_clauses(vec![
-            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(3))),
+            Clause::fact(
+                "A",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Le, Term::int(3)),
+            ),
             Clause::new(
                 "A",
                 vec![x()],
                 Constraint::truth(),
                 vec![BodyAtom::new("B", vec![x()])],
             ),
-            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+            Clause::fact(
+                "B",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Le, Term::int(5)),
+            ),
             Clause::new(
                 "C",
                 vec![x()],
@@ -415,9 +428,9 @@ mod tests {
             Constraint::truth(),
         ));
         let issues = db.validate();
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::ArityMismatch { pred, .. } if pred.as_ref() == "A")));
+        assert!(issues.iter().any(
+            |i| matches!(i, ValidationIssue::ArityMismatch { pred, .. } if pred.as_ref() == "A")
+        ));
     }
 
     #[test]

@@ -118,8 +118,13 @@ pub fn insertion_oracle(
         insertion.args.clone(),
         insertion.constraint.clone(),
     ));
-    let (oracle_view, _) =
-        fixpoint(&extended, resolver, Operator::Tp, SupportMode::Plain, config)?;
+    let (oracle_view, _) = fixpoint(
+        &extended,
+        resolver,
+        Operator::Tp,
+        SupportMode::Plain,
+        config,
+    )?;
     Ok(oracle_view.instances(resolver, &config.solver)?)
 }
 
@@ -151,8 +156,11 @@ mod tests {
             Clause::fact(
                 "B",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(9))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(9),
+                )),
             ),
             Clause::new(
                 "A",
@@ -163,8 +171,11 @@ mod tests {
             Clause::fact(
                 "A",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(7))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(12))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(7)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(12),
+                )),
             ),
             Clause::new(
                 "C",
@@ -189,8 +200,11 @@ mod tests {
         let deletion = ConstrainedAtom::new(
             "B",
             vec![x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(4))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(8))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(4)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(8),
+            )),
         );
         let cfg = FixpointConfig::default();
         let expected = deletion_oracle(&db, &view, &deletion, &NoDomains, &cfg).unwrap();
@@ -209,11 +223,7 @@ mod tests {
             &FixpointConfig::default(),
         )
         .unwrap();
-        let deletion = ConstrainedAtom::new(
-            "B",
-            vec![x()],
-            Constraint::eq(x(), Term::int(8)),
-        );
+        let deletion = ConstrainedAtom::new("B", vec![x()], Constraint::eq(x(), Term::int(8)));
         let cfg = FixpointConfig::default();
         let expected = deletion_oracle(&db, &view, &deletion, &NoDomains, &cfg).unwrap();
         crate::delete_dred::dred_delete(&db, &mut view, &deletion, &NoDomains, &cfg).unwrap();
@@ -234,20 +244,16 @@ mod tests {
         let insertion = ConstrainedAtom::new(
             "B",
             vec![x()],
-            Constraint::cmp(x(), CmpOp::Ge, Term::int(20))
-                .and(Constraint::cmp(x(), CmpOp::Le, Term::int(22))),
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(20)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(22),
+            )),
         );
         let cfg = FixpointConfig::default();
         let expected = insertion_oracle(&db, &insertion, &NoDomains, &cfg).unwrap();
-        crate::insert::insert_atom(
-            &db,
-            &mut view,
-            &insertion,
-            &NoDomains,
-            Operator::Tp,
-            &cfg,
-        )
-        .unwrap();
+        crate::insert::insert_atom(&db, &mut view, &insertion, &NoDomains, Operator::Tp, &cfg)
+            .unwrap();
         assert_eq!(view.instances(&NoDomains, &cfg.solver).unwrap(), expected);
     }
 
@@ -267,8 +273,11 @@ mod tests {
             let deletion = ConstrainedAtom::new(
                 pred,
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(-100))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(100))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(-100)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(100),
+                )),
             );
             stdel_delete(&mut view, &deletion, &NoDomains, &cfg.solver).unwrap();
         }

@@ -77,7 +77,10 @@ impl fmt::Display for FixpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FixpointError::IterationBudget { iterations } => {
-                write!(f, "fixpoint iteration budget exhausted after {iterations} rounds")
+                write!(
+                    f,
+                    "fixpoint iteration budget exhausted after {iterations} rounds"
+                )
             }
             FixpointError::EntryBudget { entries } => {
                 write!(f, "fixpoint entry budget exhausted at {entries} entries")
@@ -241,7 +244,10 @@ pub(crate) fn propagate(
         for (id, e) in view.live_entries() {
             all.entry(e.atom.pred.clone()).or_default().push(id);
             if delta_set.contains(&id) {
-                delta_by_pred.entry(e.atom.pred.clone()).or_default().push(id);
+                delta_by_pred
+                    .entry(e.atom.pred.clone())
+                    .or_default()
+                    .push(id);
             } else {
                 old.entry(e.atom.pred.clone()).or_default().push(id);
             }
@@ -255,9 +261,7 @@ pub(crate) fn propagate(
                 continue;
             }
             for dpos in 0..n {
-                let dlist = delta_by_pred
-                    .get(&clause.body[dpos].pred)
-                    .unwrap_or(&empty);
+                let dlist = delta_by_pred.get(&clause.body[dpos].pred).unwrap_or(&empty);
                 if dlist.is_empty() {
                     continue;
                 }
@@ -392,14 +396,22 @@ mod tests {
     /// 4. `C(X) <- A(X)`
     fn example5_db() -> ConstrainedDatabase {
         ConstrainedDatabase::from_clauses(vec![
-            Clause::fact("A", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(3))),
+            Clause::fact(
+                "A",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Le, Term::int(3)),
+            ),
             Clause::new(
                 "A",
                 vec![x()],
                 Constraint::truth(),
                 vec![BodyAtom::new("B", vec![x()])],
             ),
-            Clause::fact("B", vec![x()], Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+            Clause::fact(
+                "B",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Le, Term::int(5)),
+            ),
             Clause::new(
                 "C",
                 vec![x()],
@@ -521,7 +533,10 @@ mod tests {
             .live_entries()
             .find(|(_, e)| e.support.as_ref().is_some_and(|s| s.height() == 2))
             .expect("recursive entry");
-        assert_eq!(deep.1.support.as_ref().unwrap().to_string(), "<4, <1>, <3, <2>>>");
+        assert_eq!(
+            deep.1.support.as_ref().unwrap().to_string(),
+            "<4, <1>, <3, <2>>>"
+        );
     }
 
     #[test]
@@ -560,8 +575,11 @@ mod tests {
             Clause::fact(
                 "A",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(3))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(3),
+                )),
             ),
             Clause::new(
                 "A",
@@ -572,8 +590,11 @@ mod tests {
             Clause::fact(
                 "B",
                 vec![x()],
-                Constraint::cmp(x(), CmpOp::Ge, Term::int(0))
-                    .and(Constraint::cmp(x(), CmpOp::Le, Term::int(5))),
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(5),
+                )),
             ),
             Clause::new(
                 "C",
@@ -588,10 +609,15 @@ mod tests {
     fn plain_mode_produces_same_instances() {
         let db = bounded_example5_db();
         let cfg = FixpointConfig::default();
-        let (with, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
-        let (plain, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
+        let (with, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .unwrap();
+        let (plain, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).unwrap();
         let scfg = SolverConfig::default();
         assert_eq!(
             with.instances(&NoDomains, &scfg).unwrap(),
@@ -610,7 +636,11 @@ mod tests {
         // close it because the constraint grows.
         let y = Term::var(Var(1));
         let db = ConstrainedDatabase::from_clauses(vec![
-            Clause::fact("N", vec![x()], Constraint::cmp(x(), CmpOp::Ge, Term::int(0))),
+            Clause::fact(
+                "N",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)),
+            ),
             Clause::new(
                 "N",
                 vec![x()],
@@ -622,8 +652,14 @@ mod tests {
             max_iterations: 16,
             ..FixpointConfig::default()
         };
-        let err = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-            .unwrap_err();
+        let err = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .unwrap_err();
         assert!(matches!(err, FixpointError::IterationBudget { .. }));
     }
 
@@ -631,8 +667,14 @@ mod tests {
     fn seeded_fixpoint_is_inflationary() {
         let db = example5_db();
         let cfg = FixpointConfig::default();
-        let (mut seed, _) =
-            fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg).unwrap();
+        let (mut seed, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .unwrap();
         // Inject an extra fact entry, then re-run: everything survives.
         let extra = ConstrainedAtom::new(
             "A",

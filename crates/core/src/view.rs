@@ -170,10 +170,7 @@ impl MaterializedView {
         children_args: Vec<Vec<Term>>,
     ) -> EntryId {
         let id = self.entries.len();
-        self.by_pred
-            .entry(atom.pred.clone())
-            .or_default()
-            .push(id);
+        self.by_pred.entry(atom.pred.clone()).or_default().push(id);
         self.entries.push(Entry {
             atom,
             support,
@@ -191,10 +188,7 @@ impl MaterializedView {
 
     /// Iterates live entries.
     pub fn live_entries(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.alive)
+        self.entries.iter().enumerate().filter(|(_, e)| e.alive)
     }
 
     /// Ids of live entries for a predicate.
@@ -317,11 +311,23 @@ impl MaterializedView {
     pub fn syntactically_equal(&self, other: &MaterializedView) -> bool {
         let mut a: Vec<String> = self
             .live_entries()
-            .map(|(_, e)| format!("{} @ {:?}", e.atom, e.support.as_ref().map(|s| s.to_string())))
+            .map(|(_, e)| {
+                format!(
+                    "{} @ {:?}",
+                    e.atom,
+                    e.support.as_ref().map(|s| s.to_string())
+                )
+            })
             .collect();
         let mut b: Vec<String> = other
             .live_entries()
-            .map(|(_, e)| format!("{} @ {:?}", e.atom, e.support.as_ref().map(|s| s.to_string())))
+            .map(|(_, e)| {
+                format!(
+                    "{} @ {:?}",
+                    e.atom,
+                    e.support.as_ref().map(|s| s.to_string())
+                )
+            })
             .collect();
         a.sort();
         b.sort();
@@ -382,8 +388,11 @@ mod tests {
         ConstrainedAtom::new(
             pred,
             vec![t.clone()],
-            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1))
-                .and(Constraint::cmp(t, CmpOp::Le, Term::int(hi))),
+            Constraint::cmp(t.clone(), CmpOp::Ge, Term::int(1)).and(Constraint::cmp(
+                t,
+                CmpOp::Le,
+                Term::int(hi),
+            )),
         )
     }
 
@@ -403,9 +412,13 @@ mod tests {
         let mut v = MaterializedView::new(SupportMode::WithSupports, VarGen::starting_at(100));
         let s1 = Support::leaf(Producer::Clause(ClauseId(1)));
         let s2 = Support::leaf(Producer::Clause(ClauseId(2)));
-        assert!(v.insert(atom("p", 1, 3), Some(s1.clone()), vec![]).is_some());
+        assert!(v
+            .insert(atom("p", 1, 3), Some(s1.clone()), vec![])
+            .is_some());
         // Same support: rejected even with a different constraint.
-        assert!(v.insert(atom("p", 1, 4), Some(s1.clone()), vec![]).is_none());
+        assert!(v
+            .insert(atom("p", 1, 4), Some(s1.clone()), vec![])
+            .is_none());
         // Same atom, different support: duplicate semantics keeps both.
         assert!(v.insert(atom("p", 1, 3), Some(s2), vec![]).is_some());
         assert_eq!(v.len(), 2);
@@ -426,11 +439,21 @@ mod tests {
         let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
         v.insert(atom("p", 1, 5), None, vec![]);
         let hits = v
-            .query("p", &[Some(Value::int(3))], &NoDomains, &SolverConfig::default())
+            .query(
+                "p",
+                &[Some(Value::int(3))],
+                &NoDomains,
+                &SolverConfig::default(),
+            )
             .unwrap();
         assert_eq!(hits.len(), 1);
         let misses = v
-            .query("p", &[Some(Value::int(9))], &NoDomains, &SolverConfig::default())
+            .query(
+                "p",
+                &[Some(Value::int(9))],
+                &NoDomains,
+                &SolverConfig::default(),
+            )
             .unwrap();
         assert!(misses.is_empty());
         let all = v

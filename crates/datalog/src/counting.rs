@@ -76,8 +76,7 @@ impl CountingEngine {
                         let mut product: i64 = 1;
                         for atom in &rule.body {
                             let t = instantiate(atom, b).expect("full bindings");
-                            product =
-                                product.saturating_mul(lookup(counts, &atom.pred, &t));
+                            product = product.saturating_mul(lookup(counts, &atom.pred, &t));
                         }
                         if let Some(head) = instantiate(&rule.head, b) {
                             *new_counts.entry(head).or_insert(0) += product;
@@ -227,9 +226,10 @@ impl CountingEngine {
                 }
                 self.apply_deltas(pred, &head_delta);
                 // Extend the delta database for downstream strata.
-                delta.entry(pred.clone()).or_default().extend(
-                    head_delta.iter().map(|(t, c)| (t.clone(), *c)),
-                );
+                delta
+                    .entry(pred.clone())
+                    .or_default()
+                    .extend(head_delta.iter().map(|(t, c)| (t.clone(), *c)));
                 for tuple in head_delta.keys() {
                     delta_db.insert(&Fact {
                         pred: pred.clone(),
@@ -332,7 +332,13 @@ mod tests {
     fn insertion_increments() {
         let p = two_hop(&[(1, 2), (2, 4)]);
         let mut eng = CountingEngine::new(p.clone()).unwrap();
-        eng.update(&[], &[Fact::new("e", vec![v(1), v(3)]), Fact::new("e", vec![v(3), v(4)])]);
+        eng.update(
+            &[],
+            &[
+                Fact::new("e", vec![v(1), v(3)]),
+                Fact::new("e", vec![v(3), v(4)]),
+            ],
+        );
         assert_eq!(eng.count(&Fact::new("p2", vec![v(1), v(4)])), 2);
         let mut p2 = p;
         p2.edb.push(Fact::new("e", vec![v(1), v(3)]));
@@ -399,7 +405,10 @@ mod tests {
         let p = two_hop(&[(1, 2), (2, 4)]);
         let mut eng = CountingEngine::new(p).unwrap();
         let before = eng.database().sorted_facts();
-        eng.update(&[Fact::new("e", vec![v(8), v(9)])], &[Fact::new("e", vec![v(1), v(2)])]);
+        eng.update(
+            &[Fact::new("e", vec![v(8), v(9)])],
+            &[Fact::new("e", vec![v(1), v(2)])],
+        );
         assert_eq!(eng.database().sorted_facts(), before);
     }
 }

@@ -91,8 +91,7 @@ impl Relation {
         let mut best: Option<(usize, &Vec<usize>)> = None;
         for (col, p) in pattern.iter().enumerate() {
             if let Some(v) = p {
-                let slots: Option<&Vec<usize>> =
-                    self.indexes.get(col).and_then(|ix| ix.get(v));
+                let slots: Option<&Vec<usize>> = self.indexes.get(col).and_then(|ix| ix.get(v));
                 match slots {
                     None => return Vec::new(), // value never seen in col
                     Some(s) => {

@@ -102,8 +102,11 @@ pub fn apply_update(
             if overestimate.relation(&rule.head.pred).is_none() {
                 continue;
             }
-            let sources: Vec<&dyn TupleSource> =
-                rule.body.iter().map(|_| &view as &dyn TupleSource).collect();
+            let sources: Vec<&dyn TupleSource> = rule
+                .body
+                .iter()
+                .map(|_| &view as &dyn TupleSource)
+                .collect();
             join(&rule.body, &sources, &mut |b| {
                 if let Some(args) = instantiate(&rule.head, b) {
                     let fact = Fact {

@@ -227,7 +227,10 @@ mod tests {
     fn transitive_closure_on_a_chain() {
         let db = evaluate(&tc_program(&[(1, 2), (2, 3), (3, 4)]));
         for (a, b) in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)] {
-            assert!(db.contains(&Fact::new("tc", vec![v(a), v(b)])), "tc({a},{b})");
+            assert!(
+                db.contains(&Fact::new("tc", vec![v(a), v(b)])),
+                "tc({a},{b})"
+            );
         }
         assert!(!db.contains(&Fact::new("tc", vec![v(2), v(1)])));
         // 3 edges + 6 tc facts.
@@ -238,10 +241,7 @@ mod tests {
     fn cycle_closure_terminates() {
         let db = evaluate(&tc_program(&[(1, 2), (2, 3), (3, 1)]));
         // Every pair is reachable on a 3-cycle.
-        let tc_count = db
-            .facts()
-            .filter(|f| f.pred.as_ref() == "tc")
-            .count();
+        let tc_count = db.facts().filter(|f| f.pred.as_ref() == "tc").count();
         assert_eq!(tc_count, 9);
     }
 

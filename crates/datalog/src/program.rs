@@ -104,9 +104,8 @@ mod tests {
     use crate::ast::{DlAtom, DlTerm};
 
     fn rule(head: (&str, &[u32]), body: &[(&str, &[u32])]) -> DlRule {
-        let mk = |(p, vs): (&str, &[u32])| {
-            DlAtom::new(p, vs.iter().map(|&v| DlTerm::Var(v)).collect())
-        };
+        let mk =
+            |(p, vs): (&str, &[u32])| DlAtom::new(p, vs.iter().map(|&v| DlTerm::Var(v)).collect());
         DlRule::new(mk(head), body.iter().map(|&a| mk(a)).collect()).unwrap()
     }
 

@@ -115,7 +115,9 @@ mod tests {
             d.call("between", &[Value::int(1), Value::int(3)]),
             ValueSet::ints_between(1, 3)
         );
-        assert!(d.call("between", &[Value::int(3), Value::int(1)]).is_empty());
+        assert!(d
+            .call("between", &[Value::int(3), Value::int(1)])
+            .is_empty());
     }
 
     #[test]
@@ -129,7 +131,9 @@ mod tests {
     #[test]
     fn overflow_is_empty_not_panic() {
         let d = ArithDomain;
-        assert!(d.call("plus", &[Value::int(i64::MAX), Value::int(1)]).is_empty());
+        assert!(d
+            .call("plus", &[Value::int(i64::MAX), Value::int(1)])
+            .is_empty());
         assert!(d.call("great", &[Value::int(i64::MAX)]).is_empty());
     }
 }

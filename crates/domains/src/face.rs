@@ -136,7 +136,10 @@ fn str_arg(args: &[Value], i: usize) -> Option<&str> {
 fn face_of(v: &Value) -> Option<FaceId> {
     match v {
         Value::Int(i) => u64::try_from(*i).ok(),
-        Value::Record(_) => v.field("file").and_then(|f| f.as_int()).and_then(|i| u64::try_from(i).ok()),
+        Value::Record(_) => v
+            .field("file")
+            .and_then(|f| f.as_int())
+            .and_then(|i| u64::try_from(i).ok()),
         _ => None,
     }
 }
@@ -158,11 +161,11 @@ impl Domain for FaceExtractDomain {
                 let Some(photos) = s.datasets.get(dataset) else {
                     return ValueSet::Empty;
                 };
-                ValueSet::finite(photos.iter().flat_map(|p| {
-                    p.faces
+                ValueSet::finite(
+                    photos
                         .iter()
-                        .map(move |&f| extraction_record(f, &p.name))
-                }))
+                        .flat_map(|p| p.faces.iter().map(move |&f| extraction_record(f, &p.name))),
+                )
             }
             // matchface(f1, f2) -> {true} iff the faces are the same
             // person (same synthetic id).

@@ -172,7 +172,9 @@ mod tests {
         fn call(&self, func: &str, _args: &[Value]) -> ValueSet {
             self.calls.fetch_add(1, Ordering::Relaxed);
             match func {
-                "one" => ValueSet::singleton(Value::int(self.version.load(Ordering::Relaxed) as i64)),
+                "one" => {
+                    ValueSet::singleton(Value::int(self.version.load(Ordering::Relaxed) as i64))
+                }
                 _ => ValueSet::Empty,
             }
         }

@@ -182,7 +182,10 @@ mod tests {
     fn bad_table_or_args_empty() {
         let (d, _) = setup();
         assert!(d
-            .call("select_eq", &[Value::str("ghost"), Value::str("x"), Value::int(1)])
+            .call(
+                "select_eq",
+                &[Value::str("ghost"), Value::str("x"), Value::int(1)]
+            )
             .is_empty());
         assert!(d.call("tuples", &[Value::int(9)]).is_empty());
     }

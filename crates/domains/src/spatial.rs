@@ -114,11 +114,7 @@ impl Domain for SpatialDomain {
                 else {
                     return ValueSet::Empty;
                 };
-                let (x, y) = geocode(&[
-                    Value::Int(num),
-                    Value::str(street),
-                    Value::str(city),
-                ]);
+                let (x, y) = geocode(&[Value::Int(num), Value::str(street), Value::str(city)]);
                 ValueSet::singleton(point_record(x, y))
             }
             // range(map, landmark, x, y, radius) -> {true} iff (x,y) lies
@@ -261,7 +257,12 @@ mod tests {
         d.add_landmark("m", "c", 900, 900);
         let s = d.call(
             "near",
-            &[Value::str("m"), Value::int(105), Value::int(100), Value::int(30)],
+            &[
+                Value::str("m"),
+                Value::int(105),
+                Value::int(100),
+                Value::int(30),
+            ],
         );
         assert!(s.contains(&Value::str("a")));
         assert!(s.contains(&Value::str("b")));

@@ -95,9 +95,7 @@ impl Domain for TextDomain {
                     return ValueSet::Empty;
                 };
                 match s.docs.get(doc) {
-                    Some(c) => {
-                        ValueSet::singleton(Value::Int(c.split_whitespace().count() as i64))
-                    }
+                    Some(c) => ValueSet::singleton(Value::Int(c.split_whitespace().count() as i64)),
                     None => ValueSet::Empty,
                 }
             }

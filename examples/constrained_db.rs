@@ -108,7 +108,5 @@ fn main() {
     for (pred, args) in &remaining {
         println!("  {pred}{args:?}");
     }
-    assert!(remaining
-        .iter()
-        .all(|(_, args)| args[1] != Value::str("d")));
+    assert!(remaining.iter().all(|(_, args)| args[1] != Value::str("d")));
 }

@@ -100,9 +100,11 @@ fn main() {
             .insert("empl_abc", &[Value::str(&newcomer)])
             .expect("schema ok");
     }
-    world
-        .face
-        .add_photo("surveillancedata", "tonight_cam1", &[1, 1 + newcomer_idx as u64]);
+    world.face.add_photo(
+        "surveillancedata",
+        "tonight_cam1",
+        &[1, 1 + newcomer_idx as u64],
+    );
     let action = mv
         .on_external_change(&world.manager, world.manager.clock())
         .expect("maintenance");

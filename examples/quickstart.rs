@@ -44,8 +44,11 @@ fn main() {
     // 3. Query: which values does c hold?
     let scfg = SolverConfig::default();
     let answers = view.query("c", &[None], &NoDomains, &scfg).expect("query");
-    println!("c has {} instances: {:?}\n", answers.len(),
-        answers.iter().map(|t| t[0].clone()).collect::<Vec<_>>());
+    println!(
+        "c has {} instances: {:?}\n",
+        answers.len(),
+        answers.iter().map(|t| t[0].clone()).collect::<Vec<_>>()
+    );
 
     // 4. View update, kind 1a — deletion (Straight Delete, Algorithm 2):
     //    remove 8 from b. c keeps 8 via the independent a-fact.
@@ -55,10 +58,17 @@ fn main() {
         "deleted [b(8)]: {} direct + {} propagated replacements, no rederivation",
         dstats.direct_replacements, dstats.propagated_replacements
     );
-    let b8 = view.query("b", &[Some(Value::int(8))], &NoDomains, &scfg).unwrap();
-    let c8 = view.query("c", &[Some(Value::int(8))], &NoDomains, &scfg).unwrap();
-    println!("b(8) gone: {}; c(8) survives via the independent fact: {}\n",
-        b8.is_empty(), !c8.is_empty());
+    let b8 = view
+        .query("b", &[Some(Value::int(8))], &NoDomains, &scfg)
+        .unwrap();
+    let c8 = view
+        .query("c", &[Some(Value::int(8))], &NoDomains, &scfg)
+        .unwrap();
+    println!(
+        "b(8) gone: {}; c(8) survives via the independent fact: {}\n",
+        b8.is_empty(),
+        !c8.is_empty()
+    );
 
     // 5. View update, kind 1b — insertion (Algorithm 3): add 20..22 to b;
     //    the insertion propagates up through a to c.
@@ -76,7 +86,9 @@ fn main() {
         "inserted [b(20..22)]: base added = {}, {} derived entries propagated",
         istats.added, istats.propagated
     );
-    let c21 = view.query("c", &[Some(Value::int(21))], &NoDomains, &scfg).unwrap();
+    let c21 = view
+        .query("c", &[Some(Value::int(21))], &NoDomains, &scfg)
+        .unwrap();
     println!("c(21) now derivable: {}", !c21.is_empty());
     println!("\nfinal view:\n{view}");
 }

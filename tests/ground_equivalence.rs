@@ -18,10 +18,7 @@ fn ground_set(db: &mmv::datalog::Database) -> FactSet {
     db.facts().map(|f| (f.pred.to_string(), f.args)).collect()
 }
 
-fn constrained_set(
-    view: &mmv::core::MaterializedView,
-    cfg: &SolverConfig,
-) -> FactSet {
+fn constrained_set(view: &mmv::core::MaterializedView, cfg: &SolverConfig) -> FactSet {
     view.instances(&NoDomains, cfg)
         .expect("finite instances on ground programs")
         .into_iter()
@@ -33,11 +30,7 @@ fn constrained_set(
 /// the recursive closure has finitely many derivations.
 fn dag_edges(nodes: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
     proptest::collection::btree_set((0..nodes as i64 - 1, 1..nodes as i64), 1..nodes * 2)
-        .prop_map(|set| {
-            set.into_iter()
-                .filter(|(a, b)| a < b)
-                .collect::<Vec<_>>()
-        })
+        .prop_map(|set| set.into_iter().filter(|(a, b)| a < b).collect::<Vec<_>>())
         .prop_filter("need at least one edge", |v| !v.is_empty())
 }
 

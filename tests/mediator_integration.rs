@@ -4,8 +4,8 @@
 
 use mmv::constraints::{SolverConfig, Value};
 use mmv::core::{
-    fixpoint, parse_atom, FixpointConfig, MaintenanceStrategy, MediatedMaterializedView,
-    Operator, SupportMode,
+    fixpoint, parse_atom, FixpointConfig, MaintenanceStrategy, MediatedMaterializedView, Operator,
+    SupportMode,
 };
 use mmv_bench::gen::lawenf::{build, person_name, LawEnfSpec};
 
@@ -134,7 +134,10 @@ fn relational_domain_updates_flow_through_queries() {
     assert!(!before.is_empty());
     // Fire a suspect from ABC Corp: they drop out of the suspect pool
     // with no view maintenance at all.
-    let fired = before.iter().next().unwrap()[1].as_str().unwrap().to_string();
+    let fired = before.iter().next().unwrap()[1]
+        .as_str()
+        .unwrap()
+        .to_string();
     world
         .dbase
         .write()

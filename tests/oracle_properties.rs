@@ -6,9 +6,8 @@
 
 use mmv::constraints::{CmpOp, Constraint, NoDomains, Term, Var};
 use mmv::core::{
-    deletion_oracle, dred_delete, fixpoint, insert_atom, insertion_oracle, stdel_delete,
-    BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase, FixpointConfig, Operator,
-    SupportMode,
+    deletion_oracle, dred_delete, fixpoint, insert_atom, insertion_oracle, stdel_delete, BodyAtom,
+    Clause, ConstrainedAtom, ConstrainedDatabase, FixpointConfig, Operator, SupportMode,
 };
 use proptest::prelude::*;
 
@@ -27,14 +26,22 @@ fn x() -> Term {
 }
 
 fn interval(lo: i64, hi: i64) -> Constraint {
-    Constraint::cmp(x(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(x(), CmpOp::Le, Term::int(hi)))
+    Constraint::cmp(x(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
+        x(),
+        CmpOp::Le,
+        Term::int(hi),
+    ))
 }
 
 fn build_db(spec: &ProgramSpec) -> ConstrainedDatabase {
     let mut db = ConstrainedDatabase::new();
     for (j, facts) in spec.facts.iter().enumerate() {
         for (lo, width) in facts {
-            db.push(Clause::fact(&format!("p0_{j}"), vec![x()], interval(*lo, lo + width)));
+            db.push(Clause::fact(
+                &format!("p0_{j}"),
+                vec![x()],
+                interval(*lo, lo + width),
+            ));
         }
     }
     for (l, layer) in spec.layers.iter().enumerate() {

@@ -8,8 +8,8 @@
 
 use mmv::constraints::{NoDomains, SolverConfig, Value, ValueSet};
 use mmv::core::{
-    dred_delete, fixpoint, insert_atom, parse_atom, parse_program, stdel_delete,
-    FixpointConfig, Operator, SupportMode,
+    dred_delete, fixpoint, insert_atom, parse_atom, parse_program, stdel_delete, FixpointConfig,
+    Operator, SupportMode,
 };
 use mmv::domains::{Domain, DomainManager};
 use std::sync::Arc;
@@ -46,8 +46,14 @@ fn example_3_ground_deletion_cascades() {
     )
     .expect("parses")
     .db;
-    let (mut view, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (mut view, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     assert_eq!(view.len(), 4);
     let deletion = parse_atom("seenwith(don, john)").expect("parses");
     let stats = stdel_delete(&mut view, &deletion, &NoDomains, &scfg()).expect("stdel");
@@ -63,11 +69,10 @@ fn example_4_extended_dred_rederivation() {
     // Delete b(6): a(6) "has a proof independently" via a(X) <- X >= 3
     // and must survive rederivation; likewise c(6) through it.
     let db = example45_db();
-    let (mut view, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg())
-        .expect("fixpoint");
+    let (mut view, _) =
+        fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg()).expect("fixpoint");
     let deletion = parse_atom("b(X) <- X = 6").expect("parses");
-    let stats =
-        dred_delete(&db, &mut view, &deletion, &NoDomains, &cfg()).expect("dred");
+    let stats = dred_delete(&db, &mut view, &deletion, &NoDomains, &cfg()).expect("dred");
     assert_eq!(stats.del_atoms, 1);
     assert!(stats.pout_atoms >= 3, "B@6, A@6, C@6 in the overestimate");
     assert!(stats.rederived >= 1, "a@6 comes back");
@@ -88,13 +93,22 @@ fn example_5_stdel_walkthrough() {
     // the supports <3>, <2,<3>>, <4,<2,<3>>> (1-based) with NO
     // rederivation, yielding "X >= 5 & X != 6" entries.
     let db = example45_db();
-    let (mut view, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (mut view, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     assert_eq!(view.len(), 5, "the paper's five-entry view");
     let deletion = parse_atom("b(X) <- X = 6").expect("parses");
     let stats = stdel_delete(&mut view, &deletion, &NoDomains, &scfg()).expect("stdel");
     assert_eq!(stats.direct_replacements, 1, "b's entry");
-    assert_eq!(stats.propagated_replacements, 2, "a's and c's derived entries");
+    assert_eq!(
+        stats.propagated_replacements, 2,
+        "a's and c's derived entries"
+    );
     assert_eq!(stats.pout_pairs, 3);
     assert_eq!(stats.removed, 0, "nothing becomes unsolvable");
     // Semantics: 6 is gone from the derived chain but kept where an
@@ -121,8 +135,14 @@ fn example_6_recursive_view_deletion() {
     )
     .expect("parses")
     .db;
-    let (mut view, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (mut view, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     // The paper's 7-entry view, including the recursive a(a, d).
     assert_eq!(view.len(), 7);
     let deletion = parse_atom("p(X, Y) <- X = c & Y = d").expect("parses");
@@ -196,23 +216,41 @@ fn example_7_function_shrink_under_wp() {
     });
     let mut manager = DomainManager::new();
     manager.register(flicker.clone());
-    let db = parse_program("bee(X) <- in(X, d:g(b)).").expect("parses").db;
-    let (wp, _) = fixpoint(&db, &manager, Operator::Wp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let db = parse_program("bee(X) <- in(X, d:g(b)).")
+        .expect("parses")
+        .db;
+    let (wp, _) = fixpoint(
+        &db,
+        &manager,
+        Operator::Wp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     assert_eq!(wp.len(), 1);
     assert_eq!(
-        wp.query("bee", &[None], &manager, &scfg()).expect("query").len(),
+        wp.query("bee", &[None], &manager, &scfg())
+            .expect("query")
+            .len(),
         1
     );
     flicker.set(vec![]);
     assert_eq!(wp.len(), 1, "syntactically unchanged (Theorem 4)");
     assert!(
-        wp.query("bee", &[None], &manager, &scfg()).expect("query").is_empty(),
+        wp.query("bee", &[None], &manager, &scfg())
+            .expect("query")
+            .is_empty(),
         "instances empty at t+1"
     );
     // T_P built at t+1 is empty — and agrees with W_P's instances.
-    let (tp, _) = fixpoint(&db, &manager, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (tp, _) = fixpoint(
+        &db,
+        &manager,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     assert_eq!(tp.len(), 0);
 }
 
@@ -256,8 +294,14 @@ fn example_8_wp_instances_track_tp() {
     )
     .expect("parses")
     .db;
-    let (wp, _) = fixpoint(&db, &manager, Operator::Wp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (wp, _) = fixpoint(
+        &db,
+        &manager,
+        Operator::Wp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     // At time t: [M] contains A(b) (f(b) = {b}).
     let inst = wp.instances(&manager, &scfg()).expect("instances");
     let aay: Vec<_> = inst.iter().filter(|(p, _)| p.as_ref() == "aay").collect();
@@ -272,12 +316,15 @@ fn example_8_wp_instances_track_tp() {
     assert_eq!(aay2[0].1[0], Value::str("a"));
     // Matching T_P views at each time point (Corollary 1) — checked via
     // a fresh build.
-    let (tp2, _) = fixpoint(&db, &manager, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
-    assert_eq!(
-        tp2.instances(&manager, &scfg()).expect("instances"),
-        inst2
-    );
+    let (tp2, _) = fixpoint(
+        &db,
+        &manager,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
+    assert_eq!(tp2.instances(&manager, &scfg()).expect("instances"), inst2);
 }
 
 #[test]
@@ -291,8 +338,14 @@ fn insertion_motivating_case() {
     )
     .expect("parses")
     .db;
-    let (mut view, _) = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg())
-        .expect("fixpoint");
+    let (mut view, _) = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg(),
+    )
+    .expect("fixpoint");
     let ins = parse_atom("seenwith(don, jane)").expect("parses");
     let stats =
         insert_atom(&db, &mut view, &ins, &NoDomains, Operator::Tp, &cfg()).expect("insert");

@@ -32,7 +32,9 @@ fn ask_boolean_queries() {
     let cfg = SolverConfig::default();
     assert!(view.ask("a", &[Value::int(5)], &NoDomains, &cfg).unwrap());
     assert!(!view.ask("a", &[Value::int(50)], &NoDomains, &cfg).unwrap());
-    assert!(!view.ask("ghost", &[Value::int(5)], &NoDomains, &cfg).unwrap());
+    assert!(!view
+        .ask("ghost", &[Value::int(5)], &NoDomains, &cfg)
+        .unwrap());
     // Wrong arity: simply no matching instances.
     assert!(!view
         .ask("a", &[Value::int(1), Value::int(2)], &NoDomains, &cfg)
@@ -125,7 +127,13 @@ fn fixpoint_error_renders() {
         max_iterations: 4,
         ..FixpointConfig::default()
     };
-    let err = fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::WithSupports, &cfg)
-        .expect_err("diverges");
+    let err = fixpoint(
+        &db,
+        &NoDomains,
+        Operator::Tp,
+        SupportMode::WithSupports,
+        &cfg,
+    )
+    .expect_err("diverges");
     assert!(err.to_string().contains("budget"));
 }

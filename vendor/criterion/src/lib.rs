@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion 0.5's API that `benches/maintenance.rs`
+//! uses: [`Criterion`] with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function`, `benchmark_group`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline this shim runs a
+//! warm-up, then collects per-iteration wall-clock samples for the
+//! configured measurement time and reports min / median / mean / p95.
+//! That is enough for the coarse A/B comparisons the E1–E7 experiments
+//! make; swap the real criterion back in when a registry is available —
+//! no bench-source changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much setup output to batch per measured call in
+/// [`Bencher::iter_batched`]. The shim runs one setup per routine call
+/// regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: criterion would batch many per allocation.
+    SmallInput,
+    /// Large routine input: criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        while Instant::now() < deadline || self.samples.len() < self.cfg.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the routine's input with
+    /// `setup` outside the timed region before every call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        while Instant::now() < deadline || self.samples.len() < self.cfg.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The benchmark driver: configuration plus result reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up period run before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.cfg, id, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: &self.cfg,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    cfg: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.cfg, &format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group. (The shim reports eagerly; this is a no-op.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(cfg: &Config, id: &str, mut f: F) {
+    let mut b = Bencher {
+        cfg,
+        samples: Vec::with_capacity(cfg.sample_size),
+    };
+    f(&mut b);
+    let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+    if ns.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let p95 = ns[((ns.len() * 95) / 100).min(ns.len() - 1)];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    println!(
+        "{id:<40} n={:<5} min {:>12}  median {:>12}  mean {:>12}  p95 {:>12}",
+        ns.len(),
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(p95),
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group: a named runner function plus its
+/// configuration and target benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_collects_at_least_sample_size() {
+        let mut c = fast_criterion();
+        c.bench_function("smoke_iter", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("smoke_batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro_target", |b| b.iter(|| black_box(1)));
+        }
+        criterion_group! {
+            name = benches;
+            config = fast_criterion();
+            targets = target
+        }
+        benches();
+    }
+
+    #[test]
+    fn format_is_humane() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.200 s");
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest 1.x's API that its test suites use:
+//! the [`proptest!`] macro with `#![proptest_config(..)]`, the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, [`Just`],
+//! [`prop_oneof!`] (weighted and unweighted), `collection::vec`, integer
+//! range strategies, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   the panic message (`Debug`-formatted) but is not minimized.
+//! * **Deterministic by default.** Each test function derives its RNG
+//!   seed from its name, so CI runs are reproducible; set
+//!   `PROPTEST_SEED` to explore a different stream, and `PROPTEST_CASES`
+//!   to change the case count (both honored the same way the test suites
+//!   already use them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+pub use rand::SeedableRng;
+
+/// The RNG handed to strategies. An alias so strategy signatures read
+/// like proptest's `TestRunner`-based ones.
+pub type TestRng = SmallRng;
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: `new_value` returns the
+/// value directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to produce a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`, regenerating instead.
+    /// Gives up (panics with `reason`) after 1000 consecutive rejections.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: too many rejections: {}", self.reason);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                let (lo, hi) = self.clone().into_inner();
+                assert!(lo <= hi, "empty range strategy");
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    rng.gen_range(lo - 1..hi) + 1
+                } else {
+                    // Full-width range: any sample is uniform enough here.
+                    rng.gen_range(<$t>::MIN..<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+);
+
+/// A weighted union of strategies, built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: zero total weight");
+        Self { options, total }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("prop_oneof: weight bookkeeping")
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: a fixed size, `a..b`, or `a..=b`.
+    pub trait IntoSizeRange {
+        /// The inclusive (lo, hi) bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// A strategy for `Vec`s of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// A strategy for `BTreeSet`s of values from `element`. The size
+    /// range bounds the number of *insertion attempts*; duplicates
+    /// collapse, so the set may come out smaller, as in real proptest.
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (lo, hi) = size.bounds();
+        BTreeSetStrategy { element, lo, hi }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng as _;
+            let n = if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi + 1)
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let n = if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi + 1)
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; the shim never persists
+    /// failures, so only `None` makes sense.
+    pub failure_persistence: Option<()>,
+    /// Accepted for source compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; the shim caps `prop_filter`
+    /// rejections at a fixed 1000 per value instead.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            failure_persistence: None,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod runner {
+    use super::{ProptestConfig, Strategy, TestRng};
+    use rand::SeedableRng as _;
+
+    /// Derives a reproducible per-test seed: `PROPTEST_SEED` if set,
+    /// otherwise an FNV-1a hash of the test name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse() {
+                return seed;
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `body` against `cases` random values of `strategy`,
+    /// reporting the failing input on panic.
+    pub fn run<S: Strategy>(
+        config: &ProptestConfig,
+        test_name: &str,
+        strategy: &S,
+        body: impl Fn(&S::Value),
+    ) {
+        let mut rng = TestRng::seed_from_u64(seed_for(test_name));
+        for case in 0..config.cases {
+            let value = strategy.new_value(&mut rng);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&value)));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest (shim): {test_name} failed at case {case}/{} with input:\n  {value:#?}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, reporting the inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, reporting the inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, reporting the inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks among several strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body against random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |__values| {
+                        let ($($arg,)+) = __values.clone();
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        use crate::SeedableRng as _;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let strat = collection::vec((0i64..10, 5u32..=6), 2..5usize);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!((0..10).contains(&a));
+                assert!((5..=6).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_paths() {
+        use crate::SeedableRng as _;
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let strat = prop_oneof![3 => Just(1i64), 1 => 10i64..20];
+        let mut low = 0;
+        for _ in 0..400 {
+            let v = strat.new_value(&mut rng);
+            assert!(v == 1 || (10..20).contains(&v));
+            if v == 1 {
+                low += 1;
+            }
+        }
+        assert!((200..400).contains(&low), "weighting off: {low}/400");
+    }
+
+    #[test]
+    fn flat_map_sees_outer_value() {
+        use crate::SeedableRng as _;
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let strat = (1usize..4).prop_flat_map(|n| collection::vec(0i64..5, n..=n));
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0i64..100, v in collection::vec(0u32..3, 0..4usize)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

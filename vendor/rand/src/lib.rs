@@ -1,0 +1,218 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *small, deterministic* subset of rand 0.8's API that the
+//! benchmark generators use: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — the same
+//! construction rand 0.8's 64-bit `SmallRng` uses — so the statistical
+//! quality matches what the real crate would provide. Exact output
+//! streams are not guaranteed to match rand's; all workloads in this
+//! workspace are generated and consumed by the same code, so only
+//! determinism-per-seed matters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from integer state.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Uniformly samples from `[lo, hi)` using `rng`. `lo < hi` is the
+    /// caller's obligation (checked by `gen_range`).
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The object-safe core of a generator: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniformly samples from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty, as rand 0.8 does.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        // Compare 53 uniform mantissa bits against p, as rand does.
+        let bits = self.next_u64() >> 11;
+        (bits as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                debug_assert!(lo < hi);
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                // Widening-multiply rejection-free sampling is overkill
+                // here; modulo bias over a 64-bit stream is negligible
+                // for benchmark workload spans (< 2^32).
+                let r = rng.next_u64() % (span as u64);
+                (lo as $u).wrapping_add(r as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+);
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample(self, rng: &mut dyn RngCore) -> i64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        if (lo, hi) == (i64::MIN, i64::MAX) {
+            return rng.next_u64() as i64;
+        }
+        if hi < i64::MAX {
+            i64::sample_half_open(lo, hi + 1, rng)
+        } else {
+            // lo > MIN here (full range handled above): shift down one.
+            i64::sample_half_open(lo - 1, hi, rng) + 1
+        }
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample(self, rng: &mut dyn RngCore) -> u64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        if (lo, hi) == (u64::MIN, u64::MAX) {
+            return rng.next_u64();
+        }
+        if hi < u64::MAX {
+            u64::sample_half_open(lo, hi + 1, rng)
+        } else {
+            // lo > 0 here (full range handled above): shift down one.
+            u64::sample_half_open(lo - 1, hi, rng) + 1
+        }
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 state expansion, per the xoshiro authors'
+            // recommendation (and rand's own seeding path).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<i64> = (0..16).map(|_| a.gen_range(0..1000)).collect();
+        let ys: Vec<i64> = (0..16).map(|_| c.gen_range(0..1000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}
