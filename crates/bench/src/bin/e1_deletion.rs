@@ -7,10 +7,14 @@
 //! growing with view size and derivation depth.
 //!
 //! Regenerate: `cargo run -p mmv-bench --release --bin e1_deletion`
-//! (add `--quick` for a reduced sweep).
+//! (add `--quick` for a reduced sweep, `--json <path>` for a
+//! machine-readable report including view-build timings and join-engine
+//! statistics).
 
 use mmv_bench::gen::constrained::{layered_program, random_deletion, LayeredSpec};
-use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::NoDomains;
 use mmv_core::delete_dred::rewrite_for_deletion;
 use mmv_core::semantics::build_del;
@@ -18,10 +22,13 @@ use mmv_core::{dred_delete, fixpoint, stdel_delete, FixpointConfig, Operator, Su
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim = "StDel eliminates DRed's rederivation step (paper §3.1.2); both beat recomputation";
     banner(
         "E1: deletion latency — StDel vs Extended DRed vs recompute",
-        "StDel eliminates DRed's rederivation step (paper §3.1.2); both beat recomputation",
+        claim,
     );
+    let mut report = JsonReport::new("E1", claim);
     let sweeps: Vec<(usize, usize)> = if quick {
         vec![(2, 4), (3, 8)]
     } else {
@@ -32,6 +39,7 @@ fn main() {
         "layers",
         "facts/pred",
         "view entries",
+        "build",
         "StDel",
         "ExtDRed",
         "recompute",
@@ -48,7 +56,7 @@ fn main() {
         };
         let db = layered_program(&spec);
         let cfg = FixpointConfig::default();
-        let (with_supports, _) = fixpoint(
+        let (with_supports, build_stats) = fixpoint(
             &db,
             &NoDomains,
             Operator::Tp,
@@ -58,6 +66,16 @@ fn main() {
         .expect("fixpoint");
         let (plain, _) =
             fixpoint(&db, &NoDomains, Operator::Tp, SupportMode::Plain, &cfg).expect("fixpoint");
+        let t_build = median_time(1, runs, || {
+            fixpoint(
+                &db,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .expect("fixpoint");
+        });
         let deletion = random_deletion(&spec, 0xE1);
 
         let t_stdel = median_time(1, runs, || {
@@ -79,6 +97,7 @@ fn main() {
             layers.to_string(),
             facts.to_string(),
             with_supports.len().to_string(),
+            fmt_duration(t_build),
             fmt_duration(t_stdel),
             fmt_duration(t_dred),
             fmt_duration(t_recompute),
@@ -91,8 +110,28 @@ fn main() {
                 t_recompute.as_secs_f64() / t_stdel.as_secs_f64().max(1e-9)
             ),
         ]);
+        report.push(
+            JsonRow::new()
+                .int("layers", layers as i64)
+                .int("facts_per_pred", facts as i64)
+                .int("view_entries", with_supports.len() as i64)
+                .secs("build_s", t_build)
+                .secs("stdel_s", t_stdel)
+                .secs("dred_s", t_dred)
+                .secs("recompute_s", t_recompute)
+                .int(
+                    "build_derivations_tried",
+                    build_stats.derivations_tried as i64,
+                )
+                .int("build_index_probes", build_stats.index_probes as i64)
+                .int(
+                    "build_candidates_scanned",
+                    build_stats.candidates_scanned as i64,
+                ),
+        );
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: StDel fastest; ratios grow with layers/facts \

@@ -9,17 +9,23 @@
 //! Regenerate: `cargo run -p mmv-bench --release --bin e2_ground_dred`
 
 use mmv_bench::gen::ground::{ground_to_constrained, random_edges, two_hop_program, GraphSpec};
-use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::{NoDomains, Value};
 use mmv_core::{dred_delete, fixpoint, FixpointConfig, Operator, SupportMode};
 use mmv_datalog::{evaluate, Fact};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim =
+        "the constrained algorithm specializes to ground DRed; overhead = price of constraint generality";
     banner(
         "E2: ground DRed vs constrained Extended DRed (two-hop paths)",
-        "the constrained algorithm specializes to ground DRed; overhead = price of constraint generality",
+        claim,
     );
+    let mut report = JsonReport::new("E2", claim);
     let sweeps: Vec<(usize, usize)> = if quick {
         vec![(20, 40)]
     } else {
@@ -99,8 +105,17 @@ fn main() {
                 t_constrained.as_secs_f64() / t_ground.as_secs_f64().max(1e-9)
             ),
         ]);
+        report.push(
+            JsonRow::new()
+                .int("nodes", nodes as i64)
+                .int("edges", edge_list.len() as i64)
+                .int("ground_facts", materialized.len() as i64)
+                .secs("ground_dred_s", t_ground)
+                .secs("constrained_dred_s", t_constrained),
+        );
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: identical results (asserted); the constrained \

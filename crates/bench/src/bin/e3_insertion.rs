@@ -6,16 +6,18 @@
 //! Regenerate: `cargo run -p mmv-bench --release --bin e3_insertion`
 
 use mmv_bench::gen::constrained::{layered_program, random_insertion, LayeredSpec};
-use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::NoDomains;
 use mmv_core::{fixpoint, insert_atom, Clause, FixpointConfig, Operator, SupportMode};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    banner(
-        "E3: insertion latency — Algorithm 3 vs recompute",
-        "P_ADD propagation touches only the new derivations (paper §3.2)",
-    );
+    let json = json_path_from_args();
+    let claim = "P_ADD propagation touches only the new derivations (paper §3.2)";
+    banner("E3: insertion latency — Algorithm 3 vs recompute", claim);
+    let mut report = JsonReport::new("E3", claim);
     let batches: Vec<usize> = if quick {
         vec![1, 4]
     } else {
@@ -88,9 +90,18 @@ fn main() {
                     t_recompute.as_secs_f64() / t_incremental.as_secs_f64().max(1e-9)
                 ),
             ]);
+            report.push(
+                JsonRow::new()
+                    .int("facts_per_pred", facts as i64)
+                    .int("view_entries", view.len() as i64)
+                    .int("batch", batch as i64)
+                    .secs("insert_s", t_incremental)
+                    .secs("recompute_s", t_recompute),
+            );
         }
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: Algorithm 3 cost scales with the batch, \

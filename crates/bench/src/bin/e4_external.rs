@@ -9,7 +9,9 @@
 //!
 //! Regenerate: `cargo run -p mmv-bench --release --bin e4_external`
 
-use mmv_bench::harness::{banner, fmt_duration, timed, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, timed, JsonReport, JsonRow, Table,
+};
 use mmv_bench::sensors::{monitoring_db, SensorDomain};
 use mmv_constraints::SolverConfig;
 use mmv_core::{MaintenanceStrategy, MediatedMaterializedView};
@@ -57,10 +59,14 @@ fn run_scenario(
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim =
+        "Theorem 4: W_P views need no action on external change; Corollary 1: answers stay exact";
     banner(
         "E4: external updates — W_P (no maintenance) vs T_P (recompute)",
-        "Theorem 4: W_P views need no action on external change; Corollary 1: answers stay exact",
+        claim,
     );
+    let mut report = JsonReport::new("E4", claim);
     let n_sensors = if quick { 50 } else { 200 };
     let updates = if quick { 10 } else { 50 };
     let ratios: Vec<usize> = if quick {
@@ -93,8 +99,18 @@ fn main() {
             fmt_duration(wp_total),
             if wp_total <= tp_total { "W_P" } else { "T_P" }.to_string(),
         ]);
+        report.push(
+            JsonRow::new()
+                .int("queries_per_update", q as i64)
+                .secs("tp_maintenance_s", tp_m)
+                .secs("tp_query_s", tp_q)
+                .secs("wp_maintenance_s", wp_m)
+                .secs("wp_query_s", wp_q)
+                .str("winner", if wp_total <= tp_total { "W_P" } else { "T_P" }),
+        );
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: W_P maintenance is ~0 regardless of update rate \

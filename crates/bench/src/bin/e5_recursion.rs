@@ -9,9 +9,13 @@
 //! duplicate-derivation supports stay finite), deleting one edge.
 //!
 //! Regenerate: `cargo run -p mmv-bench --release --bin e5_recursion`
+//! (add `--quick` for a reduced sweep, `--json <path>` for a
+//! machine-readable report including view-build timings).
 
 use mmv_bench::gen::ground::{ground_to_constrained, tc_program, GraphSpec};
-use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::{NoDomains, Value};
 use mmv_core::{fixpoint, stdel_delete, FixpointConfig, Operator, SupportMode};
 use mmv_datalog::{evaluate, CountingEngine, Fact};
@@ -41,10 +45,14 @@ fn dag_edges(spec: &GraphSpec) -> Vec<(i64, i64)> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim =
+        "counting has infinite counts on recursion (paper §3.1.2); StDel handles recursive views";
     banner(
         "E5: recursive views — StDel vs counting (inapplicable) vs ground DRed",
-        "counting has infinite counts on recursion (paper §3.1.2); StDel handles recursive views",
+        claim,
     );
+    let mut report = JsonReport::new("E5", claim);
     let sweeps: Vec<usize> = if quick { vec![12] } else { vec![12, 18, 24] };
     let runs = if quick { 3 } else { 5 };
     let mut table = Table::new(&[
@@ -52,6 +60,7 @@ fn main() {
         "edges",
         "tc facts",
         "counting",
+        "build",
         "StDel",
         "ground DRed",
         "agree",
@@ -87,7 +96,7 @@ fn main() {
             max_entries: 4_000_000,
             ..FixpointConfig::default()
         };
-        let (view, _) = fixpoint(
+        let (view, build_stats) = fixpoint(
             &cdb,
             &NoDomains,
             Operator::Tp,
@@ -95,6 +104,16 @@ fn main() {
             &cfg,
         )
         .expect("fixpoint (finite derivations on a DAG)");
+        let t_build = median_time(if quick { 0 } else { 1 }, runs, || {
+            fixpoint(
+                &cdb,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .expect("fixpoint");
+        });
         let deletion = mmv_core::ConstrainedAtom::fact(
             "edge",
             vec![Value::Int(victim_edge.0), Value::Int(victim_edge.1)],
@@ -133,13 +152,36 @@ fn main() {
             edges.len().to_string(),
             tc_count.to_string(),
             counting_outcome.clone(),
+            fmt_duration(t_build),
             fmt_duration(t_stdel),
             fmt_duration(t_ground_dred),
             if agree { "yes" } else { "NO" }.to_string(),
         ]);
+        report.push(
+            JsonRow::new()
+                .int("nodes", nodes as i64)
+                .int("edges", edges.len() as i64)
+                .int("tc_facts", tc_count as i64)
+                .str("counting", &counting_outcome)
+                .secs("build_s", t_build)
+                .secs("stdel_s", t_stdel)
+                .secs("ground_dred_s", t_ground_dred)
+                .bool("agree", agree)
+                .int("view_entries", view.len() as i64)
+                .int(
+                    "build_derivations_tried",
+                    build_stats.derivations_tried as i64,
+                )
+                .int("build_index_probes", build_stats.index_probes as i64)
+                .int(
+                    "build_candidates_scanned",
+                    build_stats.candidates_scanned as i64,
+                ),
+        );
         assert!(agree, "StDel must agree with ground DRed");
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: counting is rejected on every recursive input; \

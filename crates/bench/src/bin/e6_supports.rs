@@ -10,7 +10,9 @@
 //! Regenerate: `cargo run -p mmv-bench --release --bin e6_supports`
 
 use mmv_bench::gen::constrained::{layered_program, LayeredSpec};
-use mmv_bench::harness::{banner, fmt_duration, median_time, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::NoDomains;
 use mmv_core::{fixpoint, FixpointConfig, Operator, SupportMode};
 
@@ -35,10 +37,13 @@ fn literal_volume(view: &mmv_core::MaterializedView) -> usize {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim = "supports fund StDel's no-rederivation deletion; this is their build-time price";
     banner(
         "E6: support overhead ablation — WithSupports vs Plain",
-        "supports fund StDel's no-rederivation deletion; this is their build-time price",
+        claim,
     );
+    let mut report = JsonReport::new("E6", claim);
     let sweeps: Vec<(usize, usize, usize)> = if quick {
         vec![(2, 4, 1), (3, 8, 1)]
     } else {
@@ -102,8 +107,22 @@ fn main() {
             literal_volume(&vw).to_string(),
             literal_volume(&vp).to_string(),
         ]);
+        report.push(
+            JsonRow::new()
+                .int("layers", layers as i64)
+                .int("facts_per_pred", facts as i64)
+                .int("body_atoms", body_atoms as i64)
+                .secs("build_with_supports_s", t_with)
+                .secs("build_plain_s", t_plain)
+                .int("entries_with_supports", vw.len() as i64)
+                .int("entries_plain", vp.len() as i64)
+                .int("support_nodes", support_nodes(&vw) as i64)
+                .int("literals_with_supports", literal_volume(&vw) as i64)
+                .int("literals_plain", literal_volume(&vp) as i64),
+        );
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: support mode keeps duplicate derivations \

@@ -10,7 +10,9 @@
 //! Regenerate: `cargo run -p mmv-bench --release --bin e7_lawenf`
 
 use mmv_bench::gen::lawenf::{build, LawEnfSpec};
-use mmv_bench::harness::{banner, fmt_duration, timed, Table};
+use mmv_bench::harness::{
+    banner, fmt_duration, json_path_from_args, timed, JsonReport, JsonRow, Table,
+};
 use mmv_constraints::{SolverConfig, Value};
 use mmv_core::{FixpointConfig, MaintenanceStrategy, MediatedMaterializedView};
 use std::time::Duration;
@@ -70,10 +72,14 @@ fn run(
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = json_path_from_args();
+    let claim =
+        "photo-set growth = external function update; W_P maintains for free, T_P recomputes";
     banner(
         "E7: law-enforcement mediator under surveillance growth (Example 1)",
-        "photo-set growth = external function update; W_P maintains for free, T_P recomputes",
+        claim,
     );
+    let mut report = JsonReport::new("E7", claim);
     let spec = LawEnfSpec {
         people: if quick { 8 } else { 16 },
         photos: if quick { 4 } else { 10 },
@@ -106,8 +112,18 @@ fn main() {
             fmt_duration(m + q),
             suspects.to_string(),
         ]);
+        report.push(
+            JsonRow::new()
+                .str("strategy", name)
+                .int("rounds", rounds as i64)
+                .int("photos_per_round", 2)
+                .secs("maintenance_s", m)
+                .secs("query_s", q)
+                .int("final_suspects", suspects as i64),
+        );
     }
     table.print();
+    report.write_if(&json);
     println!();
     println!(
         "expected shape: identical suspect counts (Corollary 1); W_P \

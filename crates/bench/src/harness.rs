@@ -1,7 +1,12 @@
 //! Timing and table-rendering helpers shared by the experiment binaries.
 //! Each `eN_*` binary prints the rows EXPERIMENTS.md records; the tables
 //! here keep that output consistent and machine-diffable.
+//!
+//! Every binary also accepts `--json <path>` and mirrors its table into a
+//! machine-readable [`JsonReport`], so benchmark trajectories can be
+//! accumulated across PRs without scraping stdout.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Times `f`, returning its result and the elapsed wall time.
@@ -104,6 +109,167 @@ pub fn banner(id: &str, claim: &str) {
     println!();
 }
 
+/// The `--json <path>` argument of an experiment binary, if present.
+/// Exits with an error if `--json` is given without a usable path, so a
+/// CI trajectory step can never silently produce no report.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return match args.next() {
+                Some(p) if !p.starts_with("--") => Some(PathBuf::from(p)),
+                _ => {
+                    eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    None
+}
+
+/// A JSON scalar in a report row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// An integer.
+    Int(i64),
+    /// A float (timings in seconds, ratios).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Int(i) => i.to_string(),
+        JsonValue::Float(f) if f.is_finite() => format!("{f}"),
+        JsonValue::Float(_) => "null".to_string(),
+        JsonValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        JsonValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// One row of a [`JsonReport`]: ordered key/value pairs, built fluently.
+#[derive(Debug, Clone, Default)]
+pub struct JsonRow(Vec<(String, JsonValue)>);
+
+impl JsonRow {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: i64) -> Self {
+        self.0.push((key.to_string(), JsonValue::Int(v)));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn float(mut self, key: &str, v: f64) -> Self {
+        self.0.push((key.to_string(), JsonValue::Float(v)));
+        self
+    }
+
+    /// Adds a duration field, stored as seconds.
+    pub fn secs(self, key: &str, d: Duration) -> Self {
+        self.float(key, d.as_secs_f64())
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.0
+            .push((key.to_string(), JsonValue::Str(v.to_string())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.0.push((key.to_string(), JsonValue::Bool(v)));
+        self
+    }
+}
+
+/// A machine-readable experiment report, written by `--json <path>`.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    experiment: String,
+    claim: String,
+    rows: Vec<JsonRow>,
+}
+
+impl JsonReport {
+    /// Creates a report for one experiment.
+    pub fn new(experiment: &str, claim: &str) -> Self {
+        JsonReport {
+            experiment: experiment.to_string(),
+            claim: claim.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: JsonRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"experiment\":\"{}\",\"claim\":\"{}\",\"rows\":[",
+            escape_json(&self.experiment),
+            escape_json(&self.claim)
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (k, v)) in row.0.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape_json(k), render_value(v)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Writes the report if a `--json` path was given, announcing it.
+    pub fn write_if(&self, path: &Option<PathBuf>) {
+        if let Some(p) = path {
+            self.write(p).expect("write --json report");
+            println!("json report written to {}", p.display());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +291,25 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0us");
         assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00ms");
         assert_eq!(fmt_duration(Duration::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn json_report_renders_and_escapes() {
+        let mut r = JsonReport::new("E0", "a \"quoted\" claim");
+        r.push(
+            JsonRow::new()
+                .int("n", 3)
+                .secs("t", Duration::from_millis(1500))
+                .str("name", "line\nbreak")
+                .bool("ok", true)
+                .float("bad", f64::NAN),
+        );
+        let s = r.render();
+        assert_eq!(
+            s,
+            "{\"experiment\":\"E0\",\"claim\":\"a \\\"quoted\\\" claim\",\"rows\":[\
+             {\"n\":3,\"t\":1.5,\"name\":\"line\\nbreak\",\"ok\":true,\"bad\":null}]}\n"
+        );
     }
 
     #[test]

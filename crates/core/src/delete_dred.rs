@@ -21,8 +21,10 @@
 
 use crate::atom::ConstrainedAtom;
 use crate::program::{Clause, ConstrainedDatabase};
-use crate::support::{Producer, Support};
-use crate::tp::{derive, FixpointConfig, FixpointError};
+use crate::tp::{
+    collect_combos, derive, group_by_pred, DeltaSource, FixpointConfig, FixpointError,
+    FixpointStats, RoundState, ATOM_SLOT,
+};
 use crate::view::{canonicalize, EntryId, MaterializedView, SupportMode};
 use mmv_constraints::fxhash::{FxHashMap, FxHashSet};
 use mmv_constraints::{satisfiable_with, Constraint, DomainResolver, Lit, Truth};
@@ -44,6 +46,10 @@ pub struct ExtDredStats {
     pub removed: usize,
     /// Satisfiability tests performed.
     pub solver_calls: usize,
+    /// Constant-argument index probes during unfolding/rederivation.
+    pub index_probes: usize,
+    /// Candidate entries scanned during unfolding/rederivation joins.
+    pub candidates_scanned: usize,
 }
 
 /// Extended DRed failure.
@@ -79,17 +85,35 @@ pub fn dred_delete(
     if view.mode() != SupportMode::Plain {
         return Err(DredError::NeedsPlainView);
     }
+    // The var gen leaves the view for the duration of the run (see
+    // `tp::propagate`): join children stay borrowed from the view while
+    // `derive` standardizes apart.
+    let mut gen = std::mem::take(view.var_gen_mut());
+    let result = dred_delete_inner(db, view, &mut gen, deletion, resolver, config);
+    *view.var_gen_mut() = gen;
+    result
+}
+
+fn dred_delete_inner(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    gen: &mut mmv_constraints::VarGen,
+    deletion: &ConstrainedAtom,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Result<ExtDredStats, DredError> {
     let mut stats = ExtDredStats::default();
+    let mut jstats = FixpointStats::default();
 
     // ---- Del: the deletion intersected with the view --------------------
     let mut del: Vec<ConstrainedAtom> = Vec::new();
-    for id in view.entries_for_pred(&deletion.pred) {
-        let atom = view.entry(id).atom.clone();
+    for &id in view.entries_for_pred(&deletion.pred) {
+        let atom = &view.entry(id).atom;
         if atom.args.len() != deletion.args.len() {
             continue;
         }
         let dpsi = deletion
-            .constraint_at(&atom.args, view.var_gen_mut())
+            .constraint_at(&atom.args, gen)
             .expect("arity checked");
         let region = atom.constraint.clone().and(dpsi);
         stats.solver_calls += 1;
@@ -115,7 +139,7 @@ pub fn dred_delete(
         pout.push(d.clone());
     }
     let mut delta: Vec<ConstrainedAtom> = del.clone();
-    let throwaway = Support::leaf(Producer::External(u64::MAX));
+    let mut combos: Vec<EntryId> = Vec::new();
     let mut rounds = 0usize;
     while !delta.is_empty() {
         rounds += 1;
@@ -125,48 +149,40 @@ pub fn dred_delete(
             }));
         }
         let mut next: Vec<ConstrainedAtom> = Vec::new();
-        for (cid, clause) in db.clauses() {
+        for (_, clause) in db.clauses() {
             let n = clause.body.len();
             if n == 0 {
                 continue;
             }
-            // Exactly one body position from the delta, the rest from M.
+            // Exactly one body position from the delta, the rest from M
+            // (probed through the view's constant-argument index).
             for dpos in 0..n {
-                let dmatches: Vec<&ConstrainedAtom> = delta
-                    .iter()
-                    .filter(|a| a.pred == clause.body[dpos].pred)
-                    .collect();
-                if dmatches.is_empty() {
-                    continue;
-                }
-                let other_lists: Vec<Vec<EntryId>> = (0..n)
-                    .map(|i| {
-                        if i == dpos {
-                            Vec::new()
-                        } else {
-                            view.entries_for_pred(&clause.body[i].pred)
-                        }
-                    })
-                    .collect();
-                if (0..n).any(|i| i != dpos && other_lists[i].is_empty()) {
-                    continue;
-                }
-                for dm in &dmatches {
-                    // Odometer over the non-delta positions.
-                    let mut combo = vec![0usize; n];
-                    'combos: loop {
-                        let owned: Vec<ConstrainedAtom> = (0..n)
-                            .map(|i| {
-                                if i == dpos {
-                                    (*dm).clone()
-                                } else {
-                                    view.entry(other_lists[i][combo[i]]).atom.clone()
-                                }
-                            })
-                            .collect();
-                        let children: Vec<(&ConstrainedAtom, Support)> =
-                            owned.iter().map(|a| (a, throwaway.clone())).collect();
-                        if let Some(derived) = derive(cid, clause, &children, view.var_gen_mut()) {
+                for dm in delta.iter().filter(|a| a.pred == clause.body[dpos].pred) {
+                    combos.clear();
+                    collect_combos(
+                        view,
+                        &clause.body,
+                        dpos,
+                        &DeltaSource::Atom(dm),
+                        None,
+                        &mut jstats,
+                        &mut combos,
+                    );
+                    for chunk in combos.chunks_exact(n) {
+                        let derived = {
+                            let children: Vec<&ConstrainedAtom> = chunk
+                                .iter()
+                                .map(|&id| {
+                                    if id == ATOM_SLOT {
+                                        dm
+                                    } else {
+                                        &view.entry(id).atom
+                                    }
+                                })
+                                .collect();
+                            derive(clause, &children, gen)
+                        };
+                        if let Some(derived) = derived {
                             stats.solver_calls += 1;
                             if satisfiable_with(&derived.atom.constraint, resolver, &config.solver)
                                 != Truth::Unsat
@@ -177,17 +193,6 @@ pub fn dred_delete(
                                 }
                             }
                         }
-                        for i in 0..n {
-                            if i == dpos {
-                                continue;
-                            }
-                            combo[i] += 1;
-                            if combo[i] < other_lists[i].len() {
-                                continue 'combos;
-                            }
-                            combo[i] = 0;
-                        }
-                        break;
                     }
                 }
             }
@@ -212,29 +217,30 @@ pub fn dred_delete(
     }
     let mut touched: Vec<EntryId> = Vec::new();
     for (pred, pouts) in &pout_by_pred {
-        for id in view.entries_for_pred(pred) {
-            let atom = view.entry(id).atom.clone();
-            let mut constraint = atom.constraint.clone();
-            let mut changed = false;
-            for p in pouts {
-                if p.args.len() != atom.args.len() {
-                    continue;
+        for id in view.entries_for_pred(pred).to_vec() {
+            let (constraint, changed) = {
+                let atom = &view.entry(id).atom;
+                let mut constraint = atom.constraint.clone();
+                let mut changed = false;
+                for p in pouts {
+                    if p.args.len() != atom.args.len() {
+                        continue;
+                    }
+                    let ppsi = p.constraint_at(&atom.args, gen).expect("arity checked");
+                    stats.solver_calls += 1;
+                    if satisfiable_with(
+                        &constraint.clone().and(ppsi.clone()),
+                        resolver,
+                        &config.solver,
+                    ) == Truth::Unsat
+                    {
+                        continue;
+                    }
+                    constraint = constraint.and_lit(Lit::Not(ppsi));
+                    changed = true;
                 }
-                let ppsi = p
-                    .constraint_at(&atom.args, view.var_gen_mut())
-                    .expect("arity checked");
-                stats.solver_calls += 1;
-                if satisfiable_with(
-                    &constraint.clone().and(ppsi.clone()),
-                    resolver,
-                    &config.solver,
-                ) == Truth::Unsat
-                {
-                    continue;
-                }
-                constraint = constraint.and_lit(Lit::Not(ppsi));
-                changed = true;
-            }
+                (constraint, changed)
+            };
             if changed {
                 let simplified = match mmv_constraints::simplify(&constraint) {
                     mmv_constraints::Simplified::Constraint(c) => c,
@@ -254,14 +260,14 @@ pub fn dred_delete(
     let mut delta_ids: Vec<EntryId> = view.live_entries().map(|(id, _)| id).collect();
     // Constrained facts (empty-body clauses) of P' can themselves restore
     // deleted regions — e.g. Example 4's independent `A(X) <- X >= 3`.
-    for (cid, clause) in pprime.clauses() {
+    for (_, clause) in pprime.clauses() {
         if !clause.body.is_empty() {
             continue;
         }
         let Some(regions) = pout_by_pred.get(&clause.head_pred) else {
             continue;
         };
-        let Some(derived) = derive(cid, clause, &[], view.var_gen_mut()) else {
+        let Some(derived) = derive(clause, &[], gen) else {
             continue;
         };
         let mut overlaps = false;
@@ -270,7 +276,7 @@ pub fn dred_delete(
                 continue;
             }
             let ppsi = p
-                .constraint_at(&derived.atom.args, view.var_gen_mut())
+                .constraint_at(&derived.atom.args, gen)
                 .expect("arity checked");
             stats.solver_calls += 1;
             if satisfiable_with(
@@ -294,6 +300,7 @@ pub fn dred_delete(
             }
         }
     }
+    let mut round_state = RoundState::new();
     let mut rounds = 0usize;
     while !delta_ids.is_empty() {
         rounds += 1;
@@ -302,24 +309,10 @@ pub fn dred_delete(
                 iterations: rounds,
             }));
         }
-        let delta_set: FxHashSet<EntryId> = delta_ids.iter().copied().collect();
-        let mut all: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
-        let mut old: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
-        let mut delta_by_pred: FxHashMap<Arc<str>, Vec<EntryId>> = FxHashMap::default();
-        for (id, e) in view.live_entries() {
-            all.entry(e.atom.pred.clone()).or_default().push(id);
-            if delta_set.contains(&id) {
-                delta_by_pred
-                    .entry(e.atom.pred.clone())
-                    .or_default()
-                    .push(id);
-            } else {
-                old.entry(e.atom.pred.clone()).or_default().push(id);
-            }
-        }
-        let empty: Vec<EntryId> = Vec::new();
+        let scope = round_state.begin(view, &delta_ids);
+        let delta_by_pred = group_by_pred(view, &delta_ids);
         let mut next_ids: Vec<EntryId> = Vec::new();
-        for (cid, clause) in pprime.clauses() {
+        for (_, clause) in pprime.clauses() {
             // Only derivations that might restore a deleted region matter.
             let Some(regions) = pout_by_pred.get(&clause.head_pred) else {
                 continue;
@@ -329,80 +322,66 @@ pub fn dred_delete(
                 continue;
             }
             for dpos in 0..n {
-                let dlist = delta_by_pred.get(&clause.body[dpos].pred).unwrap_or(&empty);
-                if dlist.is_empty() {
+                let Some(dlist) = delta_by_pred.get(&clause.body[dpos].pred) else {
                     continue;
-                }
-                let lists: Vec<&[EntryId]> = (0..n)
-                    .map(|i| {
-                        let src = match i.cmp(&dpos) {
-                            std::cmp::Ordering::Less => old.get(&clause.body[i].pred),
-                            std::cmp::Ordering::Equal => Some(dlist),
-                            std::cmp::Ordering::Greater => all.get(&clause.body[i].pred),
-                        };
-                        src.map(|v| v.as_slice()).unwrap_or(&[])
-                    })
-                    .collect();
-                if lists.iter().any(|l| l.is_empty()) {
-                    continue;
-                }
-                let mut combo = vec![0usize; n];
-                'combos: loop {
-                    let owned: Vec<ConstrainedAtom> = (0..n)
-                        .map(|i| view.entry(lists[i][combo[i]]).atom.clone())
-                        .collect();
-                    let children: Vec<(&ConstrainedAtom, Support)> =
-                        owned.iter().map(|a| (a, throwaway.clone())).collect();
-                    if let Some(derived) = derive(cid, clause, &children, view.var_gen_mut()) {
-                        // Keep only derivations overlapping some deleted
-                        // region (P''-style pruning), and only solvable
-                        // ones.
-                        let mut overlaps = false;
-                        for p in regions {
-                            if p.args.len() != derived.atom.args.len() {
-                                continue;
-                            }
-                            let ppsi = p
-                                .constraint_at(&derived.atom.args, view.var_gen_mut())
-                                .expect("arity checked");
-                            stats.solver_calls += 1;
-                            if satisfiable_with(
-                                &derived.atom.constraint.clone().and(ppsi),
-                                resolver,
-                                &config.solver,
-                            ) != Truth::Unsat
-                            {
-                                overlaps = true;
-                                break;
-                            }
+                };
+                combos.clear();
+                collect_combos(
+                    view,
+                    &clause.body,
+                    dpos,
+                    &DeltaSource::Entries(dlist),
+                    Some(&scope),
+                    &mut jstats,
+                    &mut combos,
+                );
+                for chunk in combos.chunks_exact(n) {
+                    let derived = {
+                        let children: Vec<&ConstrainedAtom> =
+                            chunk.iter().map(|&id| &view.entry(id).atom).collect();
+                        derive(clause, &children, gen)
+                    };
+                    let Some(derived) = derived else {
+                        continue;
+                    };
+                    // Keep only derivations overlapping some deleted
+                    // region (P''-style pruning), and only solvable ones.
+                    let mut overlaps = false;
+                    for p in regions {
+                        if p.args.len() != derived.atom.args.len() {
+                            continue;
                         }
-                        if overlaps {
-                            stats.solver_calls += 1;
-                            if satisfiable_with(&derived.atom.constraint, resolver, &config.solver)
-                                != Truth::Unsat
-                            {
-                                if let Some(id) = view.insert(derived.atom, None, vec![]) {
-                                    next_ids.push(id);
-                                    stats.rederived += 1;
-                                    if view.len() > config.max_entries {
-                                        return Err(DredError::Budget(
-                                            FixpointError::EntryBudget {
-                                                entries: view.len(),
-                                            },
-                                        ));
-                                    }
-                                }
+                        let ppsi = p
+                            .constraint_at(&derived.atom.args, gen)
+                            .expect("arity checked");
+                        stats.solver_calls += 1;
+                        if satisfiable_with(
+                            &derived.atom.constraint.clone().and(ppsi),
+                            resolver,
+                            &config.solver,
+                        ) != Truth::Unsat
+                        {
+                            overlaps = true;
+                            break;
+                        }
+                    }
+                    if !overlaps {
+                        continue;
+                    }
+                    stats.solver_calls += 1;
+                    if satisfiable_with(&derived.atom.constraint, resolver, &config.solver)
+                        != Truth::Unsat
+                    {
+                        if let Some(id) = view.insert(derived.atom, None, vec![]) {
+                            next_ids.push(id);
+                            stats.rederived += 1;
+                            if view.len() > config.max_entries {
+                                return Err(DredError::Budget(FixpointError::EntryBudget {
+                                    entries: view.len(),
+                                }));
                             }
                         }
                     }
-                    for i in 0..n {
-                        combo[i] += 1;
-                        if combo[i] < lists[i].len() {
-                            continue 'combos;
-                        }
-                        combo[i] = 0;
-                    }
-                    break;
                 }
             }
         }
@@ -421,6 +400,8 @@ pub fn dred_delete(
             stats.removed += 1;
         }
     }
+    stats.index_probes = jstats.index_probes;
+    stats.candidates_scanned = jstats.candidates_scanned;
     Ok(stats)
 }
 
@@ -657,7 +638,7 @@ mod tests {
         );
         // Build Del for the oracle the same way the algorithm does.
         let mut oracle_del: Vec<ConstrainedAtom> = Vec::new();
-        for id in view.entries_for_pred("A") {
+        for id in view.entries_for_pred("A").to_vec() {
             let atom = view.entry(id).atom.clone();
             let dpsi = deletion
                 .constraint_at(&atom.args, view.var_gen_mut())

@@ -74,7 +74,8 @@ pub fn stdel_delete(
     let mut pout: FxHashMap<Support, Vec<ConstrainedAtom>> = FxHashMap::default();
 
     // ---- Step 2: direct deletions ---------------------------------------
-    let direct: Vec<EntryId> = view.entries_for_pred(&deletion.pred);
+    // Snapshot: the loop below replaces constraints while iterating.
+    let direct: Vec<EntryId> = view.entries_for_pred(&deletion.pred).to_vec();
     for id in direct {
         let entry = view.entry(id);
         if entry.atom.args.len() != deletion.args.len() {

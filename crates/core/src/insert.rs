@@ -49,16 +49,19 @@ pub fn insert_atom(
     let mut stats = InsertStats::default();
 
     // ---- Build Add: φ ∧ ⋀ not(ψ_existing) -------------------------------
+    // The var gen leaves the view while existing entries stay borrowed
+    // (see `tp::propagate`), so no entry atom is cloned here.
+    let mut gen = std::mem::take(view.var_gen_mut());
     // Standardize the insertion apart from the view's variables first.
-    let ins = insertion.rename(view.var_gen_mut());
+    let ins = insertion.rename(&mut gen);
     let mut add_constraint = ins.constraint.clone();
-    for id in view.entries_for_pred(&ins.pred) {
-        let entry_atom = view.entry(id).atom.clone();
+    for &id in view.entries_for_pred(&ins.pred) {
+        let entry_atom = &view.entry(id).atom;
         if entry_atom.args.len() != ins.args.len() {
             continue;
         }
         let epsi = entry_atom
-            .constraint_at(&ins.args, view.var_gen_mut())
+            .constraint_at(&ins.args, &mut gen)
             .expect("arity checked");
         // Excluding a region disjoint from the insertion excludes
         // nothing: skip it. This keeps Add small — conjoining a not()
@@ -70,6 +73,7 @@ pub fn insert_atom(
         }
         add_constraint = add_constraint.and_lit(Lit::Not(epsi));
     }
+    *view.var_gen_mut() = gen;
     // Solvability gate: nothing new to insert if Add is unsolvable.
     if satisfiable_with(&add_constraint, resolver, &config.solver) == Truth::Unsat {
         return Ok(stats);

@@ -66,13 +66,16 @@ pub fn build_del(
     config: &FixpointConfig,
 ) -> Vec<ConstrainedAtom> {
     let mut del = Vec::new();
-    for id in view.entries_for_pred(&deletion.pred) {
-        let atom = view.entry(id).atom.clone();
+    // Borrow entries directly while the var gen is out of the view (see
+    // `tp::propagate`) — no entry atom clones.
+    let mut gen = std::mem::take(view.var_gen_mut());
+    for &id in view.entries_for_pred(&deletion.pred) {
+        let atom = &view.entry(id).atom;
         if atom.args.len() != deletion.args.len() {
             continue;
         }
         let dpsi = deletion
-            .constraint_at(&atom.args, view.var_gen_mut())
+            .constraint_at(&atom.args, &mut gen)
             .expect("arity checked");
         let region = atom.constraint.clone().and(dpsi);
         if satisfiable_with(&region, resolver, &config.solver) == Truth::Unsat {
@@ -84,6 +87,7 @@ pub fn build_del(
             constraint: region,
         });
     }
+    *view.var_gen_mut() = gen;
     del
 }
 

@@ -44,6 +44,74 @@ pub struct Entry {
     pub children_args: Vec<Vec<Term>>,
     /// Whether the entry is live (dead entries are tombstones).
     pub alive: bool,
+    /// Position of this entry in its predicate's live list (meaningful
+    /// only while `alive`; lets `remove` unregister in O(1)).
+    live_slot: usize,
+}
+
+/// Per-predicate access structures, maintained incrementally by
+/// `insert`/`remove` so the fixpoint engine never rescans the view.
+///
+/// `live` holds the ids of all live entries of the predicate (unordered;
+/// removal is a swap-remove). `by_const[p]` discriminates live entries by
+/// the constant at argument position `p`; entries whose argument at `p`
+/// is a variable or field projection go to `nonconst[p]` instead — a
+/// probe for value `v` at `p` must scan `by_const[p][v] ∪ nonconst[p]`,
+/// since a variable argument can take any value under its constraint.
+#[derive(Debug, Clone, Default)]
+struct PredIndex {
+    live: Vec<EntryId>,
+    by_const: Vec<FxHashMap<Value, Vec<EntryId>>>,
+    nonconst: Vec<Vec<EntryId>>,
+}
+
+impl PredIndex {
+    fn ensure_arity(&mut self, n: usize) {
+        if self.by_const.len() < n {
+            self.by_const.resize_with(n, FxHashMap::default);
+            self.nonconst.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// The result of a [`MaterializedView::probe`]: up to two borrowed id
+/// lists (constant matches and non-constant entries of the chosen
+/// position, or the full live list when no position was bound).
+#[derive(Debug, Clone, Copy)]
+pub struct Probe<'a> {
+    primary: &'a [EntryId],
+    secondary: &'a [EntryId],
+    discriminated: bool,
+}
+
+impl<'a> Probe<'a> {
+    const EMPTY: Probe<'static> = Probe {
+        primary: &[],
+        secondary: &[],
+        discriminated: false,
+    };
+
+    /// Number of candidate entries.
+    pub fn len(&self) -> usize {
+        self.primary.len() + self.secondary.len()
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the lookup was answered by the constant-argument
+    /// discrimination index (at least one pattern position was bound),
+    /// as opposed to falling back to the full live list.
+    pub fn discriminated(&self) -> bool {
+        self.discriminated
+    }
+
+    /// Iterates the candidate entry ids.
+    pub fn iter(&self) -> impl Iterator<Item = EntryId> + 'a {
+        self.primary.iter().chain(self.secondary).copied()
+    }
 }
 
 /// A ground fact of the instance semantics `[M]`.
@@ -74,7 +142,7 @@ impl std::error::Error for InstanceError {}
 pub struct MaterializedView {
     mode: SupportMode,
     entries: Vec<Entry>,
-    by_pred: FxHashMap<Arc<str>, Vec<EntryId>>,
+    preds: FxHashMap<Arc<str>, PredIndex>,
     by_support: FxHashMap<Support, EntryId>,
     by_canon: FxHashMap<u64, Vec<EntryId>>,
     live: usize,
@@ -90,7 +158,7 @@ impl MaterializedView {
         MaterializedView {
             mode,
             entries: Vec::new(),
-            by_pred: FxHashMap::default(),
+            preds: FxHashMap::default(),
             by_support: FxHashMap::default(),
             by_canon: FxHashMap::default(),
             live: 0,
@@ -170,12 +238,22 @@ impl MaterializedView {
         children_args: Vec<Vec<Term>>,
     ) -> EntryId {
         let id = self.entries.len();
-        self.by_pred.entry(atom.pred.clone()).or_default().push(id);
+        let idx = self.preds.entry(atom.pred.clone()).or_default();
+        idx.ensure_arity(atom.args.len());
+        let live_slot = idx.live.len();
+        idx.live.push(id);
+        for (p, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(v) => idx.by_const[p].entry(v.clone()).or_default().push(id),
+                _ => idx.nonconst[p].push(id),
+            }
+        }
         self.entries.push(Entry {
             atom,
             support,
             children_args,
             alive: true,
+            live_slot,
         });
         self.live += 1;
         id
@@ -191,17 +269,70 @@ impl MaterializedView {
         self.entries.iter().enumerate().filter(|(_, e)| e.alive)
     }
 
-    /// Ids of live entries for a predicate.
-    pub fn entries_for_pred(&self, pred: &str) -> Vec<EntryId> {
-        self.by_pred
+    /// Ids of live entries for a predicate (unordered; borrowed from the
+    /// incrementally-maintained per-predicate index). Snapshot with
+    /// `.to_vec()` if the view will be mutated while iterating.
+    pub fn entries_for_pred(&self, pred: &str) -> &[EntryId] {
+        self.preds
             .get(pred)
-            .map(|ids| {
-                ids.iter()
-                    .copied()
-                    .filter(|&i| self.entries[i].alive)
-                    .collect()
-            })
-            .unwrap_or_default()
+            .map(|ix| ix.live.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of entry slots, live and tombstoned (every
+    /// [`EntryId`] ever issued is below this watermark).
+    pub fn entry_slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Live candidate entries of `pred` that *may* match `pattern`
+    /// (`Some(v)` = that argument position must be able to equal `v`).
+    ///
+    /// Uses the constant-argument discrimination index: the most
+    /// selective bound position contributes its exact constant matches
+    /// plus all entries with a non-constant argument there (whose
+    /// constraints may or may not admit `v` — the caller's join/solve
+    /// step decides). The result is a superset of the truly matching
+    /// entries and a subset of all live entries of `pred`.
+    pub fn probe<'a>(&'a self, pred: &str, pattern: &[Option<&Value>]) -> Probe<'a> {
+        self.probe_with(pred, pattern.iter().copied())
+    }
+
+    /// [`MaterializedView::probe`] over a streamed pattern — the join
+    /// engine's allocation-free entry point (the pattern is consumed
+    /// positionally without materializing a buffer).
+    pub fn probe_with<'a, 'p>(
+        &'a self,
+        pred: &str,
+        pattern: impl IntoIterator<Item = Option<&'p Value>>,
+    ) -> Probe<'a> {
+        let Some(ix) = self.preds.get(pred) else {
+            return Probe::EMPTY;
+        };
+        let mut best: Option<Probe<'a>> = None;
+        for (p, pat) in pattern.into_iter().enumerate() {
+            let Some(v) = pat else { continue };
+            let consts: &[EntryId] = ix
+                .by_const
+                .get(p)
+                .and_then(|m| m.get(v))
+                .map(|ids| ids.as_slice())
+                .unwrap_or(&[]);
+            let nons: &[EntryId] = ix.nonconst.get(p).map(|ids| ids.as_slice()).unwrap_or(&[]);
+            let cand = Probe {
+                primary: consts,
+                secondary: nons,
+                discriminated: true,
+            };
+            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
+                best = Some(cand);
+            }
+        }
+        best.unwrap_or(Probe {
+            primary: &ix.live,
+            secondary: &[],
+            discriminated: false,
+        })
     }
 
     /// The entry owning `support`, if live.
@@ -212,14 +343,46 @@ impl MaterializedView {
             .filter(|&i| self.entries[i].alive)
     }
 
-    /// Tombstones an entry.
+    /// Tombstones an entry and unregisters it from the predicate indexes.
     pub fn remove(&mut self, id: EntryId) -> bool {
-        let e = &mut self.entries[id];
-        if !e.alive {
-            return false;
-        }
-        e.alive = false;
+        let (pred, slot) = {
+            let e = &mut self.entries[id];
+            if !e.alive {
+                return false;
+            }
+            e.alive = false;
+            (e.atom.pred.clone(), e.live_slot)
+        };
         self.live -= 1;
+        // Per-position discrimination keys of the removed entry.
+        let keys: Vec<Option<Value>> = self.entries[id]
+            .atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        let idx = self.preds.get_mut(&pred).expect("registered predicate");
+        idx.live.swap_remove(slot);
+        let moved = idx.live.get(slot).copied();
+        for (p, key) in keys.iter().enumerate() {
+            match key {
+                Some(v) => {
+                    if let Some(ids) = idx.by_const[p].get_mut(v) {
+                        ids.retain(|&x| x != id);
+                        if ids.is_empty() {
+                            idx.by_const[p].remove(v);
+                        }
+                    }
+                }
+                None => idx.nonconst[p].retain(|&x| x != id),
+            }
+        }
+        if let Some(m) = moved {
+            self.entries[m].live_slot = slot;
+        }
         true
     }
 
@@ -266,7 +429,7 @@ impl MaterializedView {
         config: &SolverConfig,
     ) -> Result<BTreeSet<Vec<Value>>, InstanceError> {
         let mut out = BTreeSet::new();
-        for id in self.entries_for_pred(pred) {
+        for &id in self.entries_for_pred(pred) {
             let e = &self.entries[id];
             if e.atom.args.len() != pattern.len() {
                 continue;
@@ -306,32 +469,27 @@ impl MaterializedView {
     }
 
     /// Whether two views are *syntactically* identical (same live atoms
-    /// and supports, order-insensitive) — the property Theorem 4
-    /// guarantees for `W_P` views across external updates.
+    /// up to variable renaming, with the same supports,
+    /// order-insensitive) — the property Theorem 4 guarantees for `W_P`
+    /// views across external updates. Atoms are canonicalized before
+    /// comparison so that views built by differently-ordered but
+    /// equivalent derivation sequences compare equal.
     pub fn syntactically_equal(&self, other: &MaterializedView) -> bool {
-        let mut a: Vec<String> = self
-            .live_entries()
-            .map(|(_, e)| {
-                format!(
-                    "{} @ {:?}",
-                    e.atom,
-                    e.support.as_ref().map(|s| s.to_string())
-                )
-            })
-            .collect();
-        let mut b: Vec<String> = other
-            .live_entries()
-            .map(|(_, e)| {
-                format!(
-                    "{} @ {:?}",
-                    e.atom,
-                    e.support.as_ref().map(|s| s.to_string())
-                )
-            })
-            .collect();
-        a.sort();
-        b.sort();
-        a == b
+        fn render(v: &MaterializedView) -> Vec<String> {
+            let mut out: Vec<String> = v
+                .live_entries()
+                .map(|(_, e)| {
+                    format!(
+                        "{} @ {:?}",
+                        canonicalize(&e.atom),
+                        e.support.as_ref().map(|s| s.to_string())
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        }
+        render(self) == render(other)
     }
 
     /// Deep-copies the live entries into a fresh view (compaction).
@@ -470,6 +628,61 @@ mod tests {
         assert!(!v.remove(id));
         assert_eq!(v.len(), 0);
         assert!(v.entries_for_pred("p").is_empty());
+    }
+
+    #[test]
+    fn probe_discriminates_on_constant_arguments() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        for i in 0..10 {
+            v.insert(
+                ConstrainedAtom::fact("e", vec![Value::int(1), Value::int(i)]),
+                None,
+                vec![],
+            );
+        }
+        let odd = v
+            .insert(
+                ConstrainedAtom::fact("e", vec![Value::int(2), Value::int(5)]),
+                None,
+                vec![],
+            )
+            .unwrap();
+        // A non-constant first argument: must appear in every probe of
+        // position 0 (its constraint may admit any value).
+        let t = Term::var(Var(0));
+        let ranged = v
+            .insert(
+                ConstrainedAtom::new(
+                    "e",
+                    vec![t.clone(), Term::int(9)],
+                    Constraint::cmp(t, CmpOp::Le, Term::int(3)),
+                ),
+                None,
+                vec![],
+            )
+            .unwrap();
+        let two = Value::int(2);
+        let hits: Vec<EntryId> = v.probe("e", &[Some(&two), None]).iter().collect();
+        assert!(hits.contains(&odd));
+        assert!(hits.contains(&ranged));
+        assert_eq!(hits.len(), 2, "e(1, _) facts must be pruned");
+        // Unbound pattern falls back to the full live list.
+        assert_eq!(v.probe("e", &[None, None]).len(), 12);
+        // Unknown predicate or never-seen constant yields nothing
+        // constant-indexed (only the non-constant entry remains).
+        assert!(v.probe("ghost", &[Some(&two), None]).is_empty());
+        let unseen = Value::int(77);
+        let fallback: Vec<EntryId> = v.probe("e", &[Some(&unseen), None]).iter().collect();
+        assert_eq!(fallback, vec![ranged]);
+        // Removal unregisters from every index list.
+        assert!(v.remove(odd));
+        let after: Vec<EntryId> = v.probe("e", &[Some(&two), None]).iter().collect();
+        assert_eq!(after, vec![ranged]);
+        assert_eq!(v.entries_for_pred("e").len(), 11);
+        // The most selective bound position wins: binding position 1 to 5
+        // scans the e(1,5) fact plus the nonconst-free position-1 list.
+        let five = Value::int(5);
+        assert_eq!(v.probe("e", &[None, Some(&five)]).len(), 1);
     }
 
     #[test]

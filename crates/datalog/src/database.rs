@@ -1,8 +1,10 @@
 //! Tuple storage for the ground engine: per-predicate relations with
-//! per-position hash indexes, chosen-most-selective at lookup time.
+//! per-position hash indexes (the storage crate's [`HashIndex`]),
+//! chosen-most-selective at lookup time.
 
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::Value;
+use mmv_storage::HashIndex;
 use std::sync::Arc;
 
 use crate::ast::Fact;
@@ -12,8 +14,8 @@ use crate::ast::Fact;
 pub struct Relation {
     tuples: Vec<Vec<Value>>,
     position_of: FxHashMap<Vec<Value>, usize>,
-    /// `indexes[col][value]` = tuple slots having `value` at `col`.
-    indexes: Vec<FxHashMap<Value, Vec<usize>>>,
+    /// `indexes[col]` maps a value to the tuple slots having it at `col`.
+    indexes: Vec<HashIndex>,
     /// Tombstoned slots (deleted tuples keep their slot).
     dead: Vec<bool>,
     live: usize,
@@ -51,10 +53,10 @@ impl Relation {
         }
         let slot = self.tuples.len();
         if self.indexes.len() < tuple.len() {
-            self.indexes.resize_with(tuple.len(), FxHashMap::default);
+            self.indexes.resize_with(tuple.len(), HashIndex::new);
         }
         for (col, v) in tuple.iter().enumerate() {
-            self.indexes[col].entry(v.clone()).or_default().push(slot);
+            self.indexes[col].add(v.clone(), slot);
         }
         self.position_of.insert(tuple.clone(), slot);
         self.tuples.push(tuple);
@@ -84,21 +86,22 @@ impl Relation {
             .map(|(_, t)| t.as_slice())
     }
 
-    /// Live tuples matching a pattern (`None` = wildcard), using the most
-    /// selective bound column's index.
-    pub fn matching<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+    /// Streams the live tuples matching a pattern (`None` = wildcard)
+    /// into `f`, using the most selective bound column's index. This is
+    /// the allocation-free primitive behind [`Relation::matching`] and
+    /// the join engine's candidate enumeration.
+    pub fn for_each_matching<'a>(
+        &'a self,
+        pattern: &[Option<Value>],
+        f: &mut dyn FnMut(&'a [Value]),
+    ) {
         // Pick the bound column with the smallest candidate list.
-        let mut best: Option<(usize, &Vec<usize>)> = None;
+        let mut best: Option<&[usize]> = None;
         for (col, p) in pattern.iter().enumerate() {
             if let Some(v) = p {
-                let slots: Option<&Vec<usize>> = self.indexes.get(col).and_then(|ix| ix.get(v));
-                match slots {
-                    None => return Vec::new(), // value never seen in col
-                    Some(s) => {
-                        if best.as_ref().is_none_or(|(_, b)| s.len() < b.len()) {
-                            best = Some((col, s));
-                        }
-                    }
+                let slots: &[usize] = self.indexes.get(col).map(|ix| ix.lookup(v)).unwrap_or(&[]);
+                if best.is_none_or(|b| slots.len() < b.len()) {
+                    best = Some(slots);
                 }
             }
         }
@@ -109,14 +112,31 @@ impl Relation {
                 .all(|(p, v)| p.as_ref().is_none_or(|pv| pv == v))
         };
         match best {
-            Some((_, slots)) => slots
-                .iter()
-                .filter(|&&i| !self.dead[i])
-                .map(|&i| self.tuples[i].as_slice())
-                .filter(|t| check(t))
-                .collect(),
-            None => self.iter().filter(|t| check(t)).collect(),
+            Some(slots) => {
+                for &i in slots {
+                    if !self.dead[i] {
+                        let t = self.tuples[i].as_slice();
+                        if check(t) {
+                            f(t);
+                        }
+                    }
+                }
+            }
+            None => {
+                for t in self.iter() {
+                    if check(t) {
+                        f(t);
+                    }
+                }
+            }
         }
+    }
+
+    /// Live tuples matching a pattern, collected into a vector.
+    pub fn matching<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        let mut out = Vec::new();
+        self.for_each_matching(pattern, &mut |t| out.push(t));
+        out
     }
 }
 

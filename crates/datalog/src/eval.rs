@@ -60,22 +60,44 @@ fn bind_tuple(atom: &DlAtom, tuple: &[Value], b: &mut Bindings, trail: &mut Vec<
 
 /// A source of tuples for one body position during a join.
 pub trait TupleSource {
-    /// Live tuples of `pred` matching the pattern.
-    fn candidates<'a>(&'a self, pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]>;
+    /// Streams the live tuples of `pred` matching the pattern into `f`
+    /// (no per-probe allocation — the join engine's hot path).
+    fn for_each_candidate<'a>(
+        &'a self,
+        pred: &str,
+        pattern: &[Option<Value>],
+        f: &mut dyn FnMut(&'a [Value]),
+    );
+
+    /// Live tuples of `pred` matching the pattern, collected.
+    fn candidates<'a>(&'a self, pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
+        let mut out = Vec::new();
+        self.for_each_candidate(pred, pattern, &mut |t| out.push(t));
+        out
+    }
 }
 
 impl TupleSource for Database {
-    fn candidates<'a>(&'a self, pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
-        match self.relation(pred) {
-            Some(r) => r.matching(pattern),
-            None => Vec::new(),
+    fn for_each_candidate<'a>(
+        &'a self,
+        pred: &str,
+        pattern: &[Option<Value>],
+        f: &mut dyn FnMut(&'a [Value]),
+    ) {
+        if let Some(r) = self.relation(pred) {
+            r.for_each_matching(pattern, f);
         }
     }
 }
 
 impl TupleSource for Relation {
-    fn candidates<'a>(&'a self, _pred: &str, pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
-        self.matching(pattern)
+    fn for_each_candidate<'a>(
+        &'a self,
+        _pred: &str,
+        pattern: &[Option<Value>],
+        f: &mut dyn FnMut(&'a [Value]),
+    ) {
+        self.for_each_matching(pattern, f);
     }
 }
 
@@ -83,8 +105,12 @@ impl TupleSource for Relation {
 pub struct NoTuples;
 
 impl TupleSource for NoTuples {
-    fn candidates<'a>(&'a self, _pred: &str, _pattern: &[Option<Value>]) -> Vec<&'a [Value]> {
-        Vec::new()
+    fn for_each_candidate<'a>(
+        &'a self,
+        _pred: &str,
+        _pattern: &[Option<Value>],
+        _f: &mut dyn FnMut(&'a [Value]),
+    ) {
     }
 }
 
@@ -113,8 +139,7 @@ fn join_rec(
     }
     let atom = &body[pos];
     let pat = pattern(atom, bindings);
-    let cands = sources[pos].candidates(&atom.pred, &pat);
-    for tuple in cands {
+    sources[pos].for_each_candidate(&atom.pred, &pat, &mut |tuple| {
         let mut trail = Vec::new();
         if bind_tuple(atom, tuple, bindings, &mut trail) {
             join_rec(body, sources, pos + 1, bindings, on_match);
@@ -122,7 +147,7 @@ fn join_rec(
         for v in trail {
             bindings.remove(&v);
         }
-    }
+    });
 }
 
 /// Computes the least model of `program` by semi-naive iteration.
