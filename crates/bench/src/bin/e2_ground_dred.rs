@@ -1,5 +1,5 @@
 //! E2 — Ground specialization: the constrained Extended DRed vs the
-//! ground DRed of Gupta–Mumick–Subrahmanian [22].
+//! ground DRed of Gupta–Mumick–Subrahmanian \[22\].
 //!
 //! Paper claim (§1 item 2): the constrained framework subsumes the
 //! unconstrained case. This experiment (a) verifies both engines compute

@@ -10,7 +10,9 @@ use mmv_bench::harness::{
     banner, fmt_duration, json_path_from_args, median_time, JsonReport, JsonRow, Table,
 };
 use mmv_constraints::NoDomains;
-use mmv_core::{fixpoint, insert_atom, Clause, FixpointConfig, Operator, SupportMode};
+use mmv_core::{
+    fixpoint, insert_atom, insert_batch, Clause, FixpointConfig, Operator, SupportMode,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -29,8 +31,10 @@ fn main() {
         "facts/pred",
         "view entries",
         "batch",
-        "Algorithm 3",
+        "Alg 3 batched",
+        "Alg 3 seq",
         "recompute",
+        "ops/s",
         "speedup",
     ]);
     for &facts in &sizes {
@@ -55,6 +59,13 @@ fn main() {
             let insertions: Vec<_> = (0..batch)
                 .map(|k| random_insertion(&spec, 0xE3 + k as u64, 10))
                 .collect();
+            // The batched entry point: one P_ADD propagation for the
+            // whole insertion set.
+            let t_batched = median_time(1, runs, || {
+                let mut v = view.clone();
+                insert_batch(&db, &mut v, &insertions, &NoDomains, Operator::Tp, &cfg)
+                    .expect("insert batch");
+            });
             let t_incremental = median_time(1, runs, || {
                 let mut v = view.clone();
                 for ins in &insertions {
@@ -79,15 +90,18 @@ fn main() {
                 )
                 .expect("recompute");
             });
+            let ops = batch as f64 / t_batched.as_secs_f64().max(1e-9);
             table.row(vec![
                 facts.to_string(),
                 view.len().to_string(),
                 batch.to_string(),
+                fmt_duration(t_batched),
                 fmt_duration(t_incremental),
                 fmt_duration(t_recompute),
+                format!("{ops:.0}"),
                 format!(
                     "{:.1}x",
-                    t_recompute.as_secs_f64() / t_incremental.as_secs_f64().max(1e-9)
+                    t_recompute.as_secs_f64() / t_batched.as_secs_f64().max(1e-9)
                 ),
             ]);
             report.push(
@@ -95,7 +109,9 @@ fn main() {
                     .int("facts_per_pred", facts as i64)
                     .int("view_entries", view.len() as i64)
                     .int("batch", batch as i64)
+                    .secs("insert_batch_s", t_batched)
                     .secs("insert_s", t_incremental)
+                    .float("insert_batch_ops_per_sec", ops)
                     .secs("recompute_s", t_recompute),
             );
         }
@@ -105,6 +121,8 @@ fn main() {
     println!();
     println!(
         "expected shape: Algorithm 3 cost scales with the batch, \
-         recomputation with the whole view; speedup grows with view size."
+         recomputation with the whole view; speedup grows with view size; \
+         the batched entry point beats sequential insertion by sharing \
+         one P_ADD propagation."
     );
 }

@@ -1,7 +1,7 @@
 //! E5 — Recursive views: StDel works where the counting algorithm fails.
 //!
 //! Paper claim (§3.1.2 discussion + Conclusion): the counting method of
-//! [21] "can lead to infinite counts" on recursive views and is rejected
+//! \[21\] "can lead to infinite counts" on recursive views and is rejected
 //! here at construction; StDel handles recursion (Example 6), and its
 //! result agrees with ground DRed and full recomputation.
 //!

@@ -53,26 +53,29 @@ pub fn pred_name(layer: usize, j: usize) -> String {
     format!("p{layer}_{j}")
 }
 
-/// Generates the layered program.
+/// Generates the layered program. Layer-0 facts are exactly the
+/// intervals of [`fact_intervals`] (the single source of truth, so
+/// update generators like [`effective_deletion`] can never desync from
+/// the program).
 pub fn layered_program(spec: &LayeredSpec) -> ConstrainedDatabase {
     assert!(spec.preds_per_layer >= 1 && spec.body_atoms >= 1);
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let x = Term::var(Var(0));
     let mut db = ConstrainedDatabase::new();
-    for j in 0..spec.preds_per_layer {
-        for _ in 0..spec.facts_per_pred {
-            let lo = rng.gen_range(0..spec.value_space.max(1));
-            let hi = lo + spec.interval_width;
-            db.push(Clause::fact(
-                &pred_name(0, j),
-                vec![x.clone()],
-                Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
-                    x.clone(),
-                    CmpOp::Le,
-                    Term::int(hi),
-                )),
-            ));
-        }
+    for (pred, lo, hi) in fact_intervals(spec) {
+        db.push(Clause::fact(
+            &pred,
+            vec![x.clone()],
+            Constraint::cmp(x.clone(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
+                x.clone(),
+                CmpOp::Le,
+                Term::int(hi),
+            )),
+        ));
+        // Keep this RNG's stream identical to the pre-fact_intervals
+        // layout: the fact loop used to draw one value per fact, and the
+        // wiring draws below continue from that position.
+        let _ = rng.gen_range(0..spec.value_space.max(1));
     }
     for layer in 1..=spec.layers {
         for j in 0..spec.preds_per_layer {
@@ -100,7 +103,8 @@ pub fn layered_program(spec: &LayeredSpec) -> ConstrainedDatabase {
 }
 
 /// A random point-deletion request against a layer-0 predicate of the
-/// spec (the update workload of E1).
+/// spec (the update workload of E1). The point is uniform over the
+/// value space, so it may or may not hit a fact interval.
 pub fn random_deletion(spec: &LayeredSpec, seed: u64) -> ConstrainedAtom {
     let mut rng = SmallRng::seed_from_u64(seed);
     let j = rng.gen_range(0..spec.preds_per_layer);
@@ -111,6 +115,34 @@ pub fn random_deletion(spec: &LayeredSpec, seed: u64) -> ConstrainedAtom {
         vec![x.clone()],
         Constraint::eq(x, Term::int(point)),
     )
+}
+
+/// The layer-0 fact intervals of the spec, in generation order:
+/// `(predicate, lo, hi)`. [`layered_program`] builds its layer-0 fact
+/// clauses from exactly this list.
+pub fn fact_intervals(spec: &LayeredSpec) -> Vec<(String, i64, i64)> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.preds_per_layer * spec.facts_per_pred);
+    for j in 0..spec.preds_per_layer {
+        for _ in 0..spec.facts_per_pred {
+            let lo = rng.gen_range(0..spec.value_space.max(1));
+            out.push((pred_name(0, j), lo, lo + spec.interval_width));
+        }
+    }
+    out
+}
+
+/// A point-deletion request guaranteed to hit a layer-0 fact: the point
+/// is drawn *inside* a random fact's interval, so the deletion always
+/// produces a non-empty `Del` set (the batched-maintenance benchmarks
+/// need every update to trigger a real maintenance pass).
+pub fn effective_deletion(spec: &LayeredSpec, seed: u64) -> ConstrainedAtom {
+    let intervals = fact_intervals(spec);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xde1e7e);
+    let (pred, lo, hi) = &intervals[rng.gen_range(0..intervals.len())];
+    let point = rng.gen_range(*lo..=*hi);
+    let x = Term::var(Var(0));
+    ConstrainedAtom::new(pred, vec![x.clone()], Constraint::eq(x, Term::int(point)))
 }
 
 /// A random small-interval insertion request against a layer-0 predicate
@@ -189,6 +221,43 @@ mod tests {
         assert!(d.pred.starts_with("p0_"));
         let d2 = random_deletion(&spec, 9);
         assert_eq!(d.to_string(), d2.to_string());
+    }
+
+    #[test]
+    fn effective_deletions_always_hit_a_fact() {
+        // Cover the bench configurations (E1/E8 use 8–16 facts/pred),
+        // not just the default spec.
+        for facts_per_pred in [4, 8, 16] {
+            let spec = LayeredSpec {
+                facts_per_pred,
+                ..LayeredSpec::default()
+            };
+            let intervals = fact_intervals(&spec);
+            assert_eq!(intervals.len(), spec.preds_per_layer * spec.facts_per_pred);
+            let db = layered_program(&spec);
+            let (view, _) = fixpoint(
+                &db,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &FixpointConfig::default(),
+            )
+            .unwrap();
+            for seed in 0..16 {
+                let d = effective_deletion(&spec, seed);
+                let stats = mmv_core::stdel_delete(
+                    &mut view.clone(),
+                    &d,
+                    &NoDomains,
+                    &mmv_constraints::SolverConfig::default(),
+                )
+                .unwrap();
+                assert!(
+                    stats.direct_replacements > 0,
+                    "deletion {d} (seed {seed}) hit nothing"
+                );
+            }
+        }
     }
 
     #[test]

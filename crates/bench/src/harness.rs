@@ -109,6 +109,84 @@ pub fn banner(id: &str, claim: &str) {
     println!();
 }
 
+/// Median timings of one batched-vs-sequential deletion comparison
+/// (shared by E1's multi-update sweep and E8's part 2).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedDeletionTimings {
+    /// One `stdel_delete_batch` pass over the whole deletion set.
+    pub stdel_batch: Duration,
+    /// One `stdel_delete` pass per deletion.
+    pub stdel_sequential: Duration,
+    /// One `dred_delete_batch` pass over the whole deletion set.
+    pub dred_batch: Duration,
+    /// One `dred_delete` pass per deletion.
+    pub dred_sequential: Duration,
+}
+
+impl BatchedDeletionTimings {
+    /// Sequential-over-batch latency ratio for StDel.
+    pub fn stdel_ratio(&self) -> f64 {
+        self.stdel_sequential.as_secs_f64() / self.stdel_batch.as_secs_f64().max(1e-9)
+    }
+
+    /// Sequential-over-batch latency ratio for Extended DRed.
+    pub fn dred_ratio(&self) -> f64 {
+        self.dred_sequential.as_secs_f64() / self.dred_batch.as_secs_f64().max(1e-9)
+    }
+
+    /// Batched StDel update throughput (deletions per second).
+    pub fn stdel_ops_per_sec(&self, k: usize) -> f64 {
+        k as f64 / self.stdel_batch.as_secs_f64().max(1e-9)
+    }
+
+    /// Batched Extended DRed update throughput (deletions per second).
+    pub fn dred_ops_per_sec(&self, k: usize) -> f64 {
+        k as f64 / self.dred_batch.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Times the four maintenance strategies for one deletion set: StDel
+/// and Extended DRed, batched (one set-oriented pass) versus sequential
+/// (one single-atom pass per deletion), each the median of `runs` runs
+/// on clones of the given base views.
+pub fn time_batched_deletions(
+    db: &mmv_core::ConstrainedDatabase,
+    with_supports: &mmv_core::MaterializedView,
+    plain: &mmv_core::MaterializedView,
+    deletions: &[mmv_core::ConstrainedAtom],
+    resolver: &dyn mmv_constraints::DomainResolver,
+    config: &mmv_core::FixpointConfig,
+    runs: usize,
+) -> BatchedDeletionTimings {
+    let stdel_batch = median_time(1, runs, || {
+        let mut v = with_supports.clone();
+        mmv_core::stdel_delete_batch(&mut v, deletions, resolver, &config.solver)
+            .expect("stdel batch");
+    });
+    let stdel_sequential = median_time(1, runs, || {
+        let mut v = with_supports.clone();
+        for d in deletions {
+            mmv_core::stdel_delete(&mut v, d, resolver, &config.solver).expect("stdel");
+        }
+    });
+    let dred_batch = median_time(1, runs, || {
+        let mut v = plain.clone();
+        mmv_core::dred_delete_batch(db, &mut v, deletions, resolver, config).expect("dred batch");
+    });
+    let dred_sequential = median_time(1, runs, || {
+        let mut v = plain.clone();
+        for d in deletions {
+            mmv_core::dred_delete(db, &mut v, d, resolver, config).expect("dred");
+        }
+    });
+    BatchedDeletionTimings {
+        stdel_batch,
+        stdel_sequential,
+        dred_batch,
+        dred_sequential,
+    }
+}
+
 /// The `--json <path>` argument of an experiment binary, if present.
 /// Exits with an error if `--json` is given without a usable path, so a
 /// CI trajectory step can never silently produce no report.

@@ -16,7 +16,7 @@
 //! * [`valueset::ValueSet`] — lazy (possibly infinite) domain-call results,
 //! * [`solver`] — a sound three-valued satisfiability procedure plus exact
 //!   solution enumeration (the `[·]` instance semantics of §2.3),
-//! * [`simplify`] — the equivalence-preserving cleanup the paper applies in
+//! * [`simplify`](fn@simplify) — the equivalence-preserving cleanup the paper applies in
 //!   its worked examples,
 //! * [`normal`] — negation pushing / DNF,
 //! * [`fxhash`] — fast hashing for the engine's hot, integer-keyed maps.

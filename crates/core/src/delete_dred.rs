@@ -1,6 +1,6 @@
 //! The Extended DRed algorithm — Algorithm 1 of the paper (§3.1.1),
 //! generalizing the ground DRed algorithm of Gupta, Mumick &
-//! Subrahmanian [22] to constrained databases.
+//! Subrahmanian \[22\] to constrained databases.
 //!
 //! Given a deletion request `A(X⃗) ← φ` against a duplicate-free
 //! ([`SupportMode::Plain`]) view `M` of database `P`:
@@ -82,6 +82,28 @@ pub fn dred_delete(
     resolver: &dyn DomainResolver,
     config: &FixpointConfig,
 ) -> Result<ExtDredStats, DredError> {
+    dred_delete_batch(db, view, std::slice::from_ref(deletion), resolver, config)
+}
+
+/// Deletes the instances of a whole *set* of deletion requests from a
+/// plain view in one maintenance pass.
+///
+/// The batched run is Algorithm 1 applied to the union of the requests:
+/// `Del` collects every request's intersection with the view (requests
+/// are intersected in order, against the same pre-update view), the
+/// `P_OUT` overestimate is unfolded once from the combined frontier, the
+/// over-deletion weakens each entry with every overlapping region, and —
+/// the payoff — a *single* rederivation fixpoint closes the view under
+/// `P'` rewritten with the whole `Del` set. Sequential single-atom
+/// deletion pays the rederivation seed (a full live-entry delta) once
+/// per request; the batch pays it once total.
+pub fn dred_delete_batch(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    deletions: &[ConstrainedAtom],
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Result<ExtDredStats, DredError> {
     if view.mode() != SupportMode::Plain {
         return Err(DredError::NeedsPlainView);
     }
@@ -89,7 +111,7 @@ pub fn dred_delete(
     // `tp::propagate`): join children stay borrowed from the view while
     // `derive` standardizes apart.
     let mut gen = std::mem::take(view.var_gen_mut());
-    let result = dred_delete_inner(db, view, &mut gen, deletion, resolver, config);
+    let result = dred_delete_inner(db, view, &mut gen, deletions, resolver, config);
     *view.var_gen_mut() = gen;
     result
 }
@@ -98,33 +120,43 @@ fn dred_delete_inner(
     db: &ConstrainedDatabase,
     view: &mut MaterializedView,
     gen: &mut mmv_constraints::VarGen,
-    deletion: &ConstrainedAtom,
+    deletions: &[ConstrainedAtom],
     resolver: &dyn DomainResolver,
     config: &FixpointConfig,
 ) -> Result<ExtDredStats, DredError> {
     let mut stats = ExtDredStats::default();
     let mut jstats = FixpointStats::default();
 
-    // ---- Del: the deletion intersected with the view --------------------
+    // ---- Del: every deletion intersected with the view ------------------
     let mut del: Vec<ConstrainedAtom> = Vec::new();
-    for &id in view.entries_for_pred(&deletion.pred) {
-        let atom = &view.entry(id).atom;
-        if atom.args.len() != deletion.args.len() {
-            continue;
+    for deletion in deletions {
+        for &id in view.entries_for_pred(&deletion.pred) {
+            let atom = &view.entry(id).atom;
+            if atom.args.len() != deletion.args.len() {
+                continue;
+            }
+            let dpsi = deletion
+                .constraint_at(&atom.args, gen)
+                .expect("arity checked");
+            let region = atom.constraint.clone().and(dpsi);
+            stats.solver_calls += 1;
+            if satisfiable_with(&region, resolver, &config.solver) == Truth::Unsat {
+                continue;
+            }
+            // Keep Del regions compact: they are conjoined into P' and
+            // into every over-deleted entry, so redundancy here
+            // multiplies across the whole run (acute for batches,
+            // whose Del sets are larger).
+            let region = match mmv_constraints::simplify(&region) {
+                mmv_constraints::Simplified::Constraint(c) => c,
+                mmv_constraints::Simplified::Unsat => continue,
+            };
+            del.push(ConstrainedAtom {
+                pred: atom.pred.clone(),
+                args: atom.args.clone(),
+                constraint: region,
+            });
         }
-        let dpsi = deletion
-            .constraint_at(&atom.args, gen)
-            .expect("arity checked");
-        let region = atom.constraint.clone().and(dpsi);
-        stats.solver_calls += 1;
-        if satisfiable_with(&region, resolver, &config.solver) == Truth::Unsat {
-            continue;
-        }
-        del.push(ConstrainedAtom {
-            pred: atom.pred.clone(),
-            args: atom.args.clone(),
-            constraint: region,
-        });
     }
     stats.del_atoms = del.len();
     if del.is_empty() {
@@ -236,19 +268,24 @@ fn dred_delete_inner(
                     {
                         continue;
                     }
-                    constraint = constraint.and_lit(Lit::Not(ppsi));
+                    // Simplify after *each* conjunct, not once at the
+                    // end: the next region's solvability test (and, in
+                    // a batch, every later region's) runs against this
+                    // constraint, so letting raw not() chains pile up
+                    // makes those solver calls quadratically slower.
+                    constraint =
+                        match mmv_constraints::simplify(&constraint.and_lit(Lit::Not(ppsi))) {
+                            mmv_constraints::Simplified::Constraint(c) => c,
+                            mmv_constraints::Simplified::Unsat => {
+                                Constraint::lit(Lit::Not(Constraint::truth()))
+                            }
+                        };
                     changed = true;
                 }
                 (constraint, changed)
             };
             if changed {
-                let simplified = match mmv_constraints::simplify(&constraint) {
-                    mmv_constraints::Simplified::Constraint(c) => c,
-                    mmv_constraints::Simplified::Unsat => {
-                        Constraint::lit(Lit::Not(Constraint::truth()))
-                    }
-                };
-                view.replace_constraint(id, simplified);
+                view.replace_constraint(id, constraint);
                 touched.push(id);
                 stats.weakened += 1;
             }
@@ -256,7 +293,7 @@ fn dred_delete_inner(
     }
 
     // ---- Step 3: rederive within the P_OUT regions over P' ----------------
-    let pprime = rewrite_for_deletion(db, &del);
+    let pprime = rewrite_for_deletion_gated(db, &del, gen, resolver, config, &mut stats);
     let mut delta_ids: Vec<EntryId> = view.live_entries().map(|(id, _)| id).collect();
     // Constrained facts (empty-body clauses) of P' can themselves restore
     // deleted regions — e.g. Example 4's independent `A(X) <- X >= 3`.
@@ -425,6 +462,60 @@ pub fn rewrite_for_deletion(
             let dpsi = d
                 .constraint_at(&c.head_args, &mut gen)
                 .expect("arity checked");
+            c = Clause::new(
+                &c.head_pred,
+                c.head_args.clone(),
+                c.constraint.and_lit(Lit::Not(dpsi)),
+                c.body.clone(),
+            );
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// [`rewrite_for_deletion`] with a redundancy gate: a `not(Del-region)`
+/// is conjoined onto a clause only if the region *overlaps* the
+/// clause's own constraint — excluding a disjoint region excludes
+/// nothing (the same gate Algorithm 3 applies when building `Add`).
+///
+/// The blind rewrite is the declarative spec and stays as the oracle;
+/// this one keeps the executable `P'` small. The distinction is what
+/// makes *batched* deletion viable: a batch's `Del` holds every
+/// request's regions, and conjoining all of them onto every clause of a
+/// hot predicate makes each rederivation solver call case-split over a
+/// product of `not()` blocks — cost exponential in the batch size.
+/// Gated, each clause keeps only the regions it can actually lose,
+/// which is what the equivalent sequence of single-atom runs would have
+/// confronted one at a time.
+fn rewrite_for_deletion_gated(
+    db: &ConstrainedDatabase,
+    del: &[ConstrainedAtom],
+    gen: &mut mmv_constraints::VarGen,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+    stats: &mut ExtDredStats,
+) -> ConstrainedDatabase {
+    let mut out = ConstrainedDatabase::new();
+    for (_, clause) in db.clauses() {
+        let mut c = clause.clone();
+        for d in del {
+            if d.pred != clause.head_pred || d.args.len() != clause.head_args.len() {
+                continue;
+            }
+            let dpsi = d.constraint_at(&c.head_args, gen).expect("arity checked");
+            // Every derivation through the clause satisfies the clause
+            // constraint, so a region disjoint from it can never be
+            // produced — the not() would only bloat P'.
+            stats.solver_calls += 1;
+            if satisfiable_with(
+                &c.constraint.clone().and(dpsi.clone()),
+                resolver,
+                &config.solver,
+            ) == Truth::Unsat
+            {
+                continue;
+            }
             c = Clause::new(
                 &c.head_pred,
                 c.head_args.clone(),

@@ -65,6 +65,25 @@ pub fn stdel_delete(
     resolver: &dyn DomainResolver,
     config: &SolverConfig,
 ) -> Result<StDelStats, StDelError> {
+    stdel_delete_batch(view, std::slice::from_ref(deletion), resolver, config)
+}
+
+/// Deletes the instances of a whole *set* of deletion requests in one
+/// StDel pass (Algorithm 2 over the union of the requests).
+///
+/// Step 2 intersects each request with the view in order, so the `P_OUT`
+/// pairs of all requests accumulate on the affected supports; one upward
+/// propagation by support height then replaces every affected ancestor
+/// exactly once per pair, and one final sweep removes entries whose
+/// constraint became unsolvable. Sequential single-atom deletion walks
+/// the support forest (and re-sorts it by height) once per request; the
+/// batch walks it once total.
+pub fn stdel_delete_batch(
+    view: &mut MaterializedView,
+    deletions: &[ConstrainedAtom],
+    resolver: &dyn DomainResolver,
+    config: &SolverConfig,
+) -> Result<StDelStats, StDelError> {
     if view.mode() != SupportMode::WithSupports {
         return Err(StDelError::NeedsSupports);
     }
@@ -74,35 +93,37 @@ pub fn stdel_delete(
     let mut pout: FxHashMap<Support, Vec<ConstrainedAtom>> = FxHashMap::default();
 
     // ---- Step 2: direct deletions ---------------------------------------
-    // Snapshot: the loop below replaces constraints while iterating.
-    let direct: Vec<EntryId> = view.entries_for_pred(&deletion.pred).to_vec();
-    for id in direct {
-        let entry = view.entry(id);
-        if entry.atom.args.len() != deletion.args.len() {
-            continue;
+    for deletion in deletions {
+        // Snapshot: the loop below replaces constraints while iterating.
+        let direct: Vec<EntryId> = view.entries_for_pred(&deletion.pred).to_vec();
+        for id in direct {
+            let entry = view.entry(id);
+            if entry.atom.args.len() != deletion.args.len() {
+                continue;
+            }
+            let support = entry.support.clone().expect("WithSupports mode");
+            let atom = entry.atom.clone();
+            // Instantiate the deletion's constraint over this entry's args.
+            let dpsi = deletion
+                .constraint_at(&atom.args, view.var_gen_mut())
+                .expect("arity checked");
+            let region = atom.constraint.clone().and(dpsi.clone());
+            stats.solver_calls += 1;
+            if satisfiable_with(&region, resolver, config) == Truth::Unsat {
+                continue; // this entry contributes nothing to Del
+            }
+            // Replace F with A(X⃗) <- φ ∧ not(deletion-region).
+            let new_constraint = atom.constraint.clone().and_lit(Lit::Not(dpsi));
+            view.replace_constraint(id, simplify_keep(new_constraint));
+            stats.direct_replacements += 1;
+            // Record (removed region, spt(F)).
+            pout.entry(support).or_default().push(ConstrainedAtom {
+                pred: atom.pred.clone(),
+                args: atom.args.clone(),
+                constraint: region,
+            });
+            stats.pout_pairs += 1;
         }
-        let support = entry.support.clone().expect("WithSupports mode");
-        let atom = entry.atom.clone();
-        // Instantiate the deletion's constraint over this entry's args.
-        let dpsi = deletion
-            .constraint_at(&atom.args, view.var_gen_mut())
-            .expect("arity checked");
-        let region = atom.constraint.clone().and(dpsi.clone());
-        stats.solver_calls += 1;
-        if satisfiable_with(&region, resolver, config) == Truth::Unsat {
-            continue; // this entry contributes nothing to Del
-        }
-        // Replace F with A(X⃗) <- φ ∧ not(deletion-region).
-        let new_constraint = atom.constraint.clone().and_lit(Lit::Not(dpsi));
-        view.replace_constraint(id, simplify_keep(new_constraint));
-        stats.direct_replacements += 1;
-        // Record (removed region, spt(F)).
-        pout.entry(support).or_default().push(ConstrainedAtom {
-            pred: atom.pred.clone(),
-            args: atom.args.clone(),
-            constraint: region,
-        });
-        stats.pout_pairs += 1;
     }
     if pout.is_empty() {
         return Ok(stats);

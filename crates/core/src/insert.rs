@@ -19,7 +19,7 @@ use crate::atom::ConstrainedAtom;
 use crate::program::ConstrainedDatabase;
 use crate::support::{Producer, Support};
 use crate::tp::{propagate, FixpointConfig, FixpointError, FixpointStats, Operator};
-use crate::view::{MaterializedView, SupportMode};
+use crate::view::{EntryId, MaterializedView, SupportMode};
 use mmv_constraints::{satisfiable_with, DomainResolver, Lit, Truth};
 
 /// Statistics of one insertion run.
@@ -31,6 +31,18 @@ pub struct InsertStats {
     /// Entries derived by upward propagation (`P_ADD` beyond `Add`).
     pub propagated: usize,
     /// Fixpoint statistics of the propagation.
+    pub fixpoint: FixpointStats,
+}
+
+/// Statistics of one batched insertion run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InsertBatchStats {
+    /// Base `Add` entries materialized (≤ the number of requests; a
+    /// request whose instances are all present adds nothing).
+    pub added: usize,
+    /// Entries derived by upward propagation (`P_ADD` beyond the adds).
+    pub propagated: usize,
+    /// Fixpoint statistics of the (single) propagation pass.
     pub fixpoint: FixpointStats,
 }
 
@@ -46,8 +58,69 @@ pub fn insert_atom(
     op: Operator,
     config: &FixpointConfig,
 ) -> Result<InsertStats, FixpointError> {
-    let mut stats = InsertStats::default();
+    let batch = insert_batch(
+        db,
+        view,
+        std::slice::from_ref(insertion),
+        resolver,
+        op,
+        config,
+    )?;
+    Ok(InsertStats {
+        added: batch.added > 0,
+        propagated: batch.propagated,
+        fixpoint: batch.fixpoint,
+    })
+}
 
+/// Inserts a whole *set* of insertion requests in one maintenance pass
+/// (Algorithm 3 over the set).
+///
+/// Each request's `Add` entry is built in order against the current view
+/// — so later requests exclude the regions covered by earlier requests
+/// in the same batch, exactly as sequential insertion would — but the
+/// semi-naive `P_ADD` propagation runs *once*, seeded with every new
+/// base entry. Sequential insertion pays a full propagation fixpoint
+/// (with its per-round index and bookkeeping work) per request; the
+/// batch pays it once.
+pub fn insert_batch(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    insertions: &[ConstrainedAtom],
+    resolver: &dyn DomainResolver,
+    op: Operator,
+    config: &FixpointConfig,
+) -> Result<InsertBatchStats, FixpointError> {
+    let mut stats = InsertBatchStats::default();
+    let mut new_ids: Vec<EntryId> = Vec::with_capacity(insertions.len());
+    for insertion in insertions {
+        if let Some(id) = materialize_add(view, insertion, resolver, config) {
+            new_ids.push(id);
+            stats.added += 1;
+        }
+    }
+    if new_ids.is_empty() {
+        return Ok(stats);
+    }
+
+    // ---- P_ADD: one semi-naive upward propagation for the whole batch ----
+    let before = view.len();
+    let mut fstats = FixpointStats::default();
+    propagate(db, resolver, op, view, new_ids, config, &mut fstats)?;
+    stats.propagated = view.len() - before;
+    stats.fixpoint = fstats;
+    Ok(stats)
+}
+
+/// Builds and materializes one request's `Add` entry: the instances of
+/// the insertion *not already in* the view (steps 1–2 of Algorithm 3).
+/// Returns the new entry's id, or `None` if every instance is present.
+fn materialize_add(
+    view: &mut MaterializedView,
+    insertion: &ConstrainedAtom,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Option<EntryId> {
     // ---- Build Add: φ ∧ ⋀ not(ψ_existing) -------------------------------
     // The var gen leaves the view while existing entries stay borrowed
     // (see `tp::propagate`), so no entry atom is cloned here.
@@ -76,12 +149,9 @@ pub fn insert_atom(
     *view.var_gen_mut() = gen;
     // Solvability gate: nothing new to insert if Add is unsolvable.
     if satisfiable_with(&add_constraint, resolver, &config.solver) == Truth::Unsat {
-        return Ok(stats);
+        return None;
     }
-    let add_constraint = match mmv_constraints::simplify(&add_constraint) {
-        mmv_constraints::Simplified::Constraint(c) => c,
-        mmv_constraints::Simplified::Unsat => return Ok(stats),
-    };
+    let add_constraint = mmv_constraints::simplify(&add_constraint).into_constraint()?;
     let add_atom = ConstrainedAtom {
         pred: ins.pred.clone(),
         args: ins.args.clone(),
@@ -96,19 +166,8 @@ pub fn insert_atom(
         }
         SupportMode::Plain => None,
     };
-    let Some(id) = view.insert(add_atom, support, vec![]) else {
-        // Canonically identical entry already present (Plain mode).
-        return Ok(stats);
-    };
-    stats.added = true;
-
-    // ---- P_ADD: semi-naive upward propagation -----------------------------
-    let before = view.len();
-    let mut fstats = FixpointStats::default();
-    propagate(db, resolver, op, view, vec![id], config, &mut fstats)?;
-    stats.propagated = view.len() - before;
-    stats.fixpoint = fstats;
-    Ok(stats)
+    // `None`: canonically identical entry already present (Plain mode).
+    view.insert(add_atom, support, vec![])
 }
 
 #[cfg(test)]

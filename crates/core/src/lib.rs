@@ -24,6 +24,7 @@
 //! | Algorithm 1 (Extended DRed) | [`delete_dred`] | deletion with overestimate + rederivation, on duplicate-free views |
 //! | Algorithm 2 (StDel) | [`delete_stdel`] | deletion via supports ([`support`]), **no rederivation** |
 //! | Algorithm 3 | [`insert`] | insertion with upward `P_ADD` propagation |
+//! | Algorithms 1–3 over update *sets* | [`batch`] | batched transactions: one maintenance pass per [`UpdateBatch`] |
 //! | §4 (`W_P`) | [`external`] | zero-cost maintenance under external domain updates (Theorem 4, Corollary 1) |
 //! | Declarative semantics (Theorems 1–3) | [`semantics`] | executable oracles the algorithms are tested against |
 //!
@@ -59,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod atom;
+pub mod batch;
 pub mod delete_dred;
 pub mod delete_stdel;
 pub mod external;
@@ -72,13 +74,16 @@ pub mod tp;
 pub mod view;
 
 pub use atom::{ConstrainedAtom, Instances};
-pub use delete_dred::{dred_delete, DredError, ExtDredStats};
-pub use delete_stdel::{stdel_delete, StDelError, StDelStats};
+pub use batch::{apply_batch, BatchError, BatchStats, DeleteStats, UpdateBatch};
+pub use delete_dred::{dred_delete, dred_delete_batch, DredError, ExtDredStats};
+pub use delete_stdel::{stdel_delete, stdel_delete_batch, StDelError, StDelStats};
 pub use external::{MaintenanceAction, MaintenanceStrategy, MediatedMaterializedView};
-pub use insert::{insert_atom, InsertStats};
+pub use insert::{insert_atom, insert_batch, InsertBatchStats, InsertStats};
 pub use parser::{parse_atom, parse_program, ParseError, Parsed};
 pub use program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase, ValidationIssue};
-pub use semantics::{deletion_oracle, insertion_oracle, recompute_instances, OracleError};
+pub use semantics::{
+    batch_oracle, deletion_oracle, insertion_oracle, recompute_instances, OracleError,
+};
 pub use support::{Producer, Support};
 pub use tp::{fixpoint, fixpoint_seeded, FixpointConfig, FixpointError, FixpointStats, Operator};
 pub use view::{EntryId, GroundFact, InstanceError, MaterializedView, SupportMode};

@@ -8,7 +8,7 @@
 //! (`A(X) ← X ≤ 5`, not `A(X) ← X = X' ∧ X' ≤ 5`); this module performs
 //! that rewrite: solve the top-level variable/variable and
 //! variable/constant equalities by substitution, then clean up with
-//! [`mmv_constraints::simplify`].
+//! [`mmv_constraints::simplify`](fn@mmv_constraints::simplify).
 //!
 //! The rewrite is time-independent (it never consults a resolver), so it
 //! is safe for `W_P` views, whose syntactic stability across external

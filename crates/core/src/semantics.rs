@@ -16,6 +16,7 @@
 //! of the benchmarks.
 
 use crate::atom::ConstrainedAtom;
+use crate::batch::UpdateBatch;
 use crate::delete_dred::rewrite_for_deletion;
 use crate::program::{Clause, ConstrainedDatabase};
 use crate::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
@@ -105,6 +106,43 @@ pub fn deletion_oracle(
     let del = build_del(&mut scratch, deletion, resolver, config);
     let pprime = rewrite_for_deletion(db, &del);
     let (oracle_view, _) = fixpoint(&pprime, resolver, Operator::Tp, SupportMode::Plain, config)?;
+    Ok(oracle_view.instances(resolver, &config.solver)?)
+}
+
+/// The declarative result of an [`UpdateBatch`]
+/// (deletions-then-insertions): the instances of the least model of
+/// `P' ∪ Ins`, where `P'` is the deletion rewrite (4) for the *union*
+/// of the batch's `Del` sets and `Ins` holds one fact clause per
+/// insertion request. This is the oracle [`crate::batch::apply_batch`]
+/// is tested against: batched maintenance must land on the same
+/// instance set as the rewritten database's least model.
+pub fn batch_oracle(
+    db: &ConstrainedDatabase,
+    view: &MaterializedView,
+    batch: &UpdateBatch,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Result<BTreeSet<GroundFact>, OracleError> {
+    let mut scratch = view.clone();
+    let mut del = Vec::new();
+    for deletion in &batch.deletes {
+        del.extend(build_del(&mut scratch, deletion, resolver, config));
+    }
+    let mut rewritten = rewrite_for_deletion(db, &del);
+    for insertion in &batch.inserts {
+        rewritten.push(Clause::fact(
+            &insertion.pred,
+            insertion.args.clone(),
+            insertion.constraint.clone(),
+        ));
+    }
+    let (oracle_view, _) = fixpoint(
+        &rewritten,
+        resolver,
+        Operator::Tp,
+        SupportMode::Plain,
+        config,
+    )?;
     Ok(oracle_view.instances(resolver, &config.solver)?)
 }
 

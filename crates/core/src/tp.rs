@@ -26,7 +26,7 @@
 //!   plus the complementary "non-constant at that position" list (such
 //!   entries can match any value, so every probe unions both).
 //!
-//! [`collect_combos`] enumerates the combinations for one `(clause,
+//! `collect_combos` enumerates the combinations for one `(clause,
 //! delta-position)` pair by visiting the delta position first and
 //! propagating the constant bindings it implies into
 //! [`MaterializedView::probe`] lookups for the remaining positions.
@@ -38,7 +38,7 @@
 //!
 //! The semi-naive **old/delta/all invariant**: each round freezes the
 //! entry-slot watermark and stamps its delta entries with a fresh token
-//! ([`RoundScope`]). For a combination whose delta position is `d`,
+//! (`RoundScope`). For a combination whose delta position is `d`,
 //! positions `< d` draw from frozen non-delta entries ("old"), position
 //! `d` from the delta, and positions `> d` from all frozen entries
 //! ("all") — so every combination involving at least one delta entry is
@@ -348,7 +348,8 @@ struct ComboCtx<'a> {
     scope: Option<&'a RoundScope<'a>>,
     /// Visit order of body positions: the delta position first (it is
     /// the most selective source and its bindings prune every other
-    /// position), then the rest in body order. The old/delta/all split
+    /// position), then the rest by ascending estimated probe
+    /// cardinality (see `collect_combos`). The old/delta/all split
     /// is decided by position, not visit order, so the enumerated
     /// combination set is unchanged.
     order: &'a [usize],
@@ -481,6 +482,17 @@ fn combos_rec(
 /// live entries. Combinations are appended to `out` as flat chunks of
 /// `body.len()` entry ids, so the caller can materialize, dedup, derive
 /// and insert without this function holding any borrow of the view.
+///
+/// Join planning: the delta position is always visited first (its
+/// bindings prune every later position), and the remaining positions
+/// are visited by ascending *estimated probe cardinality* — the size of
+/// the candidate list the view's constant-argument index would return
+/// for the position's own constant arguments (the full per-predicate
+/// live count when no argument is constant). Visiting selective
+/// positions early shrinks the enumeration tree; ties fall back to
+/// clause order, keeping the plan deterministic. Only the visit order
+/// changes — the enumerated combination set is identical under any
+/// order, which the `engine_equivalence` proptest pins.
 pub(crate) fn collect_combos(
     view: &MaterializedView,
     body: &[BodyAtom],
@@ -492,7 +504,23 @@ pub(crate) fn collect_combos(
 ) {
     let mut order: Vec<usize> = Vec::with_capacity(body.len());
     order.push(dpos);
-    order.extend((0..body.len()).filter(|&i| i != dpos));
+    let mut rest: Vec<(usize, usize)> = (0..body.len())
+        .filter(|&i| i != dpos)
+        .map(|i| {
+            let est = view
+                .probe_with(
+                    &body[i].pred,
+                    body[i].args.iter().map(|t| match t {
+                        Term::Const(v) => Some(v),
+                        _ => None,
+                    }),
+                )
+                .len();
+            (est, i)
+        })
+        .collect();
+    rest.sort_unstable();
+    order.extend(rest.into_iter().map(|(_, i)| i));
     let ctx = ComboCtx {
         view,
         body,

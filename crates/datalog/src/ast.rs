@@ -1,6 +1,6 @@
 //! Ground Datalog abstract syntax: the language of the *unconstrained*
-//! deductive databases that the paper's baselines (DRed [22], counting
-//! [21]) operate on. The constrained engine specializes to this case when
+//! deductive databases that the paper's baselines (DRed \[22\], counting
+//! \[21\]) operate on. The constrained engine specializes to this case when
 //! every constraint is a variable/constant equality, which is how the
 //! cross-engine equivalence tests are built.
 

@@ -1,4 +1,4 @@
-//! The counting algorithm of Gupta, Katiyar & Mumick [21]: every derived
+//! The counting algorithm of Gupta, Katiyar & Mumick \[21\]: every derived
 //! fact carries the number of its derivations; EDB updates propagate
 //! count deltas stratum by stratum, and a fact dies when its count
 //! reaches zero.

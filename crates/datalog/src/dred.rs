@@ -1,5 +1,5 @@
 //! Ground DRed — the delete/rederive algorithm of Gupta, Mumick &
-//! Subrahmanian [22] that Section 3.1.1 of the paper extends to
+//! Subrahmanian \[22\] that Section 3.1.1 of the paper extends to
 //! constraints. This is the baseline the Extended DRed and StDel
 //! algorithms are measured against (experiments E1, E2).
 //!

@@ -1,0 +1,86 @@
+//! # mmv-service — a concurrent materialized-view service
+//!
+//! The paper's maintenance algorithms (Extended DRed, StDel, insertion)
+//! are defined over *sets* of updates; `mmv-core` exposes them as
+//! set-oriented batch entry points ([`mmv_core::batch`]). This crate
+//! turns those into a long-lived concurrent server with three pillars:
+//!
+//! * **Batched update transactions** — writers group updates into an
+//!   [`UpdateBatch`]; one maintenance pass applies the whole batch,
+//!   amortizing the per-pass frontier/rederivation work that per-update
+//!   maintenance repeats.
+//! * **Snapshot-isolated reads** — the service publishes an immutable,
+//!   epoch-tagged [`ViewSnapshot`] after every batch. Readers clone an
+//!   `Arc` handle and query it from any thread without synchronizing
+//!   with the writer: they observe the last *published* consistent
+//!   state, never a half-maintained view.
+//! * **An update log** — an append-only [`UpdateLog`] of applied
+//!   batches (epoch, batch, stats, latency) that can be replayed onto a
+//!   freshly built view to reproduce the writer's state (recovery), and
+//!   that the equivalence tests use to pin batch determinism.
+//!
+//! ```
+//! use mmv_service::{ServiceWorker, ViewService};
+//! use mmv_core::batch::UpdateBatch;
+//! use mmv_core::parser::{parse_atom, parse_program};
+//! use mmv_core::tp::{FixpointConfig, Operator};
+//! use mmv_core::view::SupportMode;
+//! use mmv_constraints::{NoDomains, SolverConfig, Value};
+//! use std::sync::Arc;
+//!
+//! let parsed = parse_program("b(X) <- X >= 5.  a(X) <- || b(X).").unwrap();
+//! let service = Arc::new(ViewService::build(
+//!     parsed.db, Arc::new(NoDomains), Operator::Tp,
+//!     SupportMode::WithSupports, FixpointConfig::default(),
+//! ).unwrap());
+//!
+//! // Readers hold epoch-tagged snapshots...
+//! let before = service.snapshot();
+//! assert_eq!(before.epoch(), 0);
+//!
+//! // ...while a batch of updates is applied in one maintenance pass.
+//! let batch = UpdateBatch::deleting(vec![parse_atom("b(X) <- X = 6").unwrap()]);
+//! let applied = service.apply(batch).unwrap();
+//! assert_eq!(applied.epoch, 1);
+//!
+//! // The old snapshot is isolated; the new one reflects the batch.
+//! let cfg = SolverConfig::default();
+//! assert!(before.ask("a", &[Value::int(6)], &NoDomains, &cfg).unwrap());
+//! assert!(!service.ask("a", &[Value::int(6)], &cfg).unwrap());
+//! # drop(ServiceWorker::spawn(service.clone()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod log;
+pub mod service;
+pub mod snapshot;
+
+pub use log::{LogRecord, ReplayError, UpdateLog};
+pub use service::{Applied, BatchSender, ServiceError, ServiceWorker, SharedResolver, ViewService};
+pub use snapshot::{Epoch, ViewSnapshot};
+
+// Re-export the batch vocabulary so service users need not depend on
+// mmv-core directly for the common path.
+pub use mmv_core::batch::{BatchError, BatchStats, DeleteStats, UpdateBatch};
+
+/// Send/Sync audit: the service shares these across reader and writer
+/// threads, so a regression (an `Rc`, a `RefCell`, a raw pointer
+/// slipping into the view or its substrate) must fail to compile here
+/// rather than at some distant use site.
+const _SEND_SYNC_AUDIT: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<mmv_core::MaterializedView>();
+    assert_send_sync::<mmv_core::ConstrainedDatabase>();
+    assert_send_sync::<mmv_core::ConstrainedAtom>();
+    assert_send_sync::<mmv_core::Support>();
+    assert_send_sync::<mmv_constraints::VarGen>();
+    assert_send_sync::<mmv_constraints::Constraint>();
+    assert_send_sync::<mmv_constraints::Value>();
+    assert_send_sync::<UpdateBatch>();
+    assert_send_sync::<ViewSnapshot>();
+    assert_send_sync::<UpdateLog>();
+    assert_send_sync::<ViewService>();
+    assert_send_sync::<BatchSender>();
+};

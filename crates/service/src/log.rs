@@ -1,0 +1,192 @@
+//! The append-only update log: every applied batch, in epoch order.
+//!
+//! The log is the service's recovery and audit story: replaying it onto
+//! a freshly built view reproduces the writer's final state, because
+//! batch application is deterministic (same database, same batches,
+//! same order ⇒ syntactically equal view). The service tests pin
+//! exactly that property, and the batch-vs-sequential equivalence
+//! suite leans on it to compare maintenance strategies.
+
+use crate::snapshot::Epoch;
+use mmv_constraints::DomainResolver;
+use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
+use mmv_core::tp::{fixpoint, FixpointConfig, Operator};
+use mmv_core::{ConstrainedDatabase, FixpointError, MaterializedView, SupportMode};
+use std::time::Duration;
+
+/// One applied batch: what was applied, when (epoch), and what it cost.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// The epoch the batch produced (the snapshot published after it).
+    pub epoch: Epoch,
+    /// The batch itself.
+    pub batch: UpdateBatch,
+    /// Maintenance statistics of the application.
+    pub stats: BatchStats,
+    /// Wall-clock maintenance latency of the application.
+    pub latency: Duration,
+}
+
+/// Replay failure: rebuilding the base view or re-applying a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The base fixpoint could not be rebuilt.
+    Fixpoint(FixpointError),
+    /// A logged batch failed to re-apply at the given epoch.
+    Batch(Epoch, BatchError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Fixpoint(e) => write!(f, "replay base fixpoint: {e}"),
+            ReplayError::Batch(epoch, e) => write!(f, "replay batch at epoch {epoch}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// An append-only, in-memory log of applied batches.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateLog {
+    records: Vec<LogRecord>,
+}
+
+impl UpdateLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        UpdateLog::default()
+    }
+
+    /// Appends a record. Records must arrive in ascending epoch order
+    /// (the writer holds the write lock while appending, so this is
+    /// structural, not racy).
+    pub fn append(&mut self, record: LogRecord) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.epoch < record.epoch),
+            "log epochs must ascend"
+        );
+        self.records.push(record);
+    }
+
+    /// Number of applied batches.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no batch has been applied yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in epoch order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Total updates (deletes + inserts) across all logged batches.
+    pub fn total_updates(&self) -> usize {
+        self.records.iter().map(|r| r.batch.len()).sum()
+    }
+
+    /// Replays the log onto a freshly built view: builds `op ↑ ω (∅)`
+    /// of `db` in `mode`, then re-applies every logged batch in order.
+    /// The result is syntactically equal to the writer's view at the
+    /// last logged epoch — the recovery path after losing the
+    /// materialized state.
+    pub fn replay(
+        &self,
+        db: &ConstrainedDatabase,
+        resolver: &dyn DomainResolver,
+        op: Operator,
+        mode: SupportMode,
+        config: &FixpointConfig,
+    ) -> Result<MaterializedView, ReplayError> {
+        let (mut view, _) =
+            fixpoint(db, resolver, op, mode, config).map_err(ReplayError::Fixpoint)?;
+        for record in &self.records {
+            apply_batch(db, &mut view, &record.batch, resolver, op, config)
+                .map_err(|e| ReplayError::Batch(record.epoch, e))?;
+        }
+        Ok(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Var};
+    use mmv_core::{BodyAtom, Clause, ConstrainedAtom};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    fn db() -> ConstrainedDatabase {
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "b",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(9),
+                )),
+            ),
+            Clause::new(
+                "a",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("b", vec![x()])],
+            ),
+        ])
+    }
+
+    fn point(v: i64) -> ConstrainedAtom {
+        ConstrainedAtom::new("b", vec![x()], Constraint::eq(x(), Term::int(v)))
+    }
+
+    #[test]
+    fn replay_reproduces_the_applied_sequence() {
+        let db = db();
+        let cfg = FixpointConfig::default();
+        let (mut view, _) = fixpoint(
+            &db,
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            &cfg,
+        )
+        .unwrap();
+        let mut log = UpdateLog::new();
+        for (epoch, batch) in [
+            UpdateBatch::deleting(vec![point(3)]),
+            UpdateBatch::deleting(vec![point(5)]).insert(point(12)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let stats =
+                apply_batch(&db, &mut view, &batch, &NoDomains, Operator::Tp, &cfg).unwrap();
+            log.append(LogRecord {
+                epoch: epoch as Epoch + 1,
+                batch,
+                stats,
+                latency: Duration::ZERO,
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_updates(), 3);
+        let replayed = log
+            .replay(
+                &db,
+                &NoDomains,
+                Operator::Tp,
+                SupportMode::WithSupports,
+                &cfg,
+            )
+            .unwrap();
+        assert!(replayed.syntactically_equal(&view));
+    }
+}

@@ -1,0 +1,419 @@
+//! The concurrent view service: one writer, many snapshot readers.
+//!
+//! # Concurrency model
+//!
+//! The service keeps two copies of the view state:
+//!
+//! * the **writer view** — the mutable master, guarded by a `Mutex`
+//!   together with the update log. Only [`ViewService::apply`] touches
+//!   it, so batches serialize naturally;
+//! * the **published snapshot** — an `Arc<ViewSnapshot>` behind an
+//!   `RwLock`, replaced wholesale after each successful batch.
+//!
+//! Readers call [`ViewService::snapshot`], which holds the read lock
+//! only long enough to clone the `Arc` — queries then run entirely on
+//! the caller's own handle, unsynchronized. A reader is therefore never
+//! blocked by maintenance (it reads the previous epoch until the next
+//! one is published) and never observes a half-applied batch. Epochs
+//! increase monotonically with each publication, so readers can detect
+//! staleness and order observations.
+//!
+//! Failed batches publish nothing: the writer view is rebuilt from the
+//! last snapshot, so one poisoned batch cannot corrupt subsequent ones.
+
+use crate::log::{LogRecord, UpdateLog};
+use crate::snapshot::{Epoch, ViewSnapshot};
+use mmv_constraints::solver::SolverConfig;
+use mmv_constraints::{DomainResolver, Value};
+use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
+use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
+use mmv_core::{ConstrainedDatabase, InstanceError, SupportMode};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A resolver the service can share across reader and writer threads.
+pub type SharedResolver = Arc<dyn DomainResolver + Send + Sync>;
+
+/// Service failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Building the initial view failed.
+    Build(FixpointError),
+    /// Applying a batch failed; the batch was rolled back and the
+    /// published snapshot is unchanged.
+    Batch(BatchError),
+    /// The worker channel is closed (the worker already shut down).
+    WorkerGone,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Build(e) => write!(f, "service build: {e}"),
+            ServiceError::Batch(e) => write!(f, "service batch: {e}"),
+            ServiceError::WorkerGone => write!(f, "service worker has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The outcome of one applied batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Applied {
+    /// The epoch the batch produced.
+    pub epoch: Epoch,
+    /// Maintenance statistics.
+    pub stats: BatchStats,
+    /// Wall-clock maintenance latency (excluding snapshot publication).
+    pub latency: Duration,
+}
+
+struct WriterState {
+    view: mmv_core::MaterializedView,
+    log: UpdateLog,
+    epoch: Epoch,
+}
+
+/// A long-lived concurrent view service over one constrained database.
+///
+/// Construct with [`ViewService::build`], share behind an `Arc`, read
+/// via [`ViewService::snapshot`] from any thread, and write via
+/// [`ViewService::apply`] (directly, or through a [`ServiceWorker`]).
+pub struct ViewService {
+    db: ConstrainedDatabase,
+    resolver: SharedResolver,
+    op: Operator,
+    config: FixpointConfig,
+    published: RwLock<Arc<ViewSnapshot>>,
+    writer: Mutex<WriterState>,
+}
+
+impl fmt::Debug for ViewService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("ViewService")
+            .field("epoch", &snap.epoch())
+            .field("entries", &snap.len())
+            .field("mode", &snap.mode())
+            .finish()
+    }
+}
+
+impl ViewService {
+    /// Builds the initial materialized view (`op ↑ ω (∅)` of `db` in
+    /// `mode`) and publishes it as epoch 0.
+    pub fn build(
+        db: ConstrainedDatabase,
+        resolver: SharedResolver,
+        op: Operator,
+        mode: SupportMode,
+        config: FixpointConfig,
+    ) -> Result<Self, ServiceError> {
+        let (view, _) =
+            fixpoint(&db, resolver.as_ref(), op, mode, &config).map_err(ServiceError::Build)?;
+        let snapshot = Arc::new(ViewSnapshot::new(0, view.clone()));
+        Ok(ViewService {
+            db,
+            resolver,
+            op,
+            config,
+            published: RwLock::new(snapshot),
+            writer: Mutex::new(WriterState {
+                view,
+                log: UpdateLog::new(),
+                epoch: 0,
+            }),
+        })
+    }
+
+    /// The database the service maintains the view of.
+    pub fn db(&self) -> &ConstrainedDatabase {
+        &self.db
+    }
+
+    /// The service's shared resolver.
+    pub fn resolver(&self) -> &SharedResolver {
+        &self.resolver
+    }
+
+    /// The fixpoint configuration batches are applied under.
+    pub fn config(&self) -> &FixpointConfig {
+        &self.config
+    }
+
+    /// The current published snapshot. The read lock is held only for
+    /// the `Arc` clone; all queries on the returned handle run without
+    /// any synchronization with the writer.
+    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
+        self.published
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The epoch of the current published snapshot.
+    pub fn epoch(&self) -> Epoch {
+        self.snapshot().epoch()
+    }
+
+    /// Applies one batch as a transaction: maintain the writer view,
+    /// append to the log, publish the next snapshot. Concurrent calls
+    /// serialize on the writer lock; readers are never blocked.
+    ///
+    /// On error the writer view is restored from the published snapshot
+    /// and nothing is published or logged — the failed batch is simply
+    /// rejected.
+    pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        let start = Instant::now();
+        let stats = match apply_batch(
+            &self.db,
+            &mut w.view,
+            &batch,
+            self.resolver.as_ref(),
+            self.op,
+            &self.config,
+        ) {
+            Ok(stats) => stats,
+            Err(e) => {
+                // Roll back: the failed batch may have half-applied.
+                w.view = self.snapshot().view().clone();
+                return Err(ServiceError::Batch(e));
+            }
+        };
+        let latency = start.elapsed();
+        w.epoch += 1;
+        let epoch = w.epoch;
+        w.log.append(LogRecord {
+            epoch,
+            batch,
+            stats,
+            latency,
+        });
+        let snapshot = Arc::new(ViewSnapshot::new(epoch, w.view.clone()));
+        *self.published.write().expect("snapshot lock poisoned") = snapshot;
+        Ok(Applied {
+            epoch,
+            stats,
+            latency,
+        })
+    }
+
+    /// Clones the update log (epoch-ordered records of every applied
+    /// batch) for replay or inspection.
+    pub fn log(&self) -> UpdateLog {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .log
+            .clone()
+    }
+
+    /// Convenience read: query the *current* snapshot with the
+    /// service's own resolver.
+    pub fn query(
+        &self,
+        pred: &str,
+        pattern: &[Option<Value>],
+        config: &SolverConfig,
+    ) -> Result<BTreeSet<Vec<Value>>, InstanceError> {
+        self.snapshot()
+            .query(pred, pattern, self.resolver.as_ref(), config)
+    }
+
+    /// Convenience read: boolean query against the current snapshot.
+    pub fn ask(
+        &self,
+        pred: &str,
+        args: &[Value],
+        config: &SolverConfig,
+    ) -> Result<bool, InstanceError> {
+        self.snapshot()
+            .ask(pred, args, self.resolver.as_ref(), config)
+    }
+}
+
+/// A dedicated writer thread: callers submit batches through a channel
+/// and continue immediately; the worker applies them in submission
+/// order against the shared service.
+///
+/// Dropping the last [`BatchSender`] shuts the worker down;
+/// [`ServiceWorker::join`] then returns how many batches were applied,
+/// or the first error (the worker stops at the first failed batch —
+/// submission order is the transaction order, so skipping a failed
+/// transaction silently would reorder history).
+pub struct ServiceWorker {
+    handle: JoinHandle<Result<usize, ServiceError>>,
+}
+
+/// The submission side of a [`ServiceWorker`]. Cloneable; all clones
+/// feed the same worker.
+#[derive(Clone)]
+pub struct BatchSender {
+    tx: mpsc::Sender<UpdateBatch>,
+}
+
+impl BatchSender {
+    /// Enqueues a batch for the worker. Fails only if the worker has
+    /// already shut down.
+    pub fn submit(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        self.tx.send(batch).map_err(|_| ServiceError::WorkerGone)
+    }
+}
+
+impl ServiceWorker {
+    /// Spawns the writer thread for `service`.
+    pub fn spawn(service: Arc<ViewService>) -> (BatchSender, ServiceWorker) {
+        let (tx, rx) = mpsc::channel::<UpdateBatch>();
+        let handle = std::thread::spawn(move || {
+            let mut applied = 0usize;
+            for batch in rx {
+                service.apply(batch)?;
+                applied += 1;
+            }
+            Ok(applied)
+        });
+        (BatchSender { tx }, ServiceWorker { handle })
+    }
+
+    /// Waits for the worker to drain and shut down (drop every
+    /// [`BatchSender`] first, or this blocks forever). Returns the
+    /// number of batches applied.
+    pub fn join(self) -> Result<usize, ServiceError> {
+        self.handle.join().expect("service worker panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Var};
+    use mmv_core::{BodyAtom, Clause, ConstrainedAtom};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    fn db() -> ConstrainedDatabase {
+        ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "b",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(9),
+                )),
+            ),
+            Clause::new(
+                "a",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("b", vec![x()])],
+            ),
+        ])
+    }
+
+    fn point(v: i64) -> ConstrainedAtom {
+        ConstrainedAtom::new("b", vec![x()], Constraint::eq(x(), Term::int(v)))
+    }
+
+    fn service(mode: SupportMode) -> ViewService {
+        ViewService::build(
+            db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            mode,
+            FixpointConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshots_are_epoch_tagged_and_isolated() {
+        let svc = service(SupportMode::WithSupports);
+        let before = svc.snapshot();
+        assert_eq!(before.epoch(), 0);
+        let cfg = SolverConfig::default();
+        assert!(before.ask("a", &[Value::int(3)], &NoDomains, &cfg).unwrap());
+
+        let applied = svc
+            .apply(UpdateBatch::deleting(vec![point(3)]))
+            .expect("batch applies");
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(svc.epoch(), 1);
+        // The old snapshot still answers with the pre-batch state.
+        assert!(before.ask("a", &[Value::int(3)], &NoDomains, &cfg).unwrap());
+        // The new snapshot reflects the deletion.
+        assert!(!svc.ask("a", &[Value::int(3)], &cfg).unwrap());
+        assert!(svc.query("a", &[Some(Value::int(4))], &cfg).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn exhausted_build_budget_is_a_build_error() {
+        let svc = ViewService::build(
+            db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig {
+                max_iterations: 0,
+                ..FixpointConfig::default()
+            },
+        );
+        assert!(matches!(svc, Err(ServiceError::Build(_))));
+    }
+
+    #[test]
+    fn failed_batches_publish_nothing() {
+        // max_entries = 3 admits the 2-entry base view; the two-insert
+        // batch (2 adds + a propagated `a` entry) overflows it.
+        let svc = ViewService::build(
+            db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig {
+                max_entries: 3,
+                ..FixpointConfig::default()
+            },
+        )
+        .expect("base view fits the budget");
+        let err = svc
+            .apply(UpdateBatch::inserting(vec![point(30), point(40)]))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Batch(_)));
+        assert_eq!(svc.epoch(), 0, "failed batch must not publish");
+        assert!(svc.log().is_empty());
+        // The writer view was rolled back to the published state: a
+        // subsequent in-budget batch applies cleanly.
+        let ok = svc.apply(UpdateBatch::deleting(vec![point(5)])).unwrap();
+        assert_eq!(ok.epoch, 1);
+    }
+
+    #[test]
+    fn worker_applies_in_submission_order() {
+        let svc = Arc::new(service(SupportMode::WithSupports));
+        let (tx, worker) = ServiceWorker::spawn(svc.clone());
+        for v in [2, 4, 6] {
+            tx.submit(UpdateBatch::deleting(vec![point(v)])).unwrap();
+        }
+        drop(tx);
+        assert_eq!(worker.join().unwrap(), 3);
+        assert_eq!(svc.epoch(), 3);
+        let cfg = SolverConfig::default();
+        for v in [2, 4, 6] {
+            assert!(!svc.ask("b", &[Value::int(v)], &cfg).unwrap());
+        }
+        assert!(svc.ask("b", &[Value::int(5)], &cfg).unwrap());
+        let log = svc.log();
+        assert_eq!(log.len(), 3);
+        let epochs: Vec<_> = log.records().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+    }
+}

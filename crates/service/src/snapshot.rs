@@ -1,0 +1,99 @@
+//! Epoch-tagged immutable view snapshots.
+//!
+//! A [`ViewSnapshot`] is a frozen [`MaterializedView`] plus the epoch at
+//! which the writer published it. Snapshots are shared as
+//! `Arc<ViewSnapshot>`: any number of reader threads can hold and query
+//! one concurrently while the writer materializes the next epoch —
+//! reads never block maintenance and maintenance never blocks reads
+//! (the "stale view" serving discipline: readers observe the most
+//! recently *published* consistent state, never a half-maintained one).
+
+use mmv_constraints::solver::SolverConfig;
+use mmv_constraints::{DomainResolver, Value};
+use mmv_core::view::GroundFact;
+use mmv_core::{InstanceError, MaterializedView, SupportMode};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A monotonically increasing snapshot version. Epoch 0 is the freshly
+/// built view; every applied batch publishes the next epoch.
+pub type Epoch = u64;
+
+/// An immutable materialized view frozen at one epoch.
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    epoch: Epoch,
+    view: MaterializedView,
+}
+
+impl ViewSnapshot {
+    /// Freezes `view` at `epoch`.
+    pub fn new(epoch: Epoch, view: MaterializedView) -> Self {
+        ViewSnapshot { epoch, view }
+    }
+
+    /// The epoch at which this snapshot was published.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The frozen view (for APIs not mirrored below).
+    pub fn view(&self) -> &MaterializedView {
+        &self.view
+    }
+
+    /// The snapshot's support mode.
+    pub fn mode(&self) -> SupportMode {
+        self.view.mode()
+    }
+
+    /// Number of live entries in the snapshot.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// Whether the snapshot has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// Answers `pred(pattern)` against the snapshot (`None` positions
+    /// are free); see [`MaterializedView::query`].
+    pub fn query(
+        &self,
+        pred: &str,
+        pattern: &[Option<Value>],
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<BTreeSet<Vec<Value>>, InstanceError> {
+        self.view.query(pred, pattern, resolver, config)
+    }
+
+    /// Boolean query against the snapshot; see [`MaterializedView::ask`].
+    pub fn ask(
+        &self,
+        pred: &str,
+        args: &[Value],
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<bool, InstanceError> {
+        self.view.ask(pred, args, resolver, config)
+    }
+
+    /// The snapshot's full instance set `[M]`; see
+    /// [`MaterializedView::instances`].
+    pub fn instances(
+        &self,
+        resolver: &dyn DomainResolver,
+        config: &SolverConfig,
+    ) -> Result<BTreeSet<GroundFact>, InstanceError> {
+        self.view.instances(resolver, config)
+    }
+}
+
+impl fmt::Display for ViewSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "epoch {}", self.epoch)?;
+        self.view.fmt(f)
+    }
+}

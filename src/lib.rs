@@ -15,6 +15,9 @@
 //! * [`domains`] (`mmv-domains`) — the mediator's external systems
 //!   (arith, relational, spatial, face recognition, text) behind the
 //!   `in(X, dom:f(args))` domain calls.
+//! * [`service`] (`mmv-service`) — the concurrent view service: batched
+//!   update transactions, epoch-tagged snapshot reads, and a replayable
+//!   update log over the core maintenance algorithms.
 //! * [`storage`] (`mmv-storage`) — the relational engine backing the
 //!   simulated PARADOX/DBASE databases.
 //! * [`datalog`] (`mmv-datalog`) — ground Datalog baselines (semi-naive,
@@ -30,4 +33,5 @@ pub use mmv_constraints as constraints;
 pub use mmv_core as core;
 pub use mmv_datalog as datalog;
 pub use mmv_domains as domains;
+pub use mmv_service as service;
 pub use mmv_storage as storage;

@@ -238,7 +238,7 @@ impl<T: std::fmt::Debug> Strategy for Union<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed size, `a..b`, or `a..=b`.
+    /// Sizes accepted by [`vec()`](fn@vec): a fixed size, `a..b`, or `a..=b`.
     pub trait IntoSizeRange {
         /// The inclusive (lo, hi) bounds.
         fn bounds(&self) -> (usize, usize);
@@ -304,7 +304,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,
