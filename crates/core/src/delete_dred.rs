@@ -22,7 +22,7 @@
 use crate::atom::ConstrainedAtom;
 use crate::program::{Clause, ConstrainedDatabase};
 use crate::tp::{
-    collect_combos, derive, group_by_pred, DeltaSource, FixpointConfig, FixpointError,
+    collect_combos, delta_plan, derive, group_by_pred, DeltaSource, FixpointConfig, FixpointError,
     FixpointStats, RoundState, ATOM_SLOT,
 };
 use crate::view::{canonicalize, EntryId, MaterializedView, SupportMode};
@@ -195,6 +195,7 @@ fn dred_delete_inner(
                         view,
                         &clause.body,
                         dpos,
+                        &[],
                         &DeltaSource::Atom(dm),
                         None,
                         &mut jstats,
@@ -338,6 +339,7 @@ fn dred_delete_inner(
         }
     }
     let mut round_state = RoundState::new();
+    let mut plan: Vec<usize> = Vec::new();
     let mut rounds = 0usize;
     while !delta_ids.is_empty() {
         rounds += 1;
@@ -358,15 +360,17 @@ fn dred_delete_inner(
             if n == 0 {
                 continue;
             }
-            for dpos in 0..n {
-                let Some(dlist) = delta_by_pred.get(&clause.body[dpos].pred) else {
-                    continue;
-                };
+            delta_plan(&clause.body, &delta_by_pred, &mut plan);
+            for (k, &dpos) in plan.iter().enumerate() {
+                let dlist = delta_by_pred
+                    .get(&clause.body[dpos].pred)
+                    .expect("planned positions carry delta");
                 combos.clear();
                 collect_combos(
                     view,
                     &clause.body,
                     dpos,
+                    &plan[..k],
                     &DeltaSource::Entries(dlist),
                     Some(&scope),
                     &mut jstats,
@@ -427,7 +431,7 @@ fn dred_delete_inner(
 
     // ---- Hygiene: drop weakened entries that became unsolvable ------------
     for id in touched {
-        if !view.entry(id).alive {
+        if !view.is_live(id) {
             continue;
         }
         let c = view.entry(id).atom.constraint.clone();

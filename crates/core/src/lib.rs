@@ -69,6 +69,7 @@ pub mod normalize;
 pub mod parser;
 pub mod program;
 pub mod semantics;
+pub mod store;
 pub mod support;
 pub mod tp;
 pub mod view;
@@ -84,6 +85,7 @@ pub use program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase, ValidationIss
 pub use semantics::{
     batch_oracle, deletion_oracle, insertion_oracle, recompute_instances, OracleError,
 };
+pub use store::{SharedMap, SharedVec};
 pub use support::{Producer, Support};
 pub use tp::{fixpoint, fixpoint_seeded, FixpointConfig, FixpointError, FixpointStats, Operator};
-pub use view::{EntryId, GroundFact, InstanceError, MaterializedView, SupportMode};
+pub use view::{EntryId, GroundFact, InstanceError, MaterializedView, ShareStats, SupportMode};

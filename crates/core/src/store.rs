@@ -1,0 +1,622 @@
+//! Persistent, structurally-shared storage primitives for the
+//! materialized view.
+//!
+//! [`MaterializedView`](crate::view::MaterializedView) used to be a bag
+//! of owned `Vec`s and hash maps, so *snapshotting* it (the `mmv-service`
+//! writer publishes a frozen copy per epoch) deep-cloned every entry —
+//! O(view) work to make a 1-entry batch visible. The two structures here
+//! make a snapshot a handful of `Arc` bumps instead, while keeping the
+//! writer's mutations cheap:
+//!
+//! * [`SharedVec<T>`] — a paged vector whose page table and pages all
+//!   live behind `Arc`s. `clone` is O(1); a mutation copies only the
+//!   page it lands on (and the page *table*, once), and only when that
+//!   page is still shared with an older clone — classic copy-on-write,
+//!   paid once per touched page per epoch.
+//! * [`SharedMap<K, V>`] — an insert-only persistent hash trie (a HAMT
+//!   over the key's 64-bit hash, 6 bits per level). `clone` is O(1);
+//!   `insert` walks O(log n) nodes, un-shares (copies) only those an
+//!   older clone still holds, and mutates nodes it owns in place — so
+//!   sharing costs nothing between snapshots and a path copy at most
+//!   once per touched node per epoch. The view's global dedup indexes
+//!   (support → entry, canonical-hash → entries) never delete keys, so
+//!   removal is deliberately not offered.
+//!
+//! Neither structure uses interior mutability or unsafe code: a clone is
+//! an independent *value* that merely shares heap nodes, so concurrent
+//! readers of old clones are data-race-free by construction (`&self`
+//! everywhere), which is what lets `mmv-service` hand `Arc<ViewSnapshot>`
+//! handles to reader threads while the writer keeps mutating its own
+//! handle.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use mmv_constraints::fxhash::FxHasher;
+
+/// log2 of the [`SharedVec`] page size.
+const PAGE_BITS: usize = 6;
+/// Entries per [`SharedVec`] page.
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A paged copy-on-write vector: O(1) `clone`, O(page) first-touch
+/// mutation cost per epoch, `&self` reads with no synchronization.
+///
+/// Pages are fixed-size chunks behind `Arc`s; the page table itself is
+/// also behind an `Arc`, so cloning shares everything. A mutation
+/// un-shares the page table (pointer copies only) and then the touched
+/// page (element clones) via `Arc::make_mut`; pages untouched since the
+/// last clone stay physically shared. [`SharedVec::copied_pages`] counts
+/// how many page copies this handle's mutations actually performed —
+/// the "CoW traffic" the service reports per epoch.
+#[derive(Clone)]
+pub struct SharedVec<T> {
+    pages: Arc<Vec<Arc<Vec<T>>>>,
+    len: usize,
+    copied: u64,
+}
+
+impl<T> Default for SharedVec<T> {
+    fn default() -> Self {
+        SharedVec {
+            pages: Arc::new(Vec::new()),
+            len: 0,
+            copied: 0,
+        }
+    }
+}
+
+impl<T: Clone> SharedVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        SharedVec::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages currently allocated.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Page copies performed by this handle's mutations (cumulative; a
+    /// clone inherits the count, so callers diff across epochs).
+    pub fn copied_pages(&self) -> u64 {
+        self.copied
+    }
+
+    /// The element at `i` (panics if out of bounds, like indexing).
+    pub fn get(&self, i: usize) -> &T {
+        assert!(
+            i < self.len,
+            "SharedVec index {i} out of bounds {}",
+            self.len
+        );
+        &self.pages[i >> PAGE_BITS][i & (PAGE_SIZE - 1)]
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, v: T) {
+        let pages = Arc::make_mut(&mut self.pages);
+        if self.len & (PAGE_SIZE - 1) == 0 {
+            pages.push(Arc::new(Vec::with_capacity(PAGE_SIZE)));
+        }
+        let page = pages.last_mut().expect("page just ensured");
+        unshare_counted(page, &mut self.copied).push(v);
+        self.len += 1;
+    }
+
+    /// Replaces the element at `i`.
+    pub fn set(&mut self, i: usize, v: T) {
+        assert!(
+            i < self.len,
+            "SharedVec index {i} out of bounds {}",
+            self.len
+        );
+        let pages = Arc::make_mut(&mut self.pages);
+        let page = &mut pages[i >> PAGE_BITS];
+        unshare_counted(page, &mut self.copied)[i & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Iterates the elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.pages.iter().flat_map(|p| p.iter())
+    }
+}
+
+/// Un-shares a CoW value for mutation, counting the copy iff one was
+/// actually performed. The uniqueness test and the clone are one
+/// decision (unlike a `strong_count` check before `Arc::make_mut`,
+/// which could observe "shared" while a concurrent reader drops the
+/// last other handle and `make_mut` then skips the clone — an
+/// overcounted copy).
+pub(crate) fn unshare_counted<'a, T: Clone>(arc: &'a mut Arc<T>, copies: &mut u64) -> &'a mut T {
+    if Arc::get_mut(arc).is_none() {
+        *copies += 1;
+        *arc = Arc::new((**arc).clone());
+    }
+    Arc::get_mut(arc).expect("value just un-shared")
+}
+
+impl<T: fmt::Debug> fmt::Debug for SharedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.pages.iter().flat_map(|p| p.iter()))
+            .finish()
+    }
+}
+
+/// Branching factor bits per trie level.
+const TRIE_BITS: u32 = 6;
+/// Mask selecting one level's child index.
+const TRIE_MASK: u64 = (1 << TRIE_BITS) - 1;
+
+#[derive(Debug)]
+enum Node<K, V> {
+    /// An interior node: `bitmap` says which of the 64 child slots are
+    /// occupied; `children` holds them densely in slot order.
+    Branch {
+        bitmap: u64,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+    /// All pairs whose keys share the full 64-bit `hash` (genuine
+    /// collisions only — differing hashes always split into a Branch).
+    Leaf { hash: u64, pairs: Vec<(K, V)> },
+}
+
+/// An insert-only persistent hash map (HAMT): O(1) `clone`, lookups and
+/// inserts walk ≤ 11 levels, and an insert copies only the nodes on its
+/// path — everything else stays shared with older clones.
+#[derive(Clone)]
+pub struct SharedMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K, V> Default for SharedMap<K, V> {
+    fn default() -> Self {
+        SharedMap { root: None, len: 0 }
+    }
+}
+
+fn hash_key<K: Hash>(k: &K) -> u64 {
+    let mut h = FxHasher::default();
+    k.hash(&mut h);
+    h.finish()
+}
+
+fn slot(hash: u64, depth: u32) -> usize {
+    ((hash >> (depth * TRIE_BITS)) & TRIE_MASK) as usize
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SharedMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        SharedMap::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `k`, if present.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        let hash = hash_key(k);
+        let mut node = self.root.as_deref()?;
+        let mut depth = 0u32;
+        loop {
+            match node {
+                Node::Leaf { hash: lh, pairs } => {
+                    if *lh != hash {
+                        return None;
+                    }
+                    return pairs.iter().find(|(pk, _)| pk == k).map(|(_, v)| v);
+                }
+                Node::Branch { bitmap, children } => {
+                    let s = slot(hash, depth);
+                    let bit = 1u64 << s;
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    let idx = (bitmap & (bit - 1)).count_ones() as usize;
+                    node = &children[idx];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether `k` is present.
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Inserts `k → v`, returning the previous value if the key was
+    /// already present. Nodes still shared with an older clone are
+    /// copied on the way down (path copy); nodes this handle already
+    /// owns outright are mutated in place — so a burst of inserts
+    /// between snapshots (the fixpoint build, a batch's propagation)
+    /// pays the structural-sharing tax at most once per touched node.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let hash = hash_key(&k);
+        let old = match &mut self.root {
+            slot @ None => {
+                *slot = Some(Arc::new(Node::Leaf {
+                    hash,
+                    pairs: vec![(k, v)],
+                }));
+                None
+            }
+            Some(root) => insert_rec(root, 0, hash, k, v),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Edits the value for `k` in place, first inserting `default` if
+    /// the key is absent. Like [`SharedMap::insert`], only nodes still
+    /// shared with an older clone are copied on the way down — in
+    /// particular the value itself is *not* cloned when this handle
+    /// already owns its leaf, which is what makes accumulating into a
+    /// `Vec` value cheap between snapshots.
+    pub fn update(&mut self, k: K, default: V, f: impl FnOnce(&mut V)) {
+        let hash = hash_key(&k);
+        let fresh = match &mut self.root {
+            slot @ None => {
+                let mut v = default;
+                f(&mut v);
+                *slot = Some(Arc::new(Node::Leaf {
+                    hash,
+                    pairs: vec![(k, v)],
+                }));
+                true
+            }
+            Some(root) => update_rec(root, 0, hash, k, default, f),
+        };
+        if fresh {
+            self.len += 1;
+        }
+    }
+}
+
+/// Builds the branch chain separating two leaves whose hashes first
+/// differ at or below `depth` (they are guaranteed to differ somewhere:
+/// equal hashes never reach here).
+fn split<K, V>(
+    a: Arc<Node<K, V>>,
+    ah: u64,
+    b: Arc<Node<K, V>>,
+    bh: u64,
+    depth: u32,
+) -> Arc<Node<K, V>> {
+    let (sa, sb) = (slot(ah, depth), slot(bh, depth));
+    if sa == sb {
+        let child = split(a, ah, b, bh, depth + 1);
+        return Arc::new(Node::Branch {
+            bitmap: 1u64 << sa,
+            children: vec![child],
+        });
+    }
+    let (bitmap, children) = if sa < sb {
+        ((1u64 << sa) | (1u64 << sb), vec![a, b])
+    } else {
+        ((1u64 << sa) | (1u64 << sb), vec![b, a])
+    };
+    Arc::new(Node::Branch { bitmap, children })
+}
+
+impl<K: Clone, V: Clone> Node<K, V> {
+    /// A one-level copy: leaf buckets are cloned (they are about to be
+    /// edited), branch children stay shared `Arc`s.
+    fn unshare(&self) -> Self {
+        match self {
+            Node::Leaf { hash, pairs } => Node::Leaf {
+                hash: *hash,
+                pairs: pairs.clone(),
+            },
+            Node::Branch { bitmap, children } => Node::Branch {
+                bitmap: *bitmap,
+                children: children.clone(),
+            },
+        }
+    }
+}
+
+fn insert_rec<K: Hash + Eq + Clone, V: Clone>(
+    node: &mut Arc<Node<K, V>>,
+    depth: u32,
+    hash: u64,
+    k: K,
+    v: V,
+) -> Option<V> {
+    // A leaf with a different hash splits into a branch over both; the
+    // old leaf is shared into the new subtree as-is, so no un-sharing.
+    if let Node::Leaf { hash: lh, .. } = node.as_ref() {
+        if *lh != hash {
+            let fresh = Arc::new(Node::Leaf {
+                hash,
+                pairs: vec![(k, v)],
+            });
+            let (old_leaf, lh) = (node.clone(), *lh);
+            *node = split(old_leaf, lh, fresh, hash, depth);
+            return None;
+        }
+    }
+    // Otherwise this node is edited: un-share it first if an older
+    // clone still holds it, then mutate in place.
+    if Arc::get_mut(node).is_none() {
+        *node = Arc::new(node.unshare());
+    }
+    match Arc::get_mut(node).expect("node just un-shared") {
+        Node::Leaf { pairs, .. } => match pairs.iter_mut().find(|(pk, _)| *pk == k) {
+            Some(pair) => Some(std::mem::replace(&mut pair.1, v)),
+            None => {
+                pairs.push((k, v));
+                None
+            }
+        },
+        Node::Branch { bitmap, children } => {
+            let s = slot(hash, depth);
+            let bit = 1u64 << s;
+            let idx = (*bitmap & (bit - 1)).count_ones() as usize;
+            if *bitmap & bit == 0 {
+                children.insert(
+                    idx,
+                    Arc::new(Node::Leaf {
+                        hash,
+                        pairs: vec![(k, v)],
+                    }),
+                );
+                *bitmap |= bit;
+                None
+            } else {
+                insert_rec(&mut children[idx], depth + 1, hash, k, v)
+            }
+        }
+    }
+}
+
+/// [`insert_rec`]'s in-place-edit sibling: finds (or creates, from
+/// `default`) the value for `k` and applies `f` to it, un-sharing only
+/// the path nodes an older clone still holds. Returns whether a fresh
+/// key was added.
+fn update_rec<K: Hash + Eq + Clone, V: Clone>(
+    node: &mut Arc<Node<K, V>>,
+    depth: u32,
+    hash: u64,
+    k: K,
+    default: V,
+    f: impl FnOnce(&mut V),
+) -> bool {
+    if let Node::Leaf { hash: lh, .. } = node.as_ref() {
+        if *lh != hash {
+            let mut v = default;
+            f(&mut v);
+            let fresh = Arc::new(Node::Leaf {
+                hash,
+                pairs: vec![(k, v)],
+            });
+            let (old_leaf, lh) = (node.clone(), *lh);
+            *node = split(old_leaf, lh, fresh, hash, depth);
+            return true;
+        }
+    }
+    if Arc::get_mut(node).is_none() {
+        *node = Arc::new(node.unshare());
+    }
+    match Arc::get_mut(node).expect("node just un-shared") {
+        Node::Leaf { pairs, .. } => match pairs.iter_mut().find(|(pk, _)| *pk == k) {
+            Some(pair) => {
+                f(&mut pair.1);
+                false
+            }
+            None => {
+                let mut v = default;
+                f(&mut v);
+                pairs.push((k, v));
+                true
+            }
+        },
+        Node::Branch { bitmap, children } => {
+            let s = slot(hash, depth);
+            let bit = 1u64 << s;
+            let idx = (*bitmap & (bit - 1)).count_ones() as usize;
+            if *bitmap & bit == 0 {
+                let mut v = default;
+                f(&mut v);
+                children.insert(
+                    idx,
+                    Arc::new(Node::Leaf {
+                        hash,
+                        pairs: vec![(k, v)],
+                    }),
+                );
+                *bitmap |= bit;
+                true
+            } else {
+                update_rec(&mut children[idx], depth + 1, hash, k, default, f)
+            }
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for SharedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk<K: fmt::Debug, V: fmt::Debug>(node: &Node<K, V>, m: &mut fmt::DebugMap<'_, '_>) {
+            match node {
+                Node::Leaf { pairs, .. } => {
+                    for (k, v) in pairs {
+                        m.entry(k, v);
+                    }
+                }
+                Node::Branch { children, .. } => {
+                    for c in children {
+                        walk(c, m);
+                    }
+                }
+            }
+        }
+        let mut m = f.debug_map();
+        if let Some(root) = &self.root {
+            walk(root, &mut m);
+        }
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shared_vec_push_get_set_iter() {
+        let mut v: SharedVec<i32> = SharedVec::new();
+        assert!(v.is_empty());
+        for i in 0..200 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 200);
+        assert_eq!(*v.get(0), 0);
+        assert_eq!(*v.get(199), 199);
+        assert_eq!(v.page_count(), 200usize.div_ceil(PAGE_SIZE));
+        v.set(5, 500);
+        assert_eq!(*v.get(5), 500);
+        let collected: Vec<i32> = v.iter().copied().collect();
+        assert_eq!(collected.len(), 200);
+        assert_eq!(collected[5], 500);
+    }
+
+    #[test]
+    fn shared_vec_clone_isolates_and_counts_copies() {
+        let mut v: SharedVec<i32> = SharedVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        assert_eq!(v.copied_pages(), 0, "unshared pushes copy nothing");
+        let snapshot = v.clone();
+        // Mutations after the clone leave the snapshot untouched...
+        v.set(3, -3);
+        v.push(100);
+        assert_eq!(*snapshot.get(3), 3);
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(*v.get(3), -3);
+        assert_eq!(v.len(), 101);
+        // ...and each touched a shared page exactly once.
+        assert_eq!(v.copied_pages(), 2, "set page + tail page");
+        // Re-touching the now-unshared pages copies nothing further.
+        v.set(3, -4);
+        v.push(101);
+        assert_eq!(v.copied_pages(), 2);
+    }
+
+    #[test]
+    fn shared_map_matches_std_hashmap() {
+        let mut m: SharedMap<u64, u64> = SharedMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        // A keyed pseudo-random walk with plenty of overwrites.
+        let mut k = 7u64;
+        for i in 0..2000u64 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = k % 512;
+            assert_eq!(m.insert(key, i), reference.insert(key, i), "key {key}");
+            assert_eq!(m.len(), reference.len());
+        }
+        for key in 0..512u64 {
+            assert_eq!(m.get(&key), reference.get(&key), "key {key}");
+            assert_eq!(m.contains_key(&key), reference.contains_key(&key));
+        }
+        assert_eq!(m.get(&10_000), None);
+    }
+
+    #[test]
+    fn shared_map_clone_isolates() {
+        let mut m: SharedMap<String, usize> = SharedMap::new();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), i);
+        }
+        let snapshot = m.clone();
+        for i in 0..100 {
+            m.insert(format!("k{i}"), i + 1000);
+        }
+        m.insert("fresh".to_string(), 1);
+        for i in 0..100 {
+            assert_eq!(snapshot.get(&format!("k{i}")), Some(&i));
+            assert_eq!(m.get(&format!("k{i}")), Some(&(i + 1000)));
+        }
+        assert!(!snapshot.contains_key(&"fresh".to_string()));
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(m.len(), 101);
+    }
+
+    #[test]
+    fn shared_map_update_edits_in_place_and_isolates_clones() {
+        let mut m: SharedMap<u64, Vec<u32>> = SharedMap::new();
+        for i in 0..50u64 {
+            m.update(i % 10, Vec::new(), |v| v.push(i as u32));
+        }
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.get(&3), Some(&vec![3, 13, 23, 33, 43]));
+        let snapshot = m.clone();
+        m.update(3, Vec::new(), |v| v.push(999));
+        m.update(77, vec![1], |v| v.push(2));
+        assert_eq!(snapshot.get(&3), Some(&vec![3, 13, 23, 33, 43]));
+        assert_eq!(snapshot.get(&77), None);
+        assert_eq!(snapshot.len(), 10);
+        assert_eq!(m.get(&3), Some(&vec![3, 13, 23, 33, 43, 999]));
+        assert_eq!(m.get(&77), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 11);
+    }
+
+    /// Keys engineered to collide on full 64-bit hashes exercise the
+    /// leaf bucket path.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Colliding(u32);
+    impl Hash for Colliding {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u64(42); // everyone hashes alike
+        }
+    }
+
+    #[test]
+    fn shared_map_handles_full_hash_collisions() {
+        let mut m: SharedMap<Colliding, u32> = SharedMap::new();
+        for i in 0..20 {
+            assert_eq!(m.insert(Colliding(i), i), None);
+        }
+        assert_eq!(m.len(), 20);
+        for i in 0..20 {
+            assert_eq!(m.get(&Colliding(i)), Some(&i));
+        }
+        assert_eq!(m.insert(Colliding(7), 700), Some(7));
+        assert_eq!(m.get(&Colliding(7)), Some(&700));
+        assert_eq!(m.len(), 20);
+    }
+
+    #[test]
+    fn debug_renders() {
+        let mut v: SharedVec<u8> = SharedVec::new();
+        v.push(1);
+        let mut m: SharedMap<u8, u8> = SharedMap::new();
+        m.insert(1, 2);
+        assert_eq!(format!("{v:?}"), "[1]");
+        assert_eq!(format!("{m:?}"), "{1: 2}");
+    }
+}

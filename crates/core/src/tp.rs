@@ -38,12 +38,14 @@
 //!
 //! The semi-naive **old/delta/all invariant**: each round freezes the
 //! entry-slot watermark and stamps its delta entries with a fresh token
-//! (`RoundScope`). For a combination whose delta position is `d`,
-//! positions `< d` draw from frozen non-delta entries ("old"), position
-//! `d` from the delta, and positions `> d` from all frozen entries
-//! ("all") — so every combination involving at least one delta entry is
-//! enumerated exactly once per round, without building per-round
-//! `HashSet`s or rescanning the view.
+//! (`RoundScope`). Each clause's delta-carrying body positions are
+//! ordered by ascending estimated fan-out into a `delta_plan`; the
+//! position of rank `k` serves as the delta of one split, in which
+//! positions of rank `< k` draw from frozen non-delta entries ("old"),
+//! rank `k` from the delta, and every other position from all frozen
+//! entries ("all") — so every combination involving at least one delta
+//! entry is enumerated exactly once per round, without building
+//! per-round `HashSet`s or rescanning the view.
 
 use crate::atom::ConstrainedAtom;
 use crate::normalize::normalize;
@@ -344,6 +346,11 @@ struct ComboCtx<'a> {
     view: &'a MaterializedView,
     body: &'a [BodyAtom],
     dpos: usize,
+    /// Body positions already consumed as the delta by earlier splits of
+    /// this round's plan: they draw from the frozen round's *non-delta*
+    /// entries ("old"), every other non-delta position from all frozen
+    /// entries ("all") — see [`delta_plan`].
+    older: &'a [usize],
     delta: &'a DeltaSource<'a>,
     scope: Option<&'a RoundScope<'a>>,
     /// Visit order of body positions: the delta position first (it is
@@ -419,9 +426,14 @@ fn combos_rec(
         match ctx.delta {
             DeltaSource::Entries(ids) => {
                 stats.candidates_scanned += ids.len();
+                // One delta list holds one predicate's entries, so the
+                // liveness set is resolved once, not per candidate.
+                let live = ctx.view.live_set(&atom.pred);
                 for &id in *ids {
                     let e = ctx.view.entry(id);
-                    if e.alive && bind_child(atom, &e.atom.args, bindings, trail) {
+                    if live.is_some_and(|s| s.contains_key(&id))
+                        && bind_child(atom, &e.atom.args, bindings, trail)
+                    {
                         combo.push(id);
                         combos_rec(ctx, stats, bindings, trail, combo, out);
                         combo.pop();
@@ -455,13 +467,15 @@ fn combos_rec(
         stats.index_probes += 1;
     }
     stats.candidates_scanned += cands.len();
+    // Old/delta/all split: positions already consumed as delta by
+    // earlier splits of the plan draw from pre-round non-delta entries,
+    // the remaining positions from all pre-round entries — each
+    // combination enumerated exactly once per round. Whether *this*
+    // position excludes the delta is fixed for the whole candidate loop.
+    let excludes_delta = ctx.older.contains(&i);
     for id in cands.iter() {
         if let Some(sc) = ctx.scope {
-            // Old/delta/all split: positions before dpos draw from
-            // pre-round non-delta entries, positions after from all
-            // pre-round entries — each combination enumerated exactly
-            // once per round.
-            if id >= sc.watermark || (i < ctx.dpos && sc.in_delta(id)) {
+            if id >= sc.watermark || (excludes_delta && sc.in_delta(id)) {
                 continue;
             }
         }
@@ -475,13 +489,44 @@ fn combos_rec(
     }
 }
 
+/// The per-clause, per-round delta plan, filled into the caller-held
+/// scratch buffer `plan` (the round loops are allocation-free): the
+/// body positions whose predicate carries delta entries this round,
+/// ordered by ascending *estimated fan-out* — the number of delta
+/// entries the position would seed the enumeration with (ties fall
+/// back to clause order, keeping the plan deterministic).
+///
+/// The semi-naive decomposition needs every planned position to serve
+/// as the delta exactly once, but the *order* of the splits is free:
+/// for the split at rank `k`, positions of rank `< k` draw from the
+/// round's non-delta ("old") entries and everything else from all
+/// frozen entries, which keeps the splits disjoint and exhaustive under
+/// any permutation. Leading with the smallest delta list means the
+/// cheapest, most selective source drives the first (and therefore
+/// every "all"-sourced) split — previously the splits ran in clause
+/// order regardless of fan-out. The enumerated combination set is
+/// identical under any order, which the `engine_equivalence` proptest
+/// pins.
+pub(crate) fn delta_plan(
+    body: &[BodyAtom],
+    delta_by_pred: &FxHashMap<Arc<str>, Vec<EntryId>>,
+    plan: &mut Vec<usize>,
+) {
+    plan.clear();
+    plan.extend((0..body.len()).filter(|i| delta_by_pred.contains_key(&body[*i].pred)));
+    // Bodies are a handful of atoms, so re-probing the map per
+    // comparison is cheaper than materializing a keyed scratch vector.
+    plan.sort_unstable_by_key(|&i| (delta_by_pred.get(&body[i].pred).map_or(0, |d| d.len()), i));
+}
+
 /// Collects every combination of children for `body` where position
-/// `dpos` draws from `delta`: under a round scope, positions before
-/// `dpos` draw from the frozen round's non-delta entries and positions
-/// after from all frozen entries; without a scope, both draw from all
-/// live entries. Combinations are appended to `out` as flat chunks of
-/// `body.len()` entry ids, so the caller can materialize, dedup, derive
-/// and insert without this function holding any borrow of the view.
+/// `dpos` draws from `delta`: under a round scope, the positions listed
+/// in `older` (earlier splits of the round's [`delta_plan`]) draw from
+/// the frozen round's non-delta entries and every other position from
+/// all frozen entries; without a scope, all draw from all live entries.
+/// Combinations are appended to `out` as flat chunks of `body.len()`
+/// entry ids, so the caller can materialize, dedup, derive and insert
+/// without this function holding any borrow of the view.
 ///
 /// Join planning: the delta position is always visited first (its
 /// bindings prune every later position), and the remaining positions
@@ -493,10 +538,12 @@ fn combos_rec(
 /// clause order, keeping the plan deterministic. Only the visit order
 /// changes — the enumerated combination set is identical under any
 /// order, which the `engine_equivalence` proptest pins.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn collect_combos(
     view: &MaterializedView,
     body: &[BodyAtom],
     dpos: usize,
+    older: &[usize],
     delta: &DeltaSource<'_>,
     scope: Option<&RoundScope<'_>>,
     stats: &mut FixpointStats,
@@ -525,6 +572,7 @@ pub(crate) fn collect_combos(
         view,
         body,
         dpos,
+        older,
         delta,
         scope,
         order: &order,
@@ -581,6 +629,7 @@ fn propagate_rounds(
     let mode = view.mode();
     let mut rounds = RoundState::new();
     let mut combos: Vec<EntryId> = Vec::new();
+    let mut plan: Vec<usize> = Vec::new();
     // Semi-naive rounds.
     while !delta.is_empty() {
         stats.iterations += 1;
@@ -598,15 +647,17 @@ fn propagate_rounds(
             if n == 0 {
                 continue;
             }
-            for dpos in 0..n {
-                let Some(dlist) = delta_by_pred.get(&clause.body[dpos].pred) else {
-                    continue;
-                };
+            delta_plan(&clause.body, &delta_by_pred, &mut plan);
+            for (k, &dpos) in plan.iter().enumerate() {
+                let dlist = delta_by_pred
+                    .get(&clause.body[dpos].pred)
+                    .expect("planned positions carry delta");
                 combos.clear();
                 collect_combos(
                     view,
                     &clause.body,
                     dpos,
+                    &plan[..k],
                     &DeltaSource::Entries(dlist),
                     Some(&scope),
                     stats,

@@ -7,8 +7,45 @@
 //! carry its support ([`SupportMode::WithSupports`]). The mode is fixed at
 //! construction, which also gives experiment E6 (support overhead
 //! ablation) its two arms.
+//!
+//! # The persistent store
+//!
+//! A view is a *handle* onto structurally-shared storage
+//! ([`crate::store`]): cloning one is a handful of `Arc` bumps, never a
+//! deep copy, which is what lets the `mmv-service` writer publish an
+//! epoch after a k-entry batch in O(touched) rather than O(view). The
+//! pieces:
+//!
+//! * **The entry slab** — an append-only [`SharedVec`] of immutable
+//!   `Arc<Entry>` values. Entries are never mutated in place: StDel's
+//!   constraint replacement swaps in a *new* `Arc<Entry>` (copy-on-write
+//!   at page granularity), and tombstoning touches only the predicate
+//!   index, so an entry reachable from an old snapshot can never change
+//!   under its readers.
+//! * **Per-predicate index pages** — each predicate's `PredIndex`
+//!   (live list, live-slot map, constant-argument discrimination maps)
+//!   sits behind its own `Arc` and is copied lazily on the first
+//!   mutation after a clone (`Arc::make_mut`); predicates a batch never
+//!   touches stay physically shared across every published epoch.
+//! * **Global dedup indexes** — the support → entry and
+//!   canonical-hash → entries maps are insert-only persistent tries
+//!   ([`SharedMap`]): an insert path-copies O(log n) nodes, and clones
+//!   share the rest.
+//!
+//! Liveness lives in the predicate index (an entry is live iff its id is
+//! in its predicate's slot map), **not** in the entry — flipping a
+//! mutable `alive` bit inside a shared entry would be visible to every
+//! snapshot holding it. Because all sharing is behind plain `Arc`s with
+//! `&self` reads and copy-on-write `&mut self` writes, concurrent
+//! readers of old clones are safe by construction: the writer can only
+//! ever mutate storage it has already un-shared.
+//!
+//! [`MaterializedView::share_stats`] reports how many entry pages /
+//! predicate indexes a handle's mutations actually copied — the
+//! service's per-epoch shared-vs-copied accounting.
 
 use crate::atom::ConstrainedAtom;
+use crate::store::{SharedMap, SharedVec};
 use crate::support::Support;
 use mmv_constraints::fxhash::{FxHashMap, FxHasher};
 use mmv_constraints::solver::SolverConfig;
@@ -32,6 +69,11 @@ pub enum SupportMode {
 pub type EntryId = usize;
 
 /// One constrained atom of the view, with its derivation metadata.
+///
+/// Entries are immutable once stored: maintenance replaces an entry
+/// wholesale (see [`MaterializedView::replace_constraint`]) instead of
+/// mutating it, and liveness is tracked by the predicate index, so a
+/// snapshot holding this entry never observes a change.
 #[derive(Debug, Clone)]
 pub struct Entry {
     /// The constrained atom.
@@ -42,25 +84,27 @@ pub struct Entry {
     /// instantiated (standardized apart) inside this entry's constraint.
     /// StDel's step 3 ties the negated child constraint to these terms.
     pub children_args: Vec<Vec<Term>>,
-    /// Whether the entry is live (dead entries are tombstones).
-    pub alive: bool,
-    /// Position of this entry in its predicate's live list (meaningful
-    /// only while `alive`; lets `remove` unregister in O(1)).
-    live_slot: usize,
 }
 
 /// Per-predicate access structures, maintained incrementally by
 /// `insert`/`remove` so the fixpoint engine never rescans the view.
 ///
 /// `live` holds the ids of all live entries of the predicate (unordered;
-/// removal is a swap-remove). `by_const[p]` discriminates live entries by
-/// the constant at argument position `p`; entries whose argument at `p`
+/// removal is a swap-remove through `slots`, which doubles as the
+/// liveness set). `by_const[p]` discriminates live entries by the
+/// constant at argument position `p`; entries whose argument at `p`
 /// is a variable or field projection go to `nonconst[p]` instead — a
 /// probe for value `v` at `p` must scan `by_const[p][v] ∪ nonconst[p]`,
 /// since a variable argument can take any value under its constraint.
+///
+/// Each `PredIndex` is one copy-on-write "page": the view holds it
+/// behind an `Arc` and copies it on the first mutation after a clone.
 #[derive(Debug, Clone, Default)]
 struct PredIndex {
     live: Vec<EntryId>,
+    /// Live entry → its slot in `live` (O(1) removal); membership here
+    /// *is* liveness.
+    slots: FxHashMap<EntryId, usize>,
     by_const: Vec<FxHashMap<Value, Vec<EntryId>>>,
     nonconst: Vec<Vec<EntryId>>,
 }
@@ -72,6 +116,12 @@ impl PredIndex {
             self.nonconst.resize_with(n, Vec::new);
         }
     }
+}
+
+/// Un-shares a predicate index for mutation, counting the copy when one
+/// actually happens (the index was still shared with an older clone).
+fn cow_index<'a>(copies: &mut u64, arc: &'a mut Arc<PredIndex>) -> &'a mut PredIndex {
+    crate::store::unshare_counted(arc, copies)
 }
 
 /// The result of a [`MaterializedView::probe`]: up to two borrowed id
@@ -137,17 +187,36 @@ impl fmt::Display for InstanceError {
 
 impl std::error::Error for InstanceError {}
 
-/// A materialized mediated view.
+/// Structural-sharing statistics of one view handle: how much of the
+/// store its mutations have had to copy (cumulative — callers diff
+/// across epochs), against the current totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareStats {
+    /// Entry-slab pages currently allocated.
+    pub entry_pages: usize,
+    /// Entry-slab pages this handle's mutations copied because they
+    /// were still shared with an older clone.
+    pub entry_pages_copied: u64,
+    /// Predicate indexes currently allocated (one per predicate).
+    pub pred_indexes: usize,
+    /// Predicate indexes this handle's mutations copied because they
+    /// were still shared with an older clone.
+    pub pred_indexes_copied: u64,
+}
+
+/// A materialized mediated view: a cheaply-clonable handle onto a
+/// persistent, structurally-shared store (see the module docs).
 #[derive(Debug, Clone)]
 pub struct MaterializedView {
     mode: SupportMode,
-    entries: Vec<Entry>,
-    preds: FxHashMap<Arc<str>, PredIndex>,
-    by_support: FxHashMap<Support, EntryId>,
-    by_canon: FxHashMap<u64, Vec<EntryId>>,
+    store: SharedVec<Arc<Entry>>,
+    preds: FxHashMap<Arc<str>, Arc<PredIndex>>,
+    by_support: SharedMap<Support, EntryId>,
+    by_canon: SharedMap<u64, Vec<EntryId>>,
     live: usize,
     next_external: u64,
     var_gen: VarGen,
+    pred_copies: u64,
 }
 
 impl MaterializedView {
@@ -157,13 +226,14 @@ impl MaterializedView {
     pub fn new(mode: SupportMode, var_gen: VarGen) -> Self {
         MaterializedView {
             mode,
-            entries: Vec::new(),
+            store: SharedVec::new(),
             preds: FxHashMap::default(),
-            by_support: FxHashMap::default(),
-            by_canon: FxHashMap::default(),
+            by_support: SharedMap::new(),
+            by_canon: SharedMap::new(),
             live: 0,
             next_external: 0,
             var_gen,
+            pred_copies: 0,
         }
     }
 
@@ -218,14 +288,15 @@ impl MaterializedView {
                 let key = canonical_hash(&atom);
                 if let Some(ids) = self.by_canon.get(&key) {
                     let canon = canonicalize(&atom);
-                    if ids.iter().any(|&i| {
-                        self.entries[i].alive && canonicalize(&self.entries[i].atom) == canon
-                    }) {
+                    if ids
+                        .iter()
+                        .any(|&i| self.is_live(i) && canonicalize(&self.entry(i).atom) == canon)
+                    {
                         return None;
                     }
                 }
                 let id = self.push_entry(atom, None, children_args);
-                self.by_canon.entry(key).or_default().push(id);
+                self.by_canon.update(key, Vec::new(), |ids| ids.push(id));
                 Some(id)
             }
         }
@@ -237,36 +308,66 @@ impl MaterializedView {
         support: Option<Support>,
         children_args: Vec<Vec<Term>>,
     ) -> EntryId {
-        let id = self.entries.len();
-        let idx = self.preds.entry(atom.pred.clone()).or_default();
+        let id = self.store.len();
+        let copies = &mut self.pred_copies;
+        let idx = self
+            .preds
+            .entry(atom.pred.clone())
+            .or_insert_with(|| Arc::new(PredIndex::default()));
+        let idx = cow_index(copies, idx);
         idx.ensure_arity(atom.args.len());
-        let live_slot = idx.live.len();
+        let slot = idx.live.len();
         idx.live.push(id);
+        idx.slots.insert(id, slot);
         for (p, t) in atom.args.iter().enumerate() {
             match t {
                 Term::Const(v) => idx.by_const[p].entry(v.clone()).or_default().push(id),
                 _ => idx.nonconst[p].push(id),
             }
         }
-        self.entries.push(Entry {
+        self.store.push(Arc::new(Entry {
             atom,
             support,
             children_args,
-            alive: true,
-            live_slot,
-        });
+        }));
         self.live += 1;
         id
     }
 
     /// The entry with the given id (live or dead).
     pub fn entry(&self, id: EntryId) -> &Entry {
-        &self.entries[id]
+        self.store.get(id)
+    }
+
+    /// Whether the entry with the given id is live (not tombstoned).
+    /// Liveness is tracked by the predicate index, not the entry, so
+    /// entries shared with older snapshots never change.
+    pub fn is_live(&self, id: EntryId) -> bool {
+        id < self.store.len()
+            && self
+                .preds
+                .get(&self.store.get(id).atom.pred)
+                .is_some_and(|ix| ix.slots.contains_key(&id))
+    }
+
+    /// Crate-internal: one predicate's liveness set (live id → slot),
+    /// resolved once so hot loops can test membership per id without
+    /// re-hashing the predicate name.
+    pub(crate) fn live_set(&self, pred: &str) -> Option<&FxHashMap<EntryId, usize>> {
+        self.preds.get(pred).map(|ix| &ix.slots)
     }
 
     /// Iterates live entries.
     pub fn live_entries(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
-        self.entries.iter().enumerate().filter(|(_, e)| e.alive)
+        self.store
+            .iter()
+            .enumerate()
+            .filter(|(id, e)| {
+                self.preds
+                    .get(&e.atom.pred)
+                    .is_some_and(|ix| ix.slots.contains_key(id))
+            })
+            .map(|(id, e)| (id, e.as_ref()))
     }
 
     /// Ids of live entries for a predicate (unordered; borrowed from the
@@ -282,7 +383,18 @@ impl MaterializedView {
     /// Total number of entry slots, live and tombstoned (every
     /// [`EntryId`] ever issued is below this watermark).
     pub fn entry_slots(&self) -> usize {
-        self.entries.len()
+        self.store.len()
+    }
+
+    /// Structural-sharing statistics of this handle (copied vs total
+    /// pages; see [`ShareStats`]).
+    pub fn share_stats(&self) -> ShareStats {
+        ShareStats {
+            entry_pages: self.store.page_count(),
+            entry_pages_copied: self.store.copied_pages(),
+            pred_indexes: self.preds.len(),
+            pred_indexes_copied: self.pred_copies,
+        }
     }
 
     /// Live candidate entries of `pred` that *may* match `pattern`
@@ -340,22 +452,26 @@ impl MaterializedView {
         self.by_support
             .get(support)
             .copied()
-            .filter(|&i| self.entries[i].alive)
+            .filter(|&i| self.is_live(i))
     }
 
-    /// Tombstones an entry and unregisters it from the predicate indexes.
+    /// Tombstones an entry and unregisters it from the predicate
+    /// indexes. The entry itself is untouched (it stays readable via
+    /// [`MaterializedView::entry`] and shared with older snapshots);
+    /// only this handle's predicate index forgets it.
     pub fn remove(&mut self, id: EntryId) -> bool {
-        let (pred, slot) = {
-            let e = &mut self.entries[id];
-            if !e.alive {
-                return false;
-            }
-            e.alive = false;
-            (e.atom.pred.clone(), e.live_slot)
-        };
-        self.live -= 1;
+        let pred = self.store.get(id).atom.pred.clone();
+        if !self
+            .preds
+            .get(&pred)
+            .is_some_and(|ix| ix.slots.contains_key(&id))
+        {
+            return false; // already tombstoned
+        }
         // Per-position discrimination keys of the removed entry.
-        let keys: Vec<Option<Value>> = self.entries[id]
+        let keys: Vec<Option<Value>> = self
+            .store
+            .get(id)
             .atom
             .args
             .iter()
@@ -364,9 +480,13 @@ impl MaterializedView {
                 _ => None,
             })
             .collect();
-        let idx = self.preds.get_mut(&pred).expect("registered predicate");
+        let idx = self.preds.get_mut(&pred).expect("liveness just checked");
+        let idx = cow_index(&mut self.pred_copies, idx);
+        let slot = idx.slots.remove(&id).expect("liveness just checked");
         idx.live.swap_remove(slot);
-        let moved = idx.live.get(slot).copied();
+        if let Some(&moved) = idx.live.get(slot) {
+            idx.slots.insert(moved, slot);
+        }
         for (p, key) in keys.iter().enumerate() {
             match key {
                 Some(v) => {
@@ -380,16 +500,18 @@ impl MaterializedView {
                 None => idx.nonconst[p].retain(|&x| x != id),
             }
         }
-        if let Some(m) = moved {
-            self.entries[m].live_slot = slot;
-        }
+        self.live -= 1;
         true
     }
 
-    /// Replaces an entry's constraint in place (StDel's replacement
-    /// step). The support and children metadata are retained.
+    /// Replaces an entry's constraint (StDel's replacement step) by
+    /// swapping in a new immutable entry — the support and children
+    /// metadata are retained, and snapshots sharing the old entry keep
+    /// it unchanged (copy-on-write at slab-page granularity).
     pub fn replace_constraint(&mut self, id: EntryId, c: mmv_constraints::Constraint) {
-        self.entries[id].atom.constraint = c;
+        let mut e = (**self.store.get(id)).clone();
+        e.atom.constraint = c;
+        self.store.set(id, Arc::new(e));
     }
 
     /// The instance semantics `[M]`, evaluated against the resolver's
@@ -430,7 +552,7 @@ impl MaterializedView {
     ) -> Result<BTreeSet<Vec<Value>>, InstanceError> {
         let mut out = BTreeSet::new();
         for &id in self.entries_for_pred(pred) {
-            let e = &self.entries[id];
+            let e = self.entry(id);
             if e.atom.args.len() != pattern.len() {
                 continue;
             }
@@ -624,10 +746,14 @@ mod tests {
     fn removal_tombstones() {
         let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
         let id = v.insert(atom("p", 1, 3), None, vec![]).unwrap();
+        assert!(v.is_live(id));
         assert!(v.remove(id));
         assert!(!v.remove(id));
+        assert!(!v.is_live(id));
         assert_eq!(v.len(), 0);
         assert!(v.entries_for_pred("p").is_empty());
+        // The tombstoned entry stays readable.
+        assert_eq!(v.entry(id).atom.pred.as_ref(), "p");
     }
 
     #[test]
@@ -707,5 +833,42 @@ mod tests {
         let c = v.compact();
         assert_eq!(c.len(), 1);
         assert!(c.syntactically_equal(&v));
+    }
+
+    #[test]
+    fn clones_share_structure_and_stay_isolated() {
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        let keep = v.insert(atom("p", 1, 3), None, vec![]).unwrap();
+        let gone = v.insert(atom("q", 1, 3), None, vec![]).unwrap();
+        let before = v.share_stats();
+        assert_eq!(before.entry_pages_copied, 0, "unshared writes copy nothing");
+        assert_eq!(before.pred_indexes_copied, 0);
+
+        let snapshot = v.clone();
+        // Tombstone q, weaken p, add r — the snapshot must not move.
+        v.remove(gone);
+        v.replace_constraint(
+            keep,
+            Constraint::cmp(Term::var(Var(1)), CmpOp::Le, Term::int(2)),
+        );
+        v.insert(atom("r", 1, 5), None, vec![]);
+        assert_eq!(snapshot.len(), 2);
+        assert!(snapshot.is_live(gone));
+        assert!(snapshot
+            .entry(keep)
+            .atom
+            .constraint
+            .to_string()
+            .contains(">= 1"));
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_live(gone));
+        // The mutations copied the shared slab page once and the one
+        // touched predicate index (q's; constraint replacement goes to
+        // the slab, and r's index is fresh, not copied).
+        let after = v.share_stats();
+        assert!(after.entry_pages_copied > before.entry_pages_copied);
+        assert_eq!(after.pred_indexes_copied, 1, "only q's index copied");
+        // The snapshot handle itself never copied anything.
+        assert_eq!(snapshot.share_stats().entry_pages_copied, 0);
     }
 }

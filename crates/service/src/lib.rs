@@ -59,7 +59,7 @@ pub mod snapshot;
 
 pub use log::{LogRecord, ReplayError, UpdateLog};
 pub use service::{Applied, BatchSender, ServiceError, ServiceWorker, SharedResolver, ViewService};
-pub use snapshot::{Epoch, ViewSnapshot};
+pub use snapshot::{Epoch, PublishStats, ViewSnapshot};
 
 // Re-export the batch vocabulary so service users need not depend on
 // mmv-core directly for the common path.
@@ -83,4 +83,14 @@ const _SEND_SYNC_AUDIT: () = {
     assert_send_sync::<UpdateLog>();
     assert_send_sync::<ViewService>();
     assert_send_sync::<BatchSender>();
+    // The persistent shared-store types: snapshots physically share
+    // entry pages, predicate indexes and trie nodes with the writer
+    // across threads, so these must stay Send + Sync (no Rc, RefCell,
+    // Cell, or raw-pointer sharing may slip into the store).
+    assert_send_sync::<mmv_core::view::Entry>();
+    assert_send_sync::<mmv_core::SharedVec<std::sync::Arc<mmv_core::view::Entry>>>();
+    assert_send_sync::<mmv_core::SharedMap<mmv_core::Support, mmv_core::EntryId>>();
+    assert_send_sync::<mmv_core::SharedMap<u64, Vec<mmv_core::EntryId>>>();
+    assert_send_sync::<mmv_core::ShareStats>();
+    assert_send_sync::<PublishStats>();
 };

@@ -7,7 +7,7 @@
 //! exactly that property, and the batch-vs-sequential equivalence
 //! suite leans on it to compare maintenance strategies.
 
-use crate::snapshot::Epoch;
+use crate::snapshot::{Epoch, PublishStats};
 use mmv_constraints::DomainResolver;
 use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
 use mmv_core::tp::{fixpoint, FixpointConfig, Operator};
@@ -25,6 +25,9 @@ pub struct LogRecord {
     pub stats: BatchStats,
     /// Wall-clock maintenance latency of the application.
     pub latency: Duration,
+    /// Publication cost of the epoch (snapshot swap time, copied-vs-
+    /// shared page counts).
+    pub publish: PublishStats,
 }
 
 /// Replay failure: rebuilding the base view or re-applying a batch.
@@ -174,6 +177,7 @@ mod tests {
                 batch,
                 stats,
                 latency: Duration::ZERO,
+                publish: PublishStats::default(),
             });
         }
         assert_eq!(log.len(), 2);

@@ -22,7 +22,7 @@
 //! last snapshot, so one poisoned batch cannot corrupt subsequent ones.
 
 use crate::log::{LogRecord, UpdateLog};
-use crate::snapshot::{Epoch, ViewSnapshot};
+use crate::snapshot::{Epoch, PublishStats, ViewSnapshot};
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
 use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
@@ -71,6 +71,9 @@ pub struct Applied {
     pub stats: BatchStats,
     /// Wall-clock maintenance latency (excluding snapshot publication).
     pub latency: Duration,
+    /// Publication cost: snapshot freeze-and-swap time and the batch's
+    /// copied-vs-shared page accounting.
+    pub publish: PublishStats,
 }
 
 struct WriterState {
@@ -116,7 +119,10 @@ impl ViewService {
     ) -> Result<Self, ServiceError> {
         let (view, _) =
             fixpoint(&db, resolver.as_ref(), op, mode, &config).map_err(ServiceError::Build)?;
-        let snapshot = Arc::new(ViewSnapshot::new(0, view.clone()));
+        // Epoch 0 takes the freshly built view; the writer's handle is a
+        // structurally-shared clone (a few Arc bumps, not a deep copy).
+        let snapshot = Arc::new(ViewSnapshot::new(0, view));
+        let writer_view = snapshot.view().clone();
         Ok(ViewService {
             db,
             resolver,
@@ -124,7 +130,7 @@ impl ViewService {
             config,
             published: RwLock::new(snapshot),
             writer: Mutex::new(WriterState {
-                view,
+                view: writer_view,
                 log: UpdateLog::new(),
                 epoch: 0,
             }),
@@ -170,6 +176,7 @@ impl ViewService {
     /// rejected.
     pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
         let mut w = self.writer.lock().expect("writer lock poisoned");
+        let before = w.view.share_stats();
         let start = Instant::now();
         let stats = match apply_batch(
             &self.db,
@@ -182,6 +189,8 @@ impl ViewService {
             Ok(stats) => stats,
             Err(e) => {
                 // Roll back: the failed batch may have half-applied.
+                // Re-adopting the published snapshot's handle is a few
+                // Arc bumps — the half-applied copies are simply dropped.
                 w.view = self.snapshot().view().clone();
                 return Err(ServiceError::Batch(e));
             }
@@ -189,18 +198,33 @@ impl ViewService {
         let latency = start.elapsed();
         w.epoch += 1;
         let epoch = w.epoch;
+        // Publication: freeze the writer's handle into a snapshot and
+        // swap it in. Under the shared store this clones page tables and
+        // `Arc`s — O(touched), never O(view) — so a 1-entry batch no
+        // longer pays for the whole view to become visible.
+        let after = w.view.share_stats();
+        let publish_start = Instant::now();
+        let snapshot = Arc::new(ViewSnapshot::new(epoch, w.view.clone()));
+        *self.published.write().expect("snapshot lock poisoned") = snapshot;
+        let publish = PublishStats {
+            publish_latency: publish_start.elapsed(),
+            entry_pages_copied: after.entry_pages_copied - before.entry_pages_copied,
+            entry_pages_total: after.entry_pages,
+            pred_indexes_copied: after.pred_indexes_copied - before.pred_indexes_copied,
+            pred_indexes_total: after.pred_indexes,
+        };
         w.log.append(LogRecord {
             epoch,
             batch,
             stats,
             latency,
+            publish,
         });
-        let snapshot = Arc::new(ViewSnapshot::new(epoch, w.view.clone()));
-        *self.published.write().expect("snapshot lock poisoned") = snapshot;
         Ok(Applied {
             epoch,
             stats,
             latency,
+            publish,
         })
     }
 
@@ -394,6 +418,59 @@ mod tests {
         // subsequent in-budget batch applies cleanly.
         let ok = svc.apply(UpdateBatch::deleting(vec![point(5)])).unwrap();
         assert_eq!(ok.epoch, 1);
+    }
+
+    #[test]
+    fn publication_counts_copied_vs_shared_pages() {
+        // Three predicates; the batch below touches only b (insert) and
+        // a (propagation) — c's index page must stay physically shared.
+        let db = ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "b",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(9),
+                )),
+            ),
+            Clause::new(
+                "a",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("b", vec![x()])],
+            ),
+            Clause::fact(
+                "c",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(100)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(109),
+                )),
+            ),
+        ]);
+        let svc = ViewService::build(
+            db,
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig::default(),
+        )
+        .unwrap();
+        let applied = svc
+            .apply(UpdateBatch::inserting(vec![point(30)]))
+            .expect("batch applies");
+        let p = applied.publish;
+        assert_eq!(p.pred_indexes_total, 3);
+        assert_eq!(
+            p.pred_indexes_copied, 2,
+            "b (insert) and a (propagation) copied; c shared: {p:?}"
+        );
+        assert!(p.entry_pages_copied >= 1, "the batch touched the slab");
+        assert!(p.entry_pages_copied <= p.entry_pages_total as u64);
+        // The log carries the same per-epoch accounting.
+        assert_eq!(svc.log().records()[0].publish, p);
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! reads never block maintenance and maintenance never blocks reads
 //! (the "stale view" serving discipline: readers observe the most
 //! recently *published* consistent state, never a half-maintained one).
+//!
+//! Since the view is a handle onto a persistent, structurally-shared
+//! store (see [`mmv_core::view`]), freezing one here is a handful of
+//! `Arc` bumps: the snapshot holds the shared store directly, entries
+//! and index pages physically shared with the writer and with every
+//! other epoch that hasn't diverged from them. Entry immutability (the
+//! writer replaces entries instead of mutating them, and copies any
+//! still-shared page before writing) is what makes that sharing safe
+//! under concurrent readers. [`PublishStats`] records what one epoch's
+//! publication actually cost.
 
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
@@ -14,6 +24,29 @@ use mmv_core::view::GroundFact;
 use mmv_core::{InstanceError, MaterializedView, SupportMode};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Duration;
+
+/// The cost of publishing one epoch: how long the freeze-and-swap took,
+/// and how much of the store the batch's maintenance had to copy
+/// (copy-on-write) versus leave shared with previous epochs.
+///
+/// `*_copied` counts are per-epoch deltas; `*_total` are the store's
+/// current totals, so `total - copied` pages stayed physically shared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Wall-clock time to freeze the view into a snapshot and swap it
+    /// in — pointer bumps under the shared store, never a deep copy.
+    pub publish_latency: Duration,
+    /// Entry-slab pages the batch copied because they were still
+    /// shared with an older epoch.
+    pub entry_pages_copied: u64,
+    /// Entry-slab pages currently allocated.
+    pub entry_pages_total: usize,
+    /// Per-predicate index pages the batch copied.
+    pub pred_indexes_copied: u64,
+    /// Per-predicate index pages currently allocated.
+    pub pred_indexes_total: usize,
+}
 
 /// A monotonically increasing snapshot version. Epoch 0 is the freshly
 /// built view; every applied batch publishes the next epoch.
