@@ -23,7 +23,7 @@
 use crate::atom::ConstrainedAtom;
 use crate::delete_dred::{dred_delete_batch, DredError, ExtDredStats};
 use crate::delete_stdel::{stdel_delete_batch, StDelError, StDelStats};
-use crate::insert::{insert_batch, InsertBatchStats};
+use crate::insert::{insert_batch, insert_batch_ticketed, InsertBatchStats};
 use crate::program::ConstrainedDatabase;
 use crate::tp::{FixpointConfig, FixpointError, Operator};
 use crate::view::{MaterializedView, SupportMode};
@@ -108,6 +108,21 @@ pub enum DeleteStats {
     StDel(StDelStats),
 }
 
+impl DeleteStats {
+    /// Accumulates another part's deletion statistics. The algorithm is
+    /// fixed by the view's support mode, so parts of one batch always
+    /// carry the same variant (or `None`).
+    pub fn absorb(&mut self, other: &DeleteStats) {
+        match (self, other) {
+            (_, DeleteStats::None) => {}
+            (this @ DeleteStats::None, o) => *this = *o,
+            (DeleteStats::Dred(a), DeleteStats::Dred(b)) => a.absorb(b),
+            (DeleteStats::StDel(a), DeleteStats::StDel(b)) => a.absorb(b),
+            _ => unreachable!("one batch never mixes deletion algorithms"),
+        }
+    }
+}
+
 /// Statistics of one applied batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchStats {
@@ -115,8 +130,28 @@ pub struct BatchStats {
     pub deletes: DeleteStats,
     /// Insertion-phase statistics.
     pub inserts: InsertBatchStats,
-    /// Live view entries after the batch.
+    /// Live view entries after the batch (under a sharded writer, the
+    /// total across all shards).
     pub view_entries: usize,
+}
+
+impl BatchStats {
+    /// An empty accumulator for merging per-shard parts.
+    pub fn empty() -> Self {
+        BatchStats {
+            deletes: DeleteStats::None,
+            inserts: InsertBatchStats::default(),
+            view_entries: 0,
+        }
+    }
+
+    /// Accumulates another part's statistics (`view_entries` is summed;
+    /// a sharded caller overwrites it with the global total afterwards).
+    pub fn absorb(&mut self, o: &BatchStats) {
+        self.deletes.absorb(&o.deletes);
+        self.inserts.absorb(&o.inserts);
+        self.view_entries += o.view_entries;
+    }
 }
 
 /// Failure to apply a batch. The view must be considered corrupt after
@@ -176,30 +211,63 @@ pub fn apply_batch(
     op: Operator,
     config: &FixpointConfig,
 ) -> Result<BatchStats, BatchError> {
-    let deletes = if batch.deletes.is_empty() {
-        DeleteStats::None
-    } else {
-        match view.mode() {
-            SupportMode::Plain => DeleteStats::Dred(dred_delete_batch(
-                db,
-                view,
-                &batch.deletes,
-                resolver,
-                config,
-            )?),
-            SupportMode::WithSupports => DeleteStats::StDel(stdel_delete_batch(
-                view,
-                &batch.deletes,
-                resolver,
-                &config.solver,
-            )?),
-        }
-    };
+    let deletes = delete_phase(db, view, batch, resolver, config)?;
     let inserts = insert_batch(db, view, &batch.inserts, resolver, op, config)?;
     Ok(BatchStats {
         deletes,
         inserts,
         view_entries: view.len(),
+    })
+}
+
+/// [`apply_batch`] with caller-chosen external-insertion tickets, one
+/// per insertion request (see [`insert_batch_ticketed`]).
+/// The sharded `mmv-service` writer reserves a batch's ticket range
+/// globally and applies each shard's slice with the positions its
+/// insertions held in the unsplit batch, so the union of the per-shard
+/// views is syntactically equal to the single-lane result.
+pub fn apply_batch_ticketed(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    batch: &UpdateBatch,
+    tickets: &[u64],
+    resolver: &dyn DomainResolver,
+    op: Operator,
+    config: &FixpointConfig,
+) -> Result<BatchStats, BatchError> {
+    let deletes = delete_phase(db, view, batch, resolver, config)?;
+    let inserts = insert_batch_ticketed(db, view, &batch.inserts, tickets, resolver, op, config)?;
+    Ok(BatchStats {
+        deletes,
+        inserts,
+        view_entries: view.len(),
+    })
+}
+
+fn delete_phase(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    batch: &UpdateBatch,
+    resolver: &dyn DomainResolver,
+    config: &FixpointConfig,
+) -> Result<DeleteStats, BatchError> {
+    if batch.deletes.is_empty() {
+        return Ok(DeleteStats::None);
+    }
+    Ok(match view.mode() {
+        SupportMode::Plain => DeleteStats::Dred(dred_delete_batch(
+            db,
+            view,
+            &batch.deletes,
+            resolver,
+            config,
+        )?),
+        SupportMode::WithSupports => DeleteStats::StDel(stdel_delete_batch(
+            view,
+            &batch.deletes,
+            resolver,
+            &config.solver,
+        )?),
     })
 }
 

@@ -52,6 +52,21 @@ pub struct ExtDredStats {
     pub candidates_scanned: usize,
 }
 
+impl ExtDredStats {
+    /// Accumulates another run's counters (used when a batch is split
+    /// across independent shards and each part reports separately).
+    pub fn absorb(&mut self, o: &ExtDredStats) {
+        self.del_atoms += o.del_atoms;
+        self.pout_atoms += o.pout_atoms;
+        self.weakened += o.weakened;
+        self.rederived += o.rederived;
+        self.removed += o.removed;
+        self.solver_calls += o.solver_calls;
+        self.index_probes += o.index_probes;
+        self.candidates_scanned += o.candidates_scanned;
+    }
+}
+
 /// Extended DRed failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DredError {
@@ -457,7 +472,7 @@ pub fn rewrite_for_deletion(
 ) -> ConstrainedDatabase {
     let mut gen = db.fresh_gen();
     let mut out = ConstrainedDatabase::new();
-    for (_, clause) in db.clauses() {
+    for (cid, clause) in db.clauses() {
         let mut c = clause.clone();
         for d in del {
             if d.pred != clause.head_pred || d.args.len() != clause.head_args.len() {
@@ -473,7 +488,7 @@ pub fn rewrite_for_deletion(
                 c.body.clone(),
             );
         }
-        out.push(c);
+        out.push_numbered(cid, c);
     }
     out
 }
@@ -501,7 +516,7 @@ fn rewrite_for_deletion_gated(
     stats: &mut ExtDredStats,
 ) -> ConstrainedDatabase {
     let mut out = ConstrainedDatabase::new();
-    for (_, clause) in db.clauses() {
+    for (cid, clause) in db.clauses() {
         let mut c = clause.clone();
         for d in del {
             if d.pred != clause.head_pred || d.args.len() != clause.head_args.len() {
@@ -527,7 +542,7 @@ fn rewrite_for_deletion_gated(
                 c.body.clone(),
             );
         }
-        out.push(c);
+        out.push_numbered(cid, c);
     }
     out
 }

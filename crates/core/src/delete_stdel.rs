@@ -34,6 +34,18 @@ pub struct StDelStats {
     pub solver_calls: usize,
 }
 
+impl StDelStats {
+    /// Accumulates another run's counters (used when a batch is split
+    /// across independent shards and each part reports separately).
+    pub fn absorb(&mut self, o: &StDelStats) {
+        self.direct_replacements += o.direct_replacements;
+        self.propagated_replacements += o.propagated_replacements;
+        self.pout_pairs += o.pout_pairs;
+        self.removed += o.removed;
+        self.solver_calls += o.solver_calls;
+    }
+}
+
 /// StDel failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StDelError {

@@ -46,6 +46,16 @@ pub struct InsertBatchStats {
     pub fixpoint: FixpointStats,
 }
 
+impl InsertBatchStats {
+    /// Accumulates another run's counters (used when a batch is split
+    /// across independent shards and each part reports separately).
+    pub fn absorb(&mut self, o: &InsertBatchStats) {
+        self.added += o.added;
+        self.propagated += o.propagated;
+        self.fixpoint.absorb(&o.fixpoint);
+    }
+}
+
 /// Inserts `[insertion]`'s instances into the view (Algorithm 3),
 /// propagating consequences through `db`'s clauses. `op` selects the
 /// admission semantics (`T_P` checks solvability of derived constraints;
@@ -91,10 +101,44 @@ pub fn insert_batch(
     op: Operator,
     config: &FixpointConfig,
 ) -> Result<InsertBatchStats, FixpointError> {
+    // One ticket per *request*, drawn upfront — so the ticket sequence
+    // depends only on the request sequence, never on which requests turn
+    // out to be no-ops. That is what lets a sharded writer reserve a
+    // batch's tickets globally and hand each shard its subsequence (see
+    // `insert_batch_ticketed`) while staying syntactically equal to the
+    // single-lane run.
+    let tickets: Vec<u64> = insertions
+        .iter()
+        .map(|_| view.fresh_external_ticket())
+        .collect();
+    insert_batch_ticketed(db, view, insertions, &tickets, resolver, op, config)
+}
+
+/// [`insert_batch`] with caller-chosen external-insertion tickets, one
+/// per request (`tickets.len() == insertions.len()`). The caller is
+/// responsible for ticket uniqueness across the view's lifetime; the
+/// `mmv-service` sharded writer reserves a contiguous global range per
+/// batch and routes each shard the positions its insertions held in the
+/// original batch, so a split batch issues exactly the tickets the
+/// unsplit batch would.
+pub fn insert_batch_ticketed(
+    db: &ConstrainedDatabase,
+    view: &mut MaterializedView,
+    insertions: &[ConstrainedAtom],
+    tickets: &[u64],
+    resolver: &dyn DomainResolver,
+    op: Operator,
+    config: &FixpointConfig,
+) -> Result<InsertBatchStats, FixpointError> {
+    assert_eq!(
+        insertions.len(),
+        tickets.len(),
+        "one ticket per insertion request"
+    );
     let mut stats = InsertBatchStats::default();
     let mut new_ids: Vec<EntryId> = Vec::with_capacity(insertions.len());
-    for insertion in insertions {
-        if let Some(id) = materialize_add(view, insertion, resolver, config) {
+    for (insertion, &ticket) in insertions.iter().zip(tickets) {
+        if let Some(id) = materialize_add(view, insertion, ticket, resolver, config) {
             new_ids.push(id);
             stats.added += 1;
         }
@@ -118,6 +162,7 @@ pub fn insert_batch(
 fn materialize_add(
     view: &mut MaterializedView,
     insertion: &ConstrainedAtom,
+    ticket: u64,
     resolver: &dyn DomainResolver,
     config: &FixpointConfig,
 ) -> Option<EntryId> {
@@ -160,10 +205,7 @@ fn materialize_add(
 
     // ---- Materialize Add --------------------------------------------------
     let support = match view.mode() {
-        SupportMode::WithSupports => {
-            let ticket = view.fresh_external_ticket();
-            Some(Support::leaf(Producer::External(ticket)))
-        }
+        SupportMode::WithSupports => Some(Support::leaf(Producer::External(ticket))),
         SupportMode::Plain => None,
     };
     // `None`: canonically identical entry already present (Plain mode).

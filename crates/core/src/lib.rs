@@ -69,22 +69,26 @@ pub mod normalize;
 pub mod parser;
 pub mod program;
 pub mod semantics;
+pub mod shard;
 pub mod store;
 pub mod support;
 pub mod tp;
 pub mod view;
 
 pub use atom::{ConstrainedAtom, Instances};
-pub use batch::{apply_batch, BatchError, BatchStats, DeleteStats, UpdateBatch};
+pub use batch::{
+    apply_batch, apply_batch_ticketed, BatchError, BatchStats, DeleteStats, UpdateBatch,
+};
 pub use delete_dred::{dred_delete, dred_delete_batch, DredError, ExtDredStats};
 pub use delete_stdel::{stdel_delete, stdel_delete_batch, StDelError, StDelStats};
 pub use external::{MaintenanceAction, MaintenanceStrategy, MediatedMaterializedView};
-pub use insert::{insert_atom, insert_batch, InsertBatchStats, InsertStats};
+pub use insert::{insert_atom, insert_batch, insert_batch_ticketed, InsertBatchStats, InsertStats};
 pub use parser::{parse_atom, parse_program, ParseError, Parsed};
 pub use program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase, ValidationIssue};
 pub use semantics::{
     batch_oracle, deletion_oracle, insertion_oracle, recompute_instances, OracleError,
 };
+pub use shard::{ShardId, ShardMap, ShardPart, ShardSpec};
 pub use store::{SharedMap, SharedVec};
 pub use support::{Producer, Support};
 pub use tp::{fixpoint, fixpoint_seeded, FixpointConfig, FixpointError, FixpointStats, Operator};

@@ -158,9 +158,21 @@ impl fmt::Display for Clause {
 }
 
 /// A constrained database: an ordered, numbered set of clauses.
+///
+/// Clause numbers are normally positional (`ClauseId(k)` is the `k`-th
+/// pushed clause), but a database produced by
+/// [`ConstrainedDatabase::restrict_to_heads`] keeps the *original*
+/// numbers of the clauses it retains — supports recorded against the
+/// restriction are identical to supports recorded against the full
+/// database, which is what lets a per-shard writer lane maintain its
+/// view with only its own clauses.
 #[derive(Debug, Clone, Default)]
 pub struct ConstrainedDatabase {
     clauses: Vec<Clause>,
+    /// The number of each clause, parallel to `clauses`, strictly
+    /// ascending. Identity (`numbers[k] == ClauseId(k)`) unless the
+    /// database is a restriction.
+    numbers: Vec<ClauseId>,
     /// Clause ids by head predicate, for head-indexed access.
     by_head: FxHashMap<Arc<str>, Vec<ClauseId>>,
     /// First variable id guaranteed unused by any clause.
@@ -182,9 +194,30 @@ impl ConstrainedDatabase {
         db
     }
 
-    /// Appends a clause, returning its id.
+    /// Appends a clause, returning its id (one past the last number in
+    /// use, so pushes after a restriction keep numbers strictly
+    /// ascending).
+    ///
+    /// Caution: on a restriction the minted id, while unused *here*,
+    /// may name an unrelated clause of the parent database — supports
+    /// recorded against a grown restriction are then incomparable with
+    /// the parent's. Treat restrictions as read-only clause views for
+    /// maintenance (as the sharded service does); grow the parent and
+    /// re-restrict instead.
     pub fn push(&mut self, clause: Clause) -> ClauseId {
-        let id = ClauseId(self.clauses.len());
+        let id = ClauseId(self.numbers.last().map_or(0, |c| c.0 + 1));
+        self.push_numbered(id, clause);
+        id
+    }
+
+    /// Appends a clause under an explicit number (used by restrictions
+    /// and the deletion rewrites to preserve original numbering).
+    /// Numbers must arrive strictly ascending.
+    pub fn push_numbered(&mut self, id: ClauseId, clause: Clause) {
+        assert!(
+            self.numbers.last().is_none_or(|c| c.0 < id.0),
+            "clause numbers must be strictly ascending"
+        );
         for v in clause.vars() {
             self.var_watermark = self.var_watermark.max(v.0 + 1);
         }
@@ -192,21 +225,50 @@ impl ConstrainedDatabase {
             .entry(clause.head_pred.clone())
             .or_default()
             .push(id);
+        self.numbers.push(id);
         self.clauses.push(clause);
-        id
     }
 
-    /// The clause with the given id.
+    /// The clause with the given id. Panics if the database does not
+    /// contain it (possible only on restrictions).
     pub fn clause(&self, id: ClauseId) -> &Clause {
-        &self.clauses[id.0]
+        // Identity numbering (the common case) indexes directly; a
+        // restriction falls back to binary search over the (ascending)
+        // retained numbers.
+        if self.numbers.get(id.0) == Some(&id) {
+            return &self.clauses[id.0];
+        }
+        let idx = self
+            .numbers
+            .binary_search(&id)
+            .unwrap_or_else(|_| panic!("clause {id} not in this database"));
+        &self.clauses[idx]
     }
 
     /// All clauses with their ids.
     pub fn clauses(&self) -> impl Iterator<Item = (ClauseId, &Clause)> {
-        self.clauses
+        self.numbers
             .iter()
-            .enumerate()
-            .map(|(i, c)| (ClauseId(i), c))
+            .zip(&self.clauses)
+            .map(|(&id, c)| (id, c))
+    }
+
+    /// The sub-database of clauses whose head predicate satisfies
+    /// `keep`, with original clause numbers (and the variable watermark)
+    /// preserved. When `keep` is closed under clause dependencies — as a
+    /// shard of [`crate::shard::ShardMap`] is — the restriction is
+    /// self-contained: every body predicate of a retained clause is
+    /// defined by retained clauses (or by none at all, exactly as in the
+    /// full database).
+    pub fn restrict_to_heads(&self, keep: impl Fn(&str) -> bool) -> ConstrainedDatabase {
+        let mut out = ConstrainedDatabase::new();
+        for (id, clause) in self.clauses() {
+            if keep(&clause.head_pred) {
+                out.push_numbered(id, clause.clone());
+            }
+        }
+        out.var_watermark = self.var_watermark;
+        out
     }
 
     /// Ids of clauses whose head predicate is `pred`.
@@ -417,6 +479,27 @@ mod tests {
     #[test]
     fn validation_passes_clean_database() {
         assert!(example5().validate().is_empty());
+    }
+
+    #[test]
+    fn restriction_preserves_numbering_and_watermark() {
+        let db = example5();
+        let sub = db.restrict_to_heads(|p| p == "A" || p == "B");
+        assert_eq!(sub.len(), 3);
+        let ids: Vec<ClauseId> = sub.clauses().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ClauseId(0), ClauseId(1), ClauseId(2)]);
+        // Sparse lookup still resolves original ids.
+        let only_c = db.restrict_to_heads(|p| p == "C");
+        let ids: Vec<ClauseId> = only_c.clauses().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ClauseId(3)]);
+        assert_eq!(only_c.clause(ClauseId(3)).head_pred.as_ref(), "C");
+        assert_eq!(only_c.clauses_for_head("C"), &[ClauseId(3)]);
+        // The watermark still dominates every variable of the full db.
+        assert_eq!(only_c.fresh_gen().watermark(), db.fresh_gen().watermark());
+        // Pushing after a restriction keeps numbers ascending.
+        let mut grown = only_c;
+        let id = grown.push(Clause::fact("D", vec![x()], Constraint::truth()));
+        assert_eq!(id, ClauseId(4));
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Predicate dependency graph and shard partitioning.
+//!
+//! The clause structure of a [`ConstrainedDatabase`] tells us exactly
+//! which predicates an update can reach: maintenance of a deletion or
+//! insertion against predicate `p` only ever touches predicates
+//! connected to `p` through some clause (head ↔ body edges). Predicates
+//! in *different* connected components are provably independent — a
+//! batch against one can never derive, weaken or remove an entry of the
+//! other — so a view service can maintain them on separate writer lanes
+//! with no coordination beyond publication.
+//!
+//! [`ShardMap::from_db`] builds the dependency graph, partitions the
+//! predicates into connected components, and (optionally) merges
+//! components down to a configured maximum lane count
+//! ([`ShardSpec::at_most`]), balancing by predicate count. The result is
+//! deterministic for a given database and spec: components are ordered
+//! by their lexicographically smallest predicate, and merged greedily
+//! largest-first into the least-loaded shard.
+//!
+//! A shard is *closed* under clause dependencies: every clause's head
+//! and body predicates land in the same shard, so
+//! [`ConstrainedDatabase::restrict_to_heads`] of a shard's predicate set
+//! is a self-contained sub-database (with original clause numbering
+//! preserved — supports built against it are identical to supports
+//! built against the full database).
+
+use crate::batch::UpdateBatch;
+use crate::program::ConstrainedDatabase;
+use mmv_constraints::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Index of a shard (a writer lane) within a [`ShardMap`].
+pub type ShardId = usize;
+
+/// How to partition a database's predicates into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Upper bound on the number of shards; `None` keeps one shard per
+    /// connected component.
+    pub max_shards: Option<usize>,
+}
+
+impl ShardSpec {
+    /// One shard per connected component of the dependency graph.
+    pub fn auto() -> Self {
+        ShardSpec { max_shards: None }
+    }
+
+    /// At most `n` shards (`n ≥ 1`): components are merged down to `n`
+    /// lanes, balanced by predicate count.
+    pub fn at_most(n: usize) -> Self {
+        assert!(n >= 1, "a service needs at least one shard");
+        ShardSpec {
+            max_shards: Some(n),
+        }
+    }
+
+    /// A single shard — the pre-sharding single-writer-lane behavior,
+    /// and the reference arm of the sharded-vs-single-lane equivalence
+    /// tests.
+    pub fn single_lane() -> Self {
+        ShardSpec::at_most(1)
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::auto()
+    }
+}
+
+/// A deterministic partition of a database's predicates into shards.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Predicates per shard, each list sorted.
+    preds: Vec<Vec<Arc<str>>>,
+    by_pred: FxHashMap<Arc<str>, ShardId>,
+}
+
+impl ShardMap {
+    /// Partitions `db`'s predicates: union-find over head ↔ body edges,
+    /// one component per shard, merged down to `spec.max_shards` when
+    /// set. A database with no predicates still gets one (empty) shard.
+    pub fn from_db(db: &ConstrainedDatabase, spec: &ShardSpec) -> ShardMap {
+        // ---- Collect predicates and union head/body of each clause ----
+        let mut index: FxHashMap<Arc<str>, usize> = FxHashMap::default();
+        let mut names: Vec<Arc<str>> = Vec::new();
+        let mut intern = |p: &Arc<str>, names: &mut Vec<Arc<str>>| -> usize {
+            if let Some(&i) = index.get(p) {
+                return i;
+            }
+            let i = names.len();
+            index.insert(p.clone(), i);
+            names.push(p.clone());
+            i
+        };
+        let mut parent: Vec<usize> = Vec::new();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for (_, clause) in db.clauses() {
+            let h = intern(&clause.head_pred, &mut names);
+            while parent.len() < names.len() {
+                parent.push(parent.len());
+            }
+            for b in &clause.body {
+                let bi = intern(&b.pred, &mut names);
+                while parent.len() < names.len() {
+                    parent.push(parent.len());
+                }
+                let (rh, rb) = (find(&mut parent, h), find(&mut parent, bi));
+                if rh != rb {
+                    parent[rb] = rh;
+                }
+            }
+        }
+
+        // ---- Components, ordered by smallest member predicate ----
+        let mut comps: FxHashMap<usize, Vec<Arc<str>>> = FxHashMap::default();
+        for (i, name) in names.iter().enumerate() {
+            let r = find(&mut parent, i);
+            comps.entry(r).or_default().push(name.clone());
+        }
+        let mut comps: Vec<Vec<Arc<str>>> = comps.into_values().collect();
+        for c in &mut comps {
+            c.sort();
+        }
+        comps.sort_by(|a, b| a[0].cmp(&b[0]));
+
+        // ---- Merge down to max_shards, balancing by predicate count ----
+        let target = match spec.max_shards {
+            Some(n) => n.min(comps.len()).max(1),
+            None => comps.len().max(1),
+        };
+        let mut shards: Vec<Vec<Arc<str>>> = vec![Vec::new(); target];
+        // Largest component first into the least-loaded shard; ties go
+        // to the lowest shard index, so the layout is deterministic.
+        let mut order: Vec<usize> = (0..comps.len()).collect();
+        order.sort_by(|&a, &b| {
+            comps[b]
+                .len()
+                .cmp(&comps[a].len())
+                .then(comps[a][0].cmp(&comps[b][0]))
+        });
+        for ci in order {
+            let lightest = (0..target).min_by_key(|&s| (shards[s].len(), s)).unwrap();
+            shards[lightest].extend(comps[ci].iter().cloned());
+        }
+        for s in &mut shards {
+            s.sort();
+        }
+        // Re-order shards by their smallest predicate (empty shards
+        // last) so shard ids don't depend on the merge walk.
+        shards.sort_by(|a, b| match (a.first(), b.first()) {
+            (Some(x), Some(y)) => x.cmp(y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        });
+
+        let mut by_pred = FxHashMap::default();
+        for (s, preds) in shards.iter().enumerate() {
+            for p in preds {
+                by_pred.insert(p.clone(), s);
+            }
+        }
+        ShardMap {
+            preds: shards,
+            by_pred,
+        }
+    }
+
+    /// Number of shards (always ≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the map has a single shard (the single-lane layout).
+    pub fn is_single(&self) -> bool {
+        self.preds.len() == 1
+    }
+
+    /// The shard of a predicate. Predicates the database never mentions
+    /// hash to a stable shard — an update against such a predicate only
+    /// ever touches that predicate (no clause can reach it), so any
+    /// consistent assignment is correct.
+    pub fn shard_of(&self, pred: &str) -> ShardId {
+        if let Some(&s) = self.by_pred.get(pred) {
+            return s;
+        }
+        let mut h = FxHasher::default();
+        pred.hash(&mut h);
+        (h.finish() as usize) % self.preds.len()
+    }
+
+    /// The predicates of a shard, sorted.
+    pub fn preds(&self, shard: ShardId) -> &[Arc<str>] {
+        &self.preds[shard]
+    }
+
+    /// The sub-database a shard's lane maintains: `db` restricted to
+    /// clauses whose head predicate belongs to the shard (original
+    /// clause numbering preserved). Because shards are closed under
+    /// clause dependencies, the restriction is self-contained.
+    pub fn restrict_db(&self, db: &ConstrainedDatabase, shard: ShardId) -> ConstrainedDatabase {
+        if self.is_single() {
+            return db.clone();
+        }
+        let mine: FxHashSet<&str> = self.preds[shard].iter().map(|p| p.as_ref()).collect();
+        db.restrict_to_heads(|p| mine.contains(p))
+    }
+
+    /// Splits a batch by shard: each update request routes to the shard
+    /// of its predicate, preserving the relative order of deletions and
+    /// of insertions. Returns the non-empty parts in ascending shard id
+    /// (the canonical lane-locking order) together with, for each part,
+    /// the positions its insertions held in the original batch (the
+    /// ticket subsequence for [`crate::batch::apply_batch_ticketed`]).
+    pub fn split(&self, batch: &UpdateBatch) -> Vec<ShardPart> {
+        let mut parts: FxHashMap<ShardId, ShardPart> = FxHashMap::default();
+        for d in &batch.deletes {
+            let s = self.shard_of(&d.pred);
+            parts
+                .entry(s)
+                .or_insert_with(|| ShardPart::new(s))
+                .batch
+                .deletes
+                .push(d.clone());
+        }
+        for (i, ins) in batch.inserts.iter().enumerate() {
+            let s = self.shard_of(&ins.pred);
+            let part = parts.entry(s).or_insert_with(|| ShardPart::new(s));
+            part.batch.inserts.push(ins.clone());
+            part.insert_positions.push(i);
+        }
+        let mut out: Vec<ShardPart> = parts.into_values().collect();
+        out.sort_by_key(|p| p.shard);
+        out
+    }
+}
+
+impl fmt::Display for ShardMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, preds) in self.preds.iter().enumerate() {
+            write!(f, "shard {s}:")?;
+            for p in preds {
+                write!(f, " {p}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One shard's slice of a split [`UpdateBatch`].
+#[derive(Debug, Clone)]
+pub struct ShardPart {
+    /// The shard the part routes to.
+    pub shard: ShardId,
+    /// The shard's deletions and insertions, in original relative order.
+    pub batch: UpdateBatch,
+    /// For each insertion of `batch`, its position in the original
+    /// batch's insertion list.
+    pub insert_positions: Vec<usize>,
+}
+
+impl ShardPart {
+    fn new(shard: ShardId) -> Self {
+        ShardPart {
+            shard,
+            batch: UpdateBatch::new(),
+            insert_positions: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::ConstrainedAtom;
+    use crate::program::{BodyAtom, Clause};
+    use mmv_constraints::{Constraint, Term, Var};
+
+    fn x() -> Term {
+        Term::var(Var(0))
+    }
+
+    /// Three independent chains b_i -> a_i plus one isolated fact pred.
+    fn chains_db() -> ConstrainedDatabase {
+        let mut clauses = Vec::new();
+        for i in 0..3 {
+            clauses.push(Clause::fact(
+                &format!("b{i}"),
+                vec![x()],
+                Constraint::truth(),
+            ));
+            clauses.push(Clause::new(
+                &format!("a{i}"),
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new(&format!("b{i}"), vec![x()])],
+            ));
+        }
+        clauses.push(Clause::fact("lone", vec![x()], Constraint::truth()));
+        ConstrainedDatabase::from_clauses(clauses)
+    }
+
+    #[test]
+    fn components_become_shards() {
+        let db = chains_db();
+        let map = ShardMap::from_db(&db, &ShardSpec::auto());
+        assert_eq!(map.num_shards(), 4);
+        for i in 0..3 {
+            assert_eq!(
+                map.shard_of(&format!("a{i}")),
+                map.shard_of(&format!("b{i}")),
+                "head and body of a clause must share a shard"
+            );
+        }
+        let mut seen: Vec<ShardId> = (0..3)
+            .map(|i| map.shard_of(&format!("b{i}")))
+            .chain([map.shard_of("lone")])
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "independent components split apart");
+    }
+
+    #[test]
+    fn max_shards_merges_components_deterministically() {
+        let db = chains_db();
+        let map = ShardMap::from_db(&db, &ShardSpec::at_most(2));
+        assert_eq!(map.num_shards(), 2);
+        // Rebuilding yields the identical layout.
+        let again = ShardMap::from_db(&db, &ShardSpec::at_most(2));
+        for s in 0..2 {
+            assert_eq!(map.preds(s), again.preds(s));
+        }
+        // Components stay intact inside their shard.
+        for i in 0..3 {
+            assert_eq!(
+                map.shard_of(&format!("a{i}")),
+                map.shard_of(&format!("b{i}"))
+            );
+        }
+        let single = ShardMap::from_db(&db, &ShardSpec::single_lane());
+        assert_eq!(single.num_shards(), 1);
+        assert!(single.is_single());
+    }
+
+    #[test]
+    fn unknown_predicates_route_stably() {
+        let db = chains_db();
+        let map = ShardMap::from_db(&db, &ShardSpec::auto());
+        let s1 = map.shard_of("ghost");
+        let s2 = map.shard_of("ghost");
+        assert_eq!(s1, s2);
+        assert!(s1 < map.num_shards());
+    }
+
+    #[test]
+    fn empty_db_gets_one_shard() {
+        let db = ConstrainedDatabase::new();
+        let map = ShardMap::from_db(&db, &ShardSpec::auto());
+        assert_eq!(map.num_shards(), 1);
+        assert_eq!(map.shard_of("anything"), 0);
+    }
+
+    #[test]
+    fn split_routes_and_orders_parts() {
+        let db = chains_db();
+        let map = ShardMap::from_db(&db, &ShardSpec::auto());
+        let atom = |p: &str| ConstrainedAtom::new(p, vec![x()], Constraint::truth());
+        let batch = UpdateBatch::deleting(vec![atom("b2"), atom("b0"), atom("b2")])
+            .insert(atom("b1"))
+            .insert(atom("b2"))
+            .insert(atom("b1"));
+        let parts = map.split(&batch);
+        assert_eq!(parts.len(), 3);
+        // Ascending shard ids.
+        assert!(parts.windows(2).all(|w| w[0].shard < w[1].shard));
+        let for_pred = |p: &str| {
+            parts
+                .iter()
+                .find(|part| part.shard == map.shard_of(p))
+                .expect("part exists")
+        };
+        assert_eq!(for_pred("b2").batch.deletes.len(), 2);
+        assert_eq!(for_pred("b0").batch.deletes.len(), 1);
+        assert_eq!(for_pred("b1").batch.inserts.len(), 2);
+        // Ticket positions index into the original insertion list.
+        assert_eq!(for_pred("b1").insert_positions, vec![0, 2]);
+        assert_eq!(for_pred("b2").insert_positions, vec![1]);
+    }
+
+    #[test]
+    fn restricted_db_preserves_clause_numbers() {
+        let db = chains_db();
+        let map = ShardMap::from_db(&db, &ShardSpec::auto());
+        let s = map.shard_of("b1");
+        let sub = map.restrict_db(&db, s);
+        assert_eq!(sub.len(), 2);
+        for (cid, clause) in sub.clauses() {
+            assert_eq!(db.clause(cid).head_pred, clause.head_pred);
+            assert_eq!(sub.clause(cid).head_pred, clause.head_pred);
+        }
+    }
+}

@@ -147,6 +147,19 @@ pub struct FixpointStats {
     pub candidates_scanned: usize,
 }
 
+impl FixpointStats {
+    /// Accumulates another run's counters (used when a batch is split
+    /// across independent shards and each part reports separately).
+    pub fn absorb(&mut self, o: &FixpointStats) {
+        self.iterations += o.iterations;
+        self.derivations_tried += o.derivations_tried;
+        self.pruned_unsolvable += o.pruned_unsolvable;
+        self.pruned_syntactic += o.pruned_syntactic;
+        self.index_probes += o.index_probes;
+        self.candidates_scanned += o.candidates_scanned;
+    }
+}
+
 /// A candidate derivation, before filtering.
 pub(crate) struct Derivation {
     pub atom: ConstrainedAtom,
@@ -532,8 +545,12 @@ pub(crate) fn delta_plan(
 /// bindings prune every later position), and the remaining positions
 /// are visited by ascending *estimated probe cardinality* — the size of
 /// the candidate list the view's constant-argument index would return
-/// for the position's own constant arguments (the full per-predicate
-/// live count when no argument is constant). Visiting selective
+/// for the position's constant arguments with the delta position's
+/// bindings folded in: a variable the delta will bind to a constant is
+/// treated as bound for estimation (for a [`DeltaSource::Atom`] the
+/// bindings are exact; for [`DeltaSource::Entries`] the first delta
+/// entry serves as the representative). Positions with no binding fall
+/// back to the full per-predicate live count. Visiting selective
 /// positions early shrinks the enumeration tree; ties fall back to
 /// clause order, keeping the plan deterministic. Only the visit order
 /// changes — the enumerated combination set is identical under any
@@ -551,6 +568,18 @@ pub(crate) fn collect_combos(
 ) {
     let mut order: Vec<usize> = Vec::with_capacity(body.len());
     order.push(dpos);
+    // Bindings the delta position will impose once visited, used purely
+    // for cardinality estimation of the remaining positions (a partial
+    // map on conflict is fine — estimates steer order, never content).
+    let mut est_bindings: FxHashMap<Var, Value> = FxHashMap::default();
+    let mut est_trail: Vec<Var> = Vec::new();
+    let delta_args = match delta {
+        DeltaSource::Atom(a) => Some(a.args.as_slice()),
+        DeltaSource::Entries(ids) => ids.first().map(|&id| view.entry(id).atom.args.as_slice()),
+    };
+    if let Some(args) = delta_args {
+        let _ = bind_child(&body[dpos], args, &mut est_bindings, &mut est_trail);
+    }
     let mut rest: Vec<(usize, usize)> = (0..body.len())
         .filter(|&i| i != dpos)
         .map(|i| {
@@ -559,7 +588,8 @@ pub(crate) fn collect_combos(
                     &body[i].pred,
                     body[i].args.iter().map(|t| match t {
                         Term::Const(v) => Some(v),
-                        _ => None,
+                        Term::Var(u) => est_bindings.get(u),
+                        Term::Field(..) => None,
                     }),
                 )
                 .len();

@@ -3,21 +3,32 @@
 //! The paper's maintenance algorithms (Extended DRed, StDel, insertion)
 //! are defined over *sets* of updates; `mmv-core` exposes them as
 //! set-oriented batch entry points ([`mmv_core::batch`]). This crate
-//! turns those into a long-lived concurrent server with three pillars:
+//! turns those into a long-lived concurrent server with four pillars:
 //!
 //! * **Batched update transactions** — writers group updates into an
 //!   [`UpdateBatch`]; one maintenance pass applies the whole batch,
 //!   amortizing the per-pass frontier/rederivation work that per-update
 //!   maintenance repeats.
-//! * **Snapshot-isolated reads** — the service publishes an immutable,
-//!   epoch-tagged [`ViewSnapshot`] after every batch. Readers clone an
-//!   `Arc` handle and query it from any thread without synchronizing
-//!   with the writer: they observe the last *published* consistent
-//!   state, never a half-maintained view.
+//! * **Per-predicate writer lanes** — the clause dependency graph
+//!   partitions predicates into provably independent shards
+//!   ([`mmv_core::shard`]); each gets its own writer lane (view, epoch,
+//!   lock, sub-database), so batches against independent predicates
+//!   maintain concurrently, each lane seeing only its own clauses and
+//!   entries. Cross-shard batches lock lanes in canonical order and
+//!   publish through an atomic two-phase swap. A lane poisoned by a
+//!   panicking batch recovers from its last published shard snapshot —
+//!   the other lanes never stop serving.
+//! * **Snapshot-isolated reads** — the service publishes immutable,
+//!   epoch-tagged per-shard [`ViewSnapshot`]s composed into a
+//!   [`ServiceSnapshot`] after every batch. Readers clone `Arc` handles
+//!   and query from any thread without synchronizing with the writers:
+//!   they observe the last *published* consistent state, never a
+//!   half-maintained view or a torn multi-shard epoch.
 //! * **An update log** — an append-only [`UpdateLog`] of applied
-//!   batches (epoch, batch, stats, latency) that can be replayed onto a
-//!   freshly built view to reproduce the writer's state (recovery), and
-//!   that the equivalence tests use to pin batch determinism.
+//!   batches (epoch, batch, stats, latency) and lane recoveries that
+//!   can be replayed onto a freshly built view to reproduce the served
+//!   state (recovery), and that the equivalence tests use to pin batch
+//!   determinism.
 //!
 //! ```
 //! use mmv_service::{ServiceWorker, ViewService};
@@ -56,14 +67,17 @@
 pub mod log;
 pub mod service;
 pub mod snapshot;
+pub mod worker;
 
-pub use log::{LogRecord, ReplayError, UpdateLog};
-pub use service::{Applied, BatchSender, ServiceError, ServiceWorker, SharedResolver, ViewService};
-pub use snapshot::{Epoch, PublishStats, ViewSnapshot};
+pub use log::{LogRecord, Recovery, ReplayError, UpdateLog};
+pub use service::{Applied, FaultHook, ServiceError, SharedResolver, ViewService};
+pub use snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
+pub use worker::{BatchSender, ServiceWorker};
 
-// Re-export the batch vocabulary so service users need not depend on
-// mmv-core directly for the common path.
+// Re-export the batch and shard vocabulary so service users need not
+// depend on mmv-core directly for the common path.
 pub use mmv_core::batch::{BatchError, BatchStats, DeleteStats, UpdateBatch};
+pub use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
 
 /// Send/Sync audit: the service shares these across reader and writer
 /// threads, so a regression (an `Rc`, a `RefCell`, a raw pointer
@@ -80,6 +94,8 @@ const _SEND_SYNC_AUDIT: () = {
     assert_send_sync::<mmv_constraints::Value>();
     assert_send_sync::<UpdateBatch>();
     assert_send_sync::<ViewSnapshot>();
+    assert_send_sync::<ServiceSnapshot>();
+    assert_send_sync::<mmv_core::ShardMap>();
     assert_send_sync::<UpdateLog>();
     assert_send_sync::<ViewService>();
     assert_send_sync::<BatchSender>();

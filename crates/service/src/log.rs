@@ -5,7 +5,17 @@
 //! batch application is deterministic (same database, same batches,
 //! same order ⇒ syntactically equal view). The service tests pin
 //! exactly that property, and the batch-vs-sequential equivalence
-//! suite leans on it to compare maintenance strategies.
+//! suite leans on it to compare maintenance strategies. Under a sharded
+//! writer the guarantee covers sequentially applied batches (and
+//! concurrent delete-only loads); insert-carrying batches applied
+//! *concurrently* — whether racing on different lanes or on the same
+//! one — may reserve their external tickets in a different order than
+//! they publish, in which case the replayed view is instance-identical
+//! but the opaque `External(t)` support tickets can be permuted.
+//!
+//! Besides applied batches, the log records writer-lane *recoveries*
+//! ([`Recovery`]): a lane whose mutex was poisoned by a panicking batch
+//! and was rebuilt from its last published shard snapshot.
 
 use crate::snapshot::{Epoch, PublishStats};
 use mmv_constraints::DomainResolver;
@@ -28,6 +38,21 @@ pub struct LogRecord {
     /// Publication cost of the epoch (snapshot swap time, copied-vs-
     /// shared page counts).
     pub publish: PublishStats,
+    /// How many writer lanes the batch touched (0 for an empty batch;
+    /// ≥ 2 means a cross-shard two-phase publish).
+    pub shards_touched: usize,
+}
+
+/// One writer-lane recovery: the lane's mutex was found poisoned (a
+/// previous batch panicked mid-application), the poison was cleared,
+/// and the lane's writer view was rebuilt from its last published
+/// shard snapshot — so only the panicking batch was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// The recovered lane.
+    pub shard: mmv_core::shard::ShardId,
+    /// The shard epoch the lane was rebuilt to (its last published).
+    pub epoch: Epoch,
 }
 
 /// Replay failure: rebuilding the base view or re-applying a batch.
@@ -50,10 +75,12 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
-/// An append-only, in-memory log of applied batches.
+/// An append-only, in-memory log of applied batches and lane
+/// recoveries.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateLog {
     records: Vec<LogRecord>,
+    recoveries: Vec<Recovery>,
 }
 
 impl UpdateLog {
@@ -63,14 +90,24 @@ impl UpdateLog {
     }
 
     /// Appends a record. Records must arrive in ascending epoch order
-    /// (the writer holds the write lock while appending, so this is
-    /// structural, not racy).
+    /// (the writer appends inside the publication critical section, so
+    /// this is structural, not racy).
     pub fn append(&mut self, record: LogRecord) {
         debug_assert!(
             self.records.last().is_none_or(|r| r.epoch < record.epoch),
             "log epochs must ascend"
         );
         self.records.push(record);
+    }
+
+    /// Records a writer-lane recovery.
+    pub fn record_recovery(&mut self, recovery: Recovery) {
+        self.recoveries.push(recovery);
+    }
+
+    /// Lane recoveries, in occurrence order.
+    pub fn recoveries(&self) -> &[Recovery] {
+        &self.recoveries
     }
 
     /// Number of applied batches.
@@ -178,6 +215,7 @@ mod tests {
                 stats,
                 latency: Duration::ZERO,
                 publish: PublishStats::default(),
+                shards_touched: 1,
             });
         }
         assert_eq!(log.len(), 2);

@@ -1,50 +1,82 @@
-//! The concurrent view service: one writer, many snapshot readers.
+//! The concurrent view service: per-predicate writer lanes, many
+//! snapshot readers.
 //!
 //! # Concurrency model
 //!
-//! The service keeps two copies of the view state:
+//! The clause dependency graph partitions the database's predicates
+//! into independent groups ([`ShardMap`]); the service gives each group
+//! its own **writer lane** — a mutable shard view plus a shard epoch,
+//! guarded by the lane's own `Mutex` — and each lane maintains its
+//! slice of the view with the sub-database of its own clauses (original
+//! clause numbering preserved, so supports are identical to the
+//! unsharded run). Batches that touch one shard take only that lane's
+//! lock, so updates to independent predicates maintain concurrently;
+//! cross-shard batches acquire their lanes in canonical (ascending
+//! shard id) order, which makes lane deadlock impossible.
 //!
-//! * the **writer view** — the mutable master, guarded by a `Mutex`
-//!   together with the update log. Only [`ViewService::apply`] touches
-//!   it, so batches serialize naturally;
-//! * the **published snapshot** — an `Arc<ViewSnapshot>` behind an
-//!   `RwLock`, replaced wholesale after each successful batch.
+//! Publication is **two-phase**: after maintenance, each touched lane's
+//! view is frozen into a per-shard [`ViewSnapshot`] (phase one, an
+//! `Arc`-bump clone under the CoW store), and then all of them are
+//! swapped into the published table inside one critical section of a
+//! small publication lock, which also advances the global epoch (phase
+//! two). Readers call [`ViewService::snapshot`], which clones the whole
+//! table under the same lock into a composite [`ServiceSnapshot`] —
+//! so a reader observes either none or all of a cross-shard batch's
+//! shard snapshots, never a torn multi-shard epoch. Queries then run
+//! entirely on the caller's own handles, unsynchronized: readers are
+//! never blocked by maintenance and never observe a half-applied batch.
+//! The global epoch (one tick per batch) and every shard epoch (one
+//! tick per batch touching the shard) increase monotonically.
 //!
-//! Readers call [`ViewService::snapshot`], which holds the read lock
-//! only long enough to clone the `Arc` — queries then run entirely on
-//! the caller's own handle, unsynchronized. A reader is therefore never
-//! blocked by maintenance (it reads the previous epoch until the next
-//! one is published) and never observes a half-applied batch. Epochs
-//! increase monotonically with each publication, so readers can detect
-//! staleness and order observations.
+//! # Failure semantics
 //!
-//! Failed batches publish nothing: the writer view is rebuilt from the
-//! last snapshot, so one poisoned batch cannot corrupt subsequent ones.
+//! A batch that fails with an error publishes nothing: every locked
+//! lane's writer view is restored from its last published shard
+//! snapshot (an `Arc` re-adoption, not a rebuild) and the batch is
+//! rejected with [`ServiceError::Batch`].
+//!
+//! A batch that *panics* mid-application poisons the mutexes of the
+//! lanes it held. Poison is not fatal and not contagious: the other
+//! lanes keep accepting batches and readers keep being served from the
+//! published table throughout. The next `apply` that routes a batch to
+//! a poisoned lane recovers it — the poison is cleared, the lane's
+//! writer view is rebuilt from its last published shard snapshot, and a
+//! [`Recovery`] record is logged — so exactly the panicking batch is
+//! lost, and the service keeps serving and accepting batches on every
+//! lane. (Historically the writer was a single lane whose poisoned lock
+//! made every later call panic; the per-lane recovery above replaced
+//! that.)
 
-use crate::log::{LogRecord, UpdateLog};
-use crate::snapshot::{Epoch, PublishStats, ViewSnapshot};
+use crate::log::{LogRecord, Recovery, UpdateLog};
+use crate::snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
-use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
+use mmv_core::batch::{apply_batch_ticketed, BatchError, BatchStats, UpdateBatch};
+use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
 use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
-use mmv_core::{ConstrainedDatabase, InstanceError, SupportMode};
+use mmv_core::view::ShareStats;
+use mmv_core::{ConstrainedDatabase, InstanceError, MaterializedView, SupportMode};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// A resolver the service can share across reader and writer threads.
 pub type SharedResolver = Arc<dyn DomainResolver + Send + Sync>;
+
+/// A fault-injection hook: called with the shard id right before each
+/// per-lane maintenance step. Tests install one that panics to exercise
+/// the poisoned-lane recovery path.
+pub type FaultHook = Box<dyn FnMut(ShardId) + Send>;
 
 /// Service failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// Building the initial view failed.
     Build(FixpointError),
-    /// Applying a batch failed; the batch was rolled back and the
-    /// published snapshot is unchanged.
+    /// Applying a batch failed; every touched lane was rolled back and
+    /// nothing was published.
     Batch(BatchError),
     /// The worker channel is closed (the worker already shut down).
     WorkerGone,
@@ -65,35 +97,124 @@ impl std::error::Error for ServiceError {}
 /// The outcome of one applied batch.
 #[derive(Debug, Clone, Copy)]
 pub struct Applied {
-    /// The epoch the batch produced.
+    /// The global epoch the batch produced.
     pub epoch: Epoch,
-    /// Maintenance statistics.
+    /// Maintenance statistics (merged across the touched shards).
     pub stats: BatchStats,
     /// Wall-clock maintenance latency (excluding snapshot publication).
-    pub latency: Duration,
-    /// Publication cost: snapshot freeze-and-swap time and the batch's
-    /// copied-vs-shared page accounting.
+    pub latency: std::time::Duration,
+    /// Publication cost: the two-phase freeze-and-swap time and the
+    /// batch's copied-vs-shared page accounting over touched shards.
     pub publish: PublishStats,
+    /// Writer lanes the batch touched (≥ 2: a cross-shard publish).
+    pub shards_touched: usize,
 }
 
-struct WriterState {
-    view: mmv_core::MaterializedView,
-    log: UpdateLog,
+/// One writer lane's mutable state.
+struct LaneState {
+    view: MaterializedView,
     epoch: Epoch,
+}
+
+/// The published table: one frozen snapshot per shard plus the global
+/// epoch, swapped together under the publication lock. The composite
+/// is prebuilt here at publish time so a reader's
+/// [`ViewService::snapshot`] is a single `Arc` clone, not an O(shards)
+/// assembly under the read lock.
+struct Published {
+    shards: Vec<Arc<ViewSnapshot>>,
+    epoch: Epoch,
+    composite: Arc<ServiceSnapshot>,
+}
+
+/// Locks a mutex whose guarded state a panic can never leave torn
+/// (counters, append-only logs, the hook slot): a poisoned guard is
+/// recovered as-is.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            m.clear_poison();
+            p.into_inner()
+        }
+    }
+}
+
+/// A batch's reserved external-insertion ticket range, rolled back on
+/// drop unless committed. The rollback covers every way maintenance
+/// can fail to publish — an error return *or a panic unwinding out of
+/// `apply`* — so the global counter stays in step with what
+/// [`UpdateLog::replay`] will draw (a panicked batch must not burn
+/// tickets: its lanes recover to the pre-batch published state). The
+/// rollback is conditional on nothing having interleaved, which makes
+/// it exact under sequential use — the scope of the replay guarantee
+/// (see `crate::log`).
+struct TicketReservation<'a> {
+    counter: &'a Mutex<u64>,
+    base: u64,
+    n: u64,
+    committed: bool,
+}
+
+impl<'a> TicketReservation<'a> {
+    fn reserve(counter: &'a Mutex<u64>, n: u64) -> Self {
+        let mut t = lock_clean(counter);
+        let base = *t;
+        *t += n;
+        TicketReservation {
+            counter,
+            base,
+            n,
+            committed: false,
+        }
+    }
+
+    /// Marks the tickets as consumed — called once the batch's shard
+    /// snapshots are published (the point of no return).
+    fn commit(mut self) {
+        self.committed = true;
+    }
+}
+
+impl Drop for TicketReservation<'_> {
+    fn drop(&mut self) {
+        if self.committed || self.n == 0 {
+            return;
+        }
+        let mut t = lock_clean(self.counter);
+        if *t == self.base + self.n {
+            *t = self.base;
+        }
+    }
 }
 
 /// A long-lived concurrent view service over one constrained database.
 ///
-/// Construct with [`ViewService::build`], share behind an `Arc`, read
-/// via [`ViewService::snapshot`] from any thread, and write via
-/// [`ViewService::apply`] (directly, or through a [`ServiceWorker`]).
+/// Construct with [`ViewService::build`] (one writer lane per clause
+/// dependency component) or [`ViewService::build_with_shards`], share
+/// behind an `Arc`, read via [`ViewService::snapshot`] from any thread,
+/// and write via [`ViewService::apply`] (directly, or through a
+/// [`ServiceWorker`][crate::ServiceWorker]).
 pub struct ViewService {
     db: ConstrainedDatabase,
     resolver: SharedResolver,
     op: Operator,
     config: FixpointConfig,
-    published: RwLock<Arc<ViewSnapshot>>,
-    writer: Mutex<WriterState>,
+    shards: Arc<ShardMap>,
+    /// Per lane: the sub-database of the shard's clauses.
+    lane_dbs: Vec<ConstrainedDatabase>,
+    lanes: Vec<Mutex<LaneState>>,
+    published: RwLock<Published>,
+    log: Mutex<UpdateLog>,
+    /// Global external-insertion ticket counter: each batch reserves
+    /// one ticket per insertion request, so a split batch issues the
+    /// same tickets the unsplit batch would.
+    tickets: Mutex<u64>,
+    /// Cheap "a fault hook is installed" flag so the hot write path
+    /// never touches the hook mutex (a cross-lane serialization point)
+    /// outside of tests.
+    fault_armed: AtomicBool,
+    fault: Mutex<Option<FaultHook>>,
 }
 
 impl fmt::Debug for ViewService {
@@ -101,6 +222,7 @@ impl fmt::Debug for ViewService {
         let snap = self.snapshot();
         f.debug_struct("ViewService")
             .field("epoch", &snap.epoch())
+            .field("shards", &snap.shard_count())
             .field("entries", &snap.len())
             .field("mode", &snap.mode())
             .finish()
@@ -109,7 +231,9 @@ impl fmt::Debug for ViewService {
 
 impl ViewService {
     /// Builds the initial materialized view (`op ↑ ω (∅)` of `db` in
-    /// `mode`) and publishes it as epoch 0.
+    /// `mode`), partitions it into one writer lane per clause
+    /// dependency component, and publishes the composite as global
+    /// epoch 0 (every shard at shard epoch 0).
     pub fn build(
         db: ConstrainedDatabase,
         resolver: SharedResolver,
@@ -117,23 +241,75 @@ impl ViewService {
         mode: SupportMode,
         config: FixpointConfig,
     ) -> Result<Self, ServiceError> {
-        let (view, _) =
+        Self::build_with_shards(db, resolver, op, mode, config, ShardSpec::auto())
+    }
+
+    /// [`ViewService::build`] with an explicit shard layout —
+    /// [`ShardSpec::at_most`] caps the lane count (components are
+    /// merged, balanced by predicate count), and
+    /// [`ShardSpec::single_lane`] restores the one-writer-lock layout.
+    pub fn build_with_shards(
+        db: ConstrainedDatabase,
+        resolver: SharedResolver,
+        op: Operator,
+        mode: SupportMode,
+        config: FixpointConfig,
+        spec: ShardSpec,
+    ) -> Result<Self, ServiceError> {
+        let (mut view, _) =
             fixpoint(&db, resolver.as_ref(), op, mode, &config).map_err(ServiceError::Build)?;
-        // Epoch 0 takes the freshly built view; the writer's handle is a
-        // structurally-shared clone (a few Arc bumps, not a deep copy).
-        let snapshot = Arc::new(ViewSnapshot::new(0, view));
-        let writer_view = snapshot.view().clone();
+        let shards = Arc::new(ShardMap::from_db(&db, &spec));
+        // Split the built view into per-shard views: each lane re-hosts
+        // its predicates' entries (supports and children metadata moved
+        // verbatim — clause numbering is global, so they stay valid
+        // against the lane's restricted sub-database). A single lane
+        // adopts the built view as-is.
+        let lane_views: Vec<MaterializedView> = if shards.is_single() {
+            vec![view]
+        } else {
+            let gen = view.var_gen_mut().clone();
+            let mut lane_views: Vec<MaterializedView> = (0..shards.num_shards())
+                .map(|_| MaterializedView::new(mode, gen.clone()))
+                .collect();
+            for (_, e) in view.live_entries() {
+                let s = shards.shard_of(&e.atom.pred);
+                lane_views[s].insert(e.atom.clone(), e.support.clone(), e.children_args.clone());
+            }
+            lane_views
+        };
+        let lane_dbs: Vec<ConstrainedDatabase> = (0..shards.num_shards())
+            .map(|s| shards.restrict_db(&db, s))
+            .collect();
+        let mut published = Vec::with_capacity(lane_views.len());
+        let mut lanes = Vec::with_capacity(lane_views.len());
+        for lane_view in lane_views {
+            // The lane adopts a structurally-shared clone of the
+            // published shard snapshot (a few Arc bumps).
+            let snapshot = Arc::new(ViewSnapshot::new(0, lane_view));
+            lanes.push(Mutex::new(LaneState {
+                view: snapshot.view().clone(),
+                epoch: 0,
+            }));
+            published.push(snapshot);
+        }
+        let composite = Arc::new(ServiceSnapshot::new(0, published.clone(), shards.clone()));
         Ok(ViewService {
             db,
             resolver,
             op,
             config,
-            published: RwLock::new(snapshot),
-            writer: Mutex::new(WriterState {
-                view: writer_view,
-                log: UpdateLog::new(),
+            shards,
+            lane_dbs,
+            lanes,
+            published: RwLock::new(Published {
+                shards: published,
                 epoch: 0,
+                composite,
             }),
+            log: Mutex::new(UpdateLog::new()),
+            tickets: Mutex::new(0),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
         })
     }
 
@@ -152,90 +328,237 @@ impl ViewService {
         &self.config
     }
 
-    /// The current published snapshot. The read lock is held only for
-    /// the `Arc` clone; all queries on the returned handle run without
-    /// any synchronization with the writer.
-    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
-        self.published
-            .read()
-            .expect("snapshot lock poisoned")
-            .clone()
+    /// The predicate → writer-lane partition.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
     }
 
-    /// The epoch of the current published snapshot.
-    pub fn epoch(&self) -> Epoch {
-        self.snapshot().epoch()
+    /// Installs (or clears) the fault-injection hook called with the
+    /// shard id right before each per-lane maintenance step. Test
+    /// support: a hook that panics exercises exactly the mid-batch
+    /// writer panic the poisoned-lane recovery exists for.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        self.fault_armed.store(hook.is_some(), Ordering::Release);
+        *lock_clean(&self.fault) = hook;
     }
 
-    /// Applies one batch as a transaction: maintain the writer view,
-    /// append to the log, publish the next snapshot. Concurrent calls
-    /// serialize on the writer lock; readers are never blocked.
-    ///
-    /// On error the writer view is restored from the published snapshot
-    /// and nothing is published or logged — the failed batch is simply
-    /// rejected.
-    pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
-        let mut w = self.writer.lock().expect("writer lock poisoned");
-        let before = w.view.share_stats();
-        let start = Instant::now();
-        let stats = match apply_batch(
-            &self.db,
-            &mut w.view,
-            &batch,
-            self.resolver.as_ref(),
-            self.op,
-            &self.config,
-        ) {
-            Ok(stats) => stats,
-            Err(e) => {
-                // Roll back: the failed batch may have half-applied.
-                // Re-adopting the published snapshot's handle is a few
-                // Arc bumps — the half-applied copies are simply dropped.
-                w.view = self.snapshot().view().clone();
-                return Err(ServiceError::Batch(e));
+    /// The publication table, poison-recovered: the write section only
+    /// swaps `Arc`s and bumps counters, so a panic can interrupt but
+    /// never tear it.
+    fn read_published(&self) -> RwLockReadGuard<'_, Published> {
+        match self.published.read() {
+            Ok(g) => g,
+            Err(p) => {
+                self.published.clear_poison();
+                p.into_inner()
             }
+        }
+    }
+
+    /// Write side of [`ViewService::read_published`], same recovery.
+    fn write_published(&self) -> RwLockWriteGuard<'_, Published> {
+        match self.published.write() {
+            Ok(g) => g,
+            Err(p) => {
+                self.published.clear_poison();
+                p.into_inner()
+            }
+        }
+    }
+
+    /// Locks one writer lane, recovering it if a previous batch's panic
+    /// poisoned the mutex: the poison is cleared, the lane's writer
+    /// view re-adopts its last published shard snapshot (dropping
+    /// whatever the panicking batch half-applied), and the recovery is
+    /// logged. Lanes must be locked in ascending shard order.
+    fn lock_lane(&self, shard: ShardId) -> MutexGuard<'_, LaneState> {
+        match self.lanes[shard].lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.lanes[shard].clear_poison();
+                let mut g = poisoned.into_inner();
+                let snap = self.read_published().shards[shard].clone();
+                g.view = snap.view().clone();
+                g.epoch = snap.epoch();
+                lock_clean(&self.log).record_recovery(Recovery {
+                    shard,
+                    epoch: snap.epoch(),
+                });
+                g
+            }
+        }
+    }
+
+    /// The current composite snapshot, prebuilt at publish time. The
+    /// publication lock is held only for one `Arc` clone; all queries
+    /// on the returned snapshot run without any synchronization with
+    /// the writer lanes.
+    pub fn snapshot(&self) -> Arc<ServiceSnapshot> {
+        self.read_published().composite.clone()
+    }
+
+    /// The global epoch of the current published state.
+    pub fn epoch(&self) -> Epoch {
+        self.read_published().epoch
+    }
+
+    /// Applies one batch as a transaction: split it by shard, lock the
+    /// touched lanes in canonical order, maintain each lane's view with
+    /// its own sub-database, then publish all touched shard snapshots
+    /// atomically (two-phase publish) and append to the log. Batches on
+    /// disjoint shards run concurrently; readers are never blocked.
+    ///
+    /// On error every touched lane's writer view is restored from its
+    /// published shard snapshot and nothing is published or logged —
+    /// the failed batch is simply rejected.
+    pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
+        // Route the batch. The common case — every request in one
+        // shard (always true single-lane) — borrows the batch as-is;
+        // only genuinely cross-shard batches pay the split's per-atom
+        // clones.
+        let touched: std::collections::BTreeSet<ShardId> = batch
+            .deletes
+            .iter()
+            .chain(&batch.inserts)
+            .map(|a| self.shards.shard_of(&a.pred))
+            .collect();
+        let whole_positions: Vec<usize> = (0..batch.inserts.len()).collect();
+        let split_parts;
+        // Per touched shard, ascending: its slice of the batch and the
+        // original positions of its insertions (the ticket offsets).
+        let parts: Vec<(ShardId, &UpdateBatch, &[usize])> = if touched.len() <= 1 {
+            touched
+                .iter()
+                .map(|&s| (s, &batch, whole_positions.as_slice()))
+                .collect()
+        } else {
+            split_parts = self.shards.split(&batch);
+            split_parts
+                .iter()
+                .map(|p| (p.shard, &p.batch, p.insert_positions.as_slice()))
+                .collect()
         };
+        // Reserve the batch's external-insertion tickets: one per
+        // request, globally ordered, so shard-split insertion supports
+        // match the single-lane (and log-replay) numbering. The RAII
+        // reservation rolls the counter back if the batch errors or
+        // panics before publication.
+        let reservation = TicketReservation::reserve(&self.tickets, batch.inserts.len() as u64);
+        let ticket_base = reservation.base;
+        // Lock the touched lanes in ascending shard order (parts are
+        // sorted) — the canonical order that makes deadlock impossible.
+        let mut guards: Vec<(ShardId, MutexGuard<'_, LaneState>)> = parts
+            .iter()
+            .map(|&(s, _, _)| (s, self.lock_lane(s)))
+            .collect();
+        let befores: Vec<ShareStats> = guards.iter().map(|(_, g)| g.view.share_stats()).collect();
+
+        let start = Instant::now();
+        let mut stats = BatchStats::empty();
+        for (&(shard, part_batch, positions), (_, guard)) in parts.iter().zip(guards.iter_mut()) {
+            // Fault injection (tests): may panic, poisoning every lane
+            // this call still holds — exactly a mid-batch writer panic.
+            // The armed flag keeps the hot path off the shared hook
+            // mutex when no hook is installed.
+            if self.fault_armed.load(Ordering::Acquire) {
+                if let Some(hook) = lock_clean(&self.fault).as_mut() {
+                    hook(shard);
+                }
+            }
+            let tickets: Vec<u64> = positions.iter().map(|&i| ticket_base + i as u64).collect();
+            match apply_batch_ticketed(
+                &self.lane_dbs[shard],
+                &mut guard.view,
+                part_batch,
+                &tickets,
+                self.resolver.as_ref(),
+                self.op,
+                &self.config,
+            ) {
+                Ok(s) => stats.absorb(&s),
+                Err(e) => {
+                    // Roll back every touched lane — the failing part
+                    // may have half-applied, and earlier parts must not
+                    // outlive a rejected transaction. Re-adopting the
+                    // published handles is a few Arc bumps.
+                    {
+                        let p = self.read_published();
+                        for (s, g) in guards.iter_mut() {
+                            g.view = p.shards[*s].view().clone();
+                        }
+                    }
+                    // `reservation` drops here, un-reserving the
+                    // tickets (exact under sequential use).
+                    return Err(ServiceError::Batch(e));
+                }
+            }
+        }
         let latency = start.elapsed();
-        w.epoch += 1;
-        let epoch = w.epoch;
-        // Publication: freeze the writer's handle into a snapshot and
-        // swap it in. Under the shared store this clones page tables and
-        // `Arc`s — O(touched), never O(view) — so a 1-entry batch no
-        // longer pays for the whole view to become visible.
-        let after = w.view.share_stats();
+        let shards_touched = parts.len();
+        drop(parts); // releases the borrow of `batch` for the log record
+
+        // ---- Two-phase publish -----------------------------------------
+        // Phase one: freeze each touched lane into its next shard
+        // snapshot (Arc bumps under the shared store, O(touched)).
         let publish_start = Instant::now();
-        let snapshot = Arc::new(ViewSnapshot::new(epoch, w.view.clone()));
-        *self.published.write().expect("snapshot lock poisoned") = snapshot;
-        let publish = PublishStats {
-            publish_latency: publish_start.elapsed(),
-            entry_pages_copied: after.entry_pages_copied - before.entry_pages_copied,
-            entry_pages_total: after.entry_pages,
-            pred_indexes_copied: after.pred_indexes_copied - before.pred_indexes_copied,
-            pred_indexes_total: after.pred_indexes,
+        let mut publish = PublishStats::default();
+        let mut frozen: Vec<(ShardId, Arc<ViewSnapshot>)> = Vec::with_capacity(guards.len());
+        for ((shard, guard), before) in guards.iter_mut().zip(&befores) {
+            guard.epoch += 1;
+            let after = guard.view.share_stats();
+            publish.entry_pages_copied += after.entry_pages_copied - before.entry_pages_copied;
+            publish.entry_pages_total += after.entry_pages;
+            publish.pred_indexes_copied += after.pred_indexes_copied - before.pred_indexes_copied;
+            publish.pred_indexes_total += after.pred_indexes;
+            frozen.push((
+                *shard,
+                Arc::new(ViewSnapshot::new(guard.epoch, guard.view.clone())),
+            ));
+        }
+        // Phase two: swap all touched shards and advance the global
+        // epoch inside one publication critical section — readers see
+        // the whole batch or none of it. The log record is appended in
+        // the same section so epochs append in order even when disjoint
+        // batches publish concurrently.
+        let epoch = {
+            let mut p = self.write_published();
+            for (shard, snapshot) in frozen {
+                p.shards[shard] = snapshot;
+            }
+            p.epoch += 1;
+            // The swap is the point of no return: the published state
+            // now contains the batch's tickets, so they stay consumed.
+            reservation.commit();
+            p.composite = Arc::new(ServiceSnapshot::new(
+                p.epoch,
+                p.shards.clone(),
+                self.shards.clone(),
+            ));
+            stats.view_entries = p.shards.iter().map(|s| s.len()).sum();
+            publish.publish_latency = publish_start.elapsed();
+            lock_clean(&self.log).append(LogRecord {
+                epoch: p.epoch,
+                batch,
+                stats,
+                latency,
+                publish,
+                shards_touched,
+            });
+            p.epoch
         };
-        w.log.append(LogRecord {
-            epoch,
-            batch,
-            stats,
-            latency,
-            publish,
-        });
         Ok(Applied {
             epoch,
             stats,
             latency,
             publish,
+            shards_touched,
         })
     }
 
     /// Clones the update log (epoch-ordered records of every applied
-    /// batch) for replay or inspection.
+    /// batch, plus lane recoveries) for replay or inspection.
     pub fn log(&self) -> UpdateLog {
-        self.writer
-            .lock()
-            .expect("writer lock poisoned")
-            .log
-            .clone()
+        lock_clean(&self.log).clone()
     }
 
     /// Convenience read: query the *current* snapshot with the
@@ -259,57 +582,6 @@ impl ViewService {
     ) -> Result<bool, InstanceError> {
         self.snapshot()
             .ask(pred, args, self.resolver.as_ref(), config)
-    }
-}
-
-/// A dedicated writer thread: callers submit batches through a channel
-/// and continue immediately; the worker applies them in submission
-/// order against the shared service.
-///
-/// Dropping the last [`BatchSender`] shuts the worker down;
-/// [`ServiceWorker::join`] then returns how many batches were applied,
-/// or the first error (the worker stops at the first failed batch —
-/// submission order is the transaction order, so skipping a failed
-/// transaction silently would reorder history).
-pub struct ServiceWorker {
-    handle: JoinHandle<Result<usize, ServiceError>>,
-}
-
-/// The submission side of a [`ServiceWorker`]. Cloneable; all clones
-/// feed the same worker.
-#[derive(Clone)]
-pub struct BatchSender {
-    tx: mpsc::Sender<UpdateBatch>,
-}
-
-impl BatchSender {
-    /// Enqueues a batch for the worker. Fails only if the worker has
-    /// already shut down.
-    pub fn submit(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
-        self.tx.send(batch).map_err(|_| ServiceError::WorkerGone)
-    }
-}
-
-impl ServiceWorker {
-    /// Spawns the writer thread for `service`.
-    pub fn spawn(service: Arc<ViewService>) -> (BatchSender, ServiceWorker) {
-        let (tx, rx) = mpsc::channel::<UpdateBatch>();
-        let handle = std::thread::spawn(move || {
-            let mut applied = 0usize;
-            for batch in rx {
-                service.apply(batch)?;
-                applied += 1;
-            }
-            Ok(applied)
-        });
-        (BatchSender { tx }, ServiceWorker { handle })
-    }
-
-    /// Waits for the worker to drain and shut down (drop every
-    /// [`BatchSender`] first, or this blocks forever). Returns the
-    /// number of batches applied.
-    pub fn join(self) -> Result<usize, ServiceError> {
-        self.handle.join().expect("service worker panicked")
     }
 }
 
@@ -363,6 +635,7 @@ mod tests {
         let svc = service(SupportMode::WithSupports);
         let before = svc.snapshot();
         assert_eq!(before.epoch(), 0);
+        assert_eq!(before.shard_count(), 1, "b and a share a component");
         let cfg = SolverConfig::default();
         assert!(before.ask("a", &[Value::int(3)], &NoDomains, &cfg).unwrap());
 
@@ -370,6 +643,7 @@ mod tests {
             .apply(UpdateBatch::deleting(vec![point(3)]))
             .expect("batch applies");
         assert_eq!(applied.epoch, 1);
+        assert_eq!(applied.shards_touched, 1);
         assert_eq!(svc.epoch(), 1);
         // The old snapshot still answers with the pre-batch state.
         assert!(before.ask("a", &[Value::int(3)], &NoDomains, &cfg).unwrap());
@@ -422,8 +696,10 @@ mod tests {
 
     #[test]
     fn publication_counts_copied_vs_shared_pages() {
-        // Three predicates; the batch below touches only b (insert) and
-        // a (propagation) — c's index page must stay physically shared.
+        // Three predicates; b/a form one dependency component and c its
+        // own, so the batch below (insert into b, propagate to a) locks
+        // only the b/a lane — c's shard is not even touched, let alone
+        // copied, and the publish accounting covers the touched lane.
         let db = ConstrainedDatabase::from_clauses(vec![
             Clause::fact(
                 "b",
@@ -458,39 +734,91 @@ mod tests {
             FixpointConfig::default(),
         )
         .unwrap();
+        assert_eq!(svc.shard_map().num_shards(), 2);
+        let c_shard = svc.shard_map().shard_of("c");
         let applied = svc
             .apply(UpdateBatch::inserting(vec![point(30)]))
             .expect("batch applies");
+        assert_eq!(applied.shards_touched, 1);
         let p = applied.publish;
-        assert_eq!(p.pred_indexes_total, 3);
+        assert_eq!(p.pred_indexes_total, 2, "the touched lane hosts b and a");
         assert_eq!(
             p.pred_indexes_copied, 2,
-            "b (insert) and a (propagation) copied; c shared: {p:?}"
+            "b (insert) and a (propagation) copied: {p:?}"
         );
         assert!(p.entry_pages_copied >= 1, "the batch touched the slab");
         assert!(p.entry_pages_copied <= p.entry_pages_total as u64);
+        // c's shard stayed at epoch 0 while the global epoch moved.
+        let snap = svc.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.shard_epoch(c_shard), 0);
+        assert_eq!(snap.shard_epoch(1 - c_shard), 1);
         // The log carries the same per-epoch accounting.
         assert_eq!(svc.log().records()[0].publish, p);
     }
 
     #[test]
-    fn worker_applies_in_submission_order() {
-        let svc = Arc::new(service(SupportMode::WithSupports));
-        let (tx, worker) = ServiceWorker::spawn(svc.clone());
-        for v in [2, 4, 6] {
-            tx.submit(UpdateBatch::deleting(vec![point(v)])).unwrap();
-        }
-        drop(tx);
-        assert_eq!(worker.join().unwrap(), 3);
-        assert_eq!(svc.epoch(), 3);
+    fn cross_shard_batches_publish_atomically() {
+        // b/a and c are independent; one batch touching both publishes
+        // one global epoch with both shard epochs advanced.
+        let db = ConstrainedDatabase::from_clauses(vec![
+            Clause::fact(
+                "b",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(9),
+                )),
+            ),
+            Clause::new(
+                "a",
+                vec![x()],
+                Constraint::truth(),
+                vec![BodyAtom::new("b", vec![x()])],
+            ),
+            Clause::fact(
+                "c",
+                vec![x()],
+                Constraint::cmp(x(), CmpOp::Ge, Term::int(100)).and(Constraint::cmp(
+                    x(),
+                    CmpOp::Le,
+                    Term::int(109),
+                )),
+            ),
+        ]);
+        let svc = ViewService::build(
+            db,
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig::default(),
+        )
+        .unwrap();
+        let del_c = ConstrainedAtom::new("c", vec![x()], Constraint::eq(x(), Term::int(105)));
+        let applied = svc
+            .apply(UpdateBatch::deleting(vec![point(3), del_c]))
+            .expect("cross-shard batch applies");
+        assert_eq!(applied.shards_touched, 2);
+        assert_eq!(applied.epoch, 1);
+        let snap = svc.snapshot();
+        assert_eq!(snap.shard_epoch(0), 1);
+        assert_eq!(snap.shard_epoch(1), 1);
         let cfg = SolverConfig::default();
-        for v in [2, 4, 6] {
-            assert!(!svc.ask("b", &[Value::int(v)], &cfg).unwrap());
-        }
-        assert!(svc.ask("b", &[Value::int(5)], &cfg).unwrap());
-        let log = svc.log();
-        assert_eq!(log.len(), 3);
-        let epochs: Vec<_> = log.records().iter().map(|r| r.epoch).collect();
-        assert_eq!(epochs, vec![1, 2, 3]);
+        assert!(!snap.ask("b", &[Value::int(3)], &NoDomains, &cfg).unwrap());
+        assert!(!snap.ask("c", &[Value::int(105)], &NoDomains, &cfg).unwrap());
+        assert!(snap.ask("c", &[Value::int(104)], &NoDomains, &cfg).unwrap());
+        assert_eq!(svc.log().records()[0].shards_touched, 2);
+    }
+
+    #[test]
+    fn empty_batches_publish_an_epoch_touching_no_lane() {
+        let svc = service(SupportMode::WithSupports);
+        let applied = svc.apply(UpdateBatch::new()).expect("empty batch applies");
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(applied.shards_touched, 0);
+        let snap = svc.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.shard_epoch(0), 0, "no lane was touched");
     }
 }

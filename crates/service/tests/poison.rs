@@ -1,0 +1,336 @@
+//! Panic-injection: a batch that panics mid-application poisons its
+//! writer lanes, and the service must *recover* — keep serving reads,
+//! keep accepting batches on every lane, and lose exactly the
+//! panicking batch. (The pre-sharding service bricked instead: one
+//! poisoned writer mutex made every later `apply`/`log` call panic.)
+
+use mmv_constraints::solver::SolverConfig;
+use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Value, Var};
+use mmv_core::batch::UpdateBatch;
+use mmv_core::tp::{FixpointConfig, Operator};
+use mmv_core::{BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase, SupportMode};
+use mmv_service::{ServiceError, ViewService};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn x() -> Term {
+    Term::var(Var(0))
+}
+
+/// Two independent chains: b0 → a0 and b1 → a1 (two shards).
+fn two_chain_db() -> ConstrainedDatabase {
+    let mut clauses = Vec::new();
+    for k in 0..2 {
+        clauses.push(Clause::fact(
+            &format!("b{k}"),
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(0)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(9),
+            )),
+        ));
+        clauses.push(Clause::new(
+            &format!("a{k}"),
+            vec![x()],
+            Constraint::truth(),
+            vec![BodyAtom::new(&format!("b{k}"), vec![x()])],
+        ));
+    }
+    ConstrainedDatabase::from_clauses(clauses)
+}
+
+fn point(pred: &str, v: i64) -> ConstrainedAtom {
+    ConstrainedAtom::new(pred, vec![x()], Constraint::eq(x(), Term::int(v)))
+}
+
+fn poisoned_lanes_recover(mode: SupportMode) {
+    let svc = Arc::new(
+        ViewService::build(
+            two_chain_db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            mode,
+            FixpointConfig::default(),
+        )
+        .expect("service builds"),
+    );
+    assert_eq!(svc.shard_map().num_shards(), 2);
+    let cfg = SolverConfig::default();
+
+    // A healthy batch first, so the published state is epoch 1.
+    svc.apply(UpdateBatch::deleting(vec![point("b0", 0)]))
+        .expect("healthy batch");
+    let before = svc.snapshot();
+    assert_eq!(before.epoch(), 1);
+
+    // Inject a panic on the *second* lane of a cross-shard batch: the
+    // first lane's view is already mutated when the panic fires, so
+    // both held lanes end up poisoned with one of them half-applied.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let hook_calls = calls.clone();
+    svc.set_fault_hook(Some(Box::new(move |_shard| {
+        if hook_calls.fetch_add(1, Ordering::SeqCst) == 1 {
+            panic!("injected writer panic");
+        }
+    })));
+    let poisoned = UpdateBatch::deleting(vec![point("b0", 1), point("b1", 1)]);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| svc.apply(poisoned)));
+    assert!(result.is_err(), "the injected panic must escape apply");
+    svc.set_fault_hook(None);
+    assert_eq!(calls.load(Ordering::SeqCst), 2, "panicked on the 2nd lane");
+
+    // Readers were never at risk: the published state is untouched.
+    let snap = svc.snapshot();
+    assert_eq!(snap.epoch(), 1, "a panicked batch publishes nothing");
+    for pred in ["b0", "b1", "a0", "a1"] {
+        assert!(
+            snap.ask(pred, &[Value::int(1)], &NoDomains, &cfg).unwrap(),
+            "{pred}(1) must survive the panicked deletion"
+        );
+    }
+
+    // Every lane accepts batches again: locking a poisoned lane clears
+    // the poison and rebuilds the writer view from the last published
+    // shard snapshot, dropping the half-applied state.
+    let a = svc
+        .apply(UpdateBatch::deleting(vec![point("b0", 2)]))
+        .expect("lane 0 recovered");
+    assert_eq!(a.epoch, 2);
+    let b = svc
+        .apply(UpdateBatch::deleting(vec![point("b1", 3)]))
+        .expect("lane 1 recovered");
+    assert_eq!(b.epoch, 3);
+    let cross = svc
+        .apply(UpdateBatch::deleting(vec![point("b0", 4), point("b1", 4)]))
+        .expect("cross-shard batch after recovery");
+    assert_eq!(cross.shards_touched, 2);
+
+    // The recoveries were logged, one per poisoned lane, each rebuilt
+    // to its lane's last published *shard* epoch (b0's lane saw the
+    // healthy batch, b1's lane never advanced).
+    let log = svc.log();
+    assert_eq!(log.recoveries().len(), 2);
+    let b0_shard = svc.shard_map().shard_of("b0");
+    for r in log.recoveries() {
+        let expected = if r.shard == b0_shard { 1 } else { 0 };
+        assert_eq!(r.epoch, expected, "lane {} published epoch", r.shard);
+    }
+
+    // Exactly the panicked batch is lost: the served state equals a
+    // service that applied only the successful batches...
+    let clean = ViewService::build(
+        two_chain_db(),
+        Arc::new(NoDomains),
+        Operator::Tp,
+        mode,
+        FixpointConfig::default(),
+    )
+    .expect("clean service builds");
+    for batch in [
+        UpdateBatch::deleting(vec![point("b0", 0)]),
+        UpdateBatch::deleting(vec![point("b0", 2)]),
+        UpdateBatch::deleting(vec![point("b1", 3)]),
+        UpdateBatch::deleting(vec![point("b0", 4), point("b1", 4)]),
+    ] {
+        clean.apply(batch).expect("clean apply");
+    }
+    let served = svc.snapshot().merged_view();
+    assert!(served.syntactically_equal(&clean.snapshot().merged_view()));
+
+    // ...and replaying the log (which never saw the panicked batch)
+    // reproduces it too.
+    let replayed = svc
+        .log()
+        .replay(svc.db(), &NoDomains, Operator::Tp, mode, svc.config())
+        .expect("replay");
+    assert!(replayed.syntactically_equal(&served));
+}
+
+#[test]
+fn poisoned_lanes_recover_with_supports() {
+    poisoned_lanes_recover(SupportMode::WithSupports);
+}
+
+#[test]
+fn poisoned_lanes_recover_plain() {
+    poisoned_lanes_recover(SupportMode::Plain);
+}
+
+#[test]
+fn unpoisoned_lanes_keep_serving_while_another_lane_is_poisoned() {
+    // Poison only lane 0 (single-shard batch) and leave it unrecovered;
+    // lane 1 must keep applying batches as if nothing happened.
+    let svc = Arc::new(
+        ViewService::build(
+            two_chain_db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig::default(),
+        )
+        .expect("service builds"),
+    );
+    let b0_shard = svc.shard_map().shard_of("b0");
+    svc.set_fault_hook(Some(Box::new(move |shard| {
+        if shard == b0_shard {
+            panic!("injected: poison lane b0 only");
+        }
+    })));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        svc.apply(UpdateBatch::deleting(vec![point("b0", 5)]))
+    }));
+    assert!(result.is_err());
+
+    // The b1 lane was never locked by the panicking batch: healthy.
+    let cfg = SolverConfig::default();
+    for v in [1, 2, 3] {
+        svc.apply(UpdateBatch::deleting(vec![point("b1", v)]))
+            .expect("healthy lane applies");
+    }
+    assert_eq!(svc.epoch(), 3);
+    assert!(!svc.ask("a1", &[Value::int(2)], &cfg).unwrap());
+    assert!(svc.ask("a0", &[Value::int(5)], &cfg).unwrap());
+    assert!(svc.log().recoveries().is_empty(), "nothing recovered yet");
+
+    // First touch of the poisoned lane recovers it (the hook now lets
+    // the batch through).
+    svc.set_fault_hook(None);
+    svc.apply(UpdateBatch::deleting(vec![point("b0", 5)]))
+        .expect("poisoned lane recovers on next use");
+    assert_eq!(svc.log().recoveries().len(), 1);
+    assert!(!svc.ask("a0", &[Value::int(5)], &cfg).unwrap());
+}
+
+#[test]
+fn panicking_insert_batch_does_not_burn_tickets() {
+    // A panicked batch must not consume external-insertion tickets:
+    // otherwise every later insert's `External(t)` support diverges
+    // from what replaying the log (which never saw the panicked batch)
+    // would produce, silently breaking the recovery story.
+    let svc = Arc::new(
+        ViewService::build(
+            two_chain_db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig::default(),
+        )
+        .expect("service builds"),
+    );
+    let interval = |pred: &str, lo: i64| {
+        ConstrainedAtom::new(
+            pred,
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(lo)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(lo + 2),
+            )),
+        )
+    };
+    // Panic mid-application of a batch carrying two insertions.
+    svc.set_fault_hook(Some(Box::new(|_| panic!("injected insert-batch panic"))));
+    let poisoned =
+        UpdateBatch::inserting(vec![interval("b0", 20), interval("b1", 20)]).delete(point("b0", 1));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| svc.apply(poisoned)));
+    assert!(result.is_err());
+    svc.set_fault_hook(None);
+
+    // A later insert-carrying batch applies on the recovered lanes and
+    // must reuse the un-burned tickets: replaying the log reproduces
+    // the served view *syntactically*, External tickets included.
+    svc.apply(UpdateBatch::inserting(vec![interval("b0", 30)]).delete(point("b1", 2)))
+        .expect("recovered lanes accept inserts");
+    svc.apply(UpdateBatch::inserting(vec![interval("b1", 40)]))
+        .expect("second insert batch");
+    let replayed = svc
+        .log()
+        .replay(
+            svc.db(),
+            &NoDomains,
+            Operator::Tp,
+            SupportMode::WithSupports,
+            svc.config(),
+        )
+        .expect("replay");
+    assert!(
+        replayed.syntactically_equal(&svc.snapshot().merged_view()),
+        "ticket burn broke replay:\nreplayed:\n{replayed}\nserved:\n{}",
+        svc.snapshot().merged_view()
+    );
+}
+
+#[test]
+fn worker_killed_by_panicking_batch_reports_instead_of_repanicking() {
+    // The worker thread dies with the panicking batch, but join()
+    // reports WorkerGone rather than panicking the supervisor — and
+    // the service itself recovers the lane on its next use.
+    let svc = Arc::new(
+        ViewService::build(
+            two_chain_db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig::default(),
+        )
+        .expect("service builds"),
+    );
+    svc.set_fault_hook(Some(Box::new(|_| panic!("injected worker-batch panic"))));
+    let (tx, worker) = mmv_service::ServiceWorker::spawn(svc.clone());
+    tx.submit(UpdateBatch::deleting(vec![point("b0", 1)]))
+        .expect("submit");
+    drop(tx);
+    assert!(matches!(worker.join(), Err(ServiceError::WorkerGone)));
+    svc.set_fault_hook(None);
+    svc.apply(UpdateBatch::deleting(vec![point("b0", 1)]))
+        .expect("lane recovers after the worker's panic");
+    assert_eq!(svc.log().recoveries().len(), 1);
+}
+
+#[test]
+fn worker_surfaces_batch_errors_not_poison() {
+    // A worker feeding a service whose batch fails (budget) gets a
+    // clean error — unrelated to the poison path, but pins that the
+    // error path still rolls back and rejects.
+    let svc = Arc::new(
+        ViewService::build(
+            two_chain_db(),
+            Arc::new(NoDomains),
+            Operator::Tp,
+            SupportMode::WithSupports,
+            FixpointConfig {
+                max_entries: 5,
+                ..FixpointConfig::default()
+            },
+        )
+        .expect("4-entry base view fits"),
+    );
+    let big = UpdateBatch::inserting(vec![
+        ConstrainedAtom::new(
+            "b0",
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(20)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(25),
+            )),
+        ),
+        ConstrainedAtom::new(
+            "b0",
+            vec![x()],
+            Constraint::cmp(x(), CmpOp::Ge, Term::int(30)).and(Constraint::cmp(
+                x(),
+                CmpOp::Le,
+                Term::int(35),
+            )),
+        ),
+    ]);
+    let err = svc.apply(big).unwrap_err();
+    assert!(matches!(err, ServiceError::Batch(_)));
+    assert_eq!(svc.epoch(), 0);
+    // The lane still works.
+    svc.apply(UpdateBatch::deleting(vec![point("b0", 1)]))
+        .expect("lane healthy after rejected batch");
+}

@@ -168,7 +168,7 @@ fn readers_race_writer(mode: SupportMode) {
         .log()
         .replay(svc.db(), &NoDomains, Operator::Tp, mode, svc.config())
         .expect("replay");
-    assert!(replayed.syntactically_equal(snap.view()));
+    assert!(replayed.syntactically_equal(&snap.merged_view()));
 }
 
 #[test]

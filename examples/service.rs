@@ -117,6 +117,6 @@ fn main() {
             service.config(),
         )
         .expect("replay");
-    assert!(replayed.syntactically_equal(snap.view()));
+    assert!(replayed.syntactically_equal(&snap.merged_view()));
     println!("log replay reproduces the served view ✓");
 }
