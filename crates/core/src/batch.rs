@@ -32,7 +32,7 @@ use std::fmt;
 
 /// One update transaction: a set of deletions and a set of insertions,
 /// applied atomically by [`apply_batch`] (deletions first).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateBatch {
     /// Constrained atoms whose instances leave the view.
     pub deletes: Vec<ConstrainedAtom>,
@@ -160,6 +160,7 @@ impl BatchStats {
 /// (the `mmv-service` writer works this way: readers keep the last
 /// published snapshot whenever a batch fails).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BatchError {
     /// The deletion phase failed (Extended DRed).
     Dred(DredError),
@@ -179,7 +180,15 @@ impl fmt::Display for BatchError {
     }
 }
 
-impl std::error::Error for BatchError {}
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Dred(e) => Some(e),
+            BatchError::StDel(e) => Some(e),
+            BatchError::Insert(e) => Some(e),
+        }
+    }
+}
 
 impl From<DredError> for BatchError {
     fn from(e: DredError) -> Self {

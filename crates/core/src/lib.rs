@@ -83,7 +83,10 @@ pub use delete_dred::{dred_delete, dred_delete_batch, DredError, ExtDredStats};
 pub use delete_stdel::{stdel_delete, stdel_delete_batch, StDelError, StDelStats};
 pub use external::{MaintenanceAction, MaintenanceStrategy, MediatedMaterializedView};
 pub use insert::{insert_atom, insert_batch, insert_batch_ticketed, InsertBatchStats, InsertStats};
-pub use parser::{parse_atom, parse_program, ParseError, Parsed};
+pub use parser::{
+    parse_atom, parse_atom_exact, parse_entry, parse_program, parse_wal_payload, render_entry,
+    render_wal_payload, ParseError, Parsed, ParsedEntry, WalPayload,
+};
 pub use program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase, ValidationIssue};
 pub use semantics::{
     batch_oracle, deletion_oracle, insertion_oracle, recompute_instances, OracleError,

@@ -23,10 +23,13 @@
 //! `%` starts a line comment.
 
 use crate::atom::ConstrainedAtom;
-use crate::program::{BodyAtom, Clause, ConstrainedDatabase};
+use crate::batch::UpdateBatch;
+use crate::program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase};
+use crate::support::{Producer, Support};
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::{Call, CmpOp, Constraint, Lit, Term, Value, Var};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parse failure, with 1-based line/column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,21 +253,25 @@ impl<'a> Lexer<'a> {
             b'"' | b'\'' => {
                 let quote = b;
                 self.bump();
-                let mut s = String::new();
+                let mut bytes = Vec::new();
                 loop {
                     match self.bump() {
                         Some(c) if c == quote => break,
                         Some(b'\\') => match self.bump() {
-                            Some(b'n') => s.push('\n'),
-                            Some(b't') => s.push('\t'),
-                            Some(c) => s.push(c as char),
+                            Some(b'n') => bytes.push(b'\n'),
+                            Some(b't') => bytes.push(b'\t'),
+                            Some(b'r') => bytes.push(b'\r'),
+                            Some(c) => bytes.push(c),
                             None => return Err(self.error("unterminated string")),
                         },
-                        Some(c) => s.push(c as char),
+                        Some(c) => bytes.push(c),
                         None => return Err(self.error("unterminated string")),
                     }
                 }
-                Tok::Str(s)
+                match String::from_utf8(bytes) {
+                    Ok(s) => Tok::Str(s),
+                    Err(_) => return Err(self.error("invalid UTF-8 in string")),
+                }
             }
             b'-' | b'0'..=b'9' => {
                 let mut s = String::new();
@@ -329,6 +336,11 @@ struct Parser<'a> {
     scope: FxHashMap<String, Var>,
     var_names: FxHashMap<Var, String>,
     next_var: u32,
+    /// Literal-variable mode: `X<n>` maps to `Var(n)` exactly (any
+    /// other variable spelling is an error). Used by the round-trip
+    /// codecs ([`parse_atom_exact`], [`parse_entry`]), where variable
+    /// identity must survive `Display` → parse unchanged.
+    literal_vars: bool,
 }
 
 impl<'a> Parser<'a> {
@@ -343,7 +355,14 @@ impl<'a> Parser<'a> {
             scope: FxHashMap::default(),
             var_names: FxHashMap::default(),
             next_var: 0,
+            literal_vars: false,
         })
+    }
+
+    fn new_literal(src: &'a str) -> Result<Self, ParseError> {
+        let mut p = Parser::new(src)?;
+        p.literal_vars = true;
+        Ok(p)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -383,22 +402,34 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn var(&mut self, name: String) -> Var {
+    fn var(&mut self, name: String) -> Result<Var, ParseError> {
+        if self.literal_vars {
+            let id = name
+                .strip_prefix('X')
+                .filter(|d| !d.is_empty())
+                .and_then(|d| d.parse::<u32>().ok());
+            return match id {
+                Some(n) => Ok(Var(n)),
+                None => Err(self.error(format!(
+                    "non-canonical variable {name:?} (exact mode accepts only X<n>)"
+                ))),
+            };
+        }
         if let Some(&v) = self.scope.get(&name) {
-            return v;
+            return Ok(v);
         }
         let v = Var(self.next_var);
         self.next_var += 1;
         self.scope.insert(name.clone(), v);
         self.var_names.insert(v, name);
-        v
+        Ok(v)
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
         let mut base = match std::mem::replace(&mut self.tok, Tok::End) {
             Tok::Variable(name) => {
                 self.advance()?;
-                Term::Var(self.var(name))
+                Term::Var(self.var(name)?)
             }
             Tok::Int(i) => {
                 self.advance()?;
@@ -601,6 +632,73 @@ impl<'a> Parser<'a> {
         }
         Ok(db)
     }
+
+    /// Consumes a specific lowercase keyword (lexed as an identifier).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if matches!(&self.tok, Tok::Ident(s) if s == kw) {
+            self.advance()
+        } else {
+            Err(self.error(format!("expected {kw:?}, found {}", self.tok)))
+        }
+    }
+
+    fn nonneg_int(&mut self) -> Result<u64, ParseError> {
+        match self.tok {
+            Tok::Int(i) if i >= 0 => {
+                self.advance()?;
+                Ok(i as u64)
+            }
+            _ => Err(self.error(format!(
+                "expected a nonnegative integer, found {}",
+                self.tok
+            ))),
+        }
+    }
+
+    /// Parses a support in the entry-codec grammar:
+    /// `c(<clause>) | e(<ticket>) | n(<leaf>, <support>*)`.
+    fn support(&mut self) -> Result<Support, ParseError> {
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "c" | "e" => {
+                self.expect(&Tok::LParen)?;
+                let n = self.nonneg_int()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Support::leaf(if kw == "c" {
+                    Producer::Clause(ClauseId(n as usize))
+                } else {
+                    Producer::External(n)
+                }))
+            }
+            "n" => {
+                self.expect(&Tok::LParen)?;
+                let producer = self.support()?;
+                if !producer.children().is_empty() {
+                    return Err(self.error("support producer must be a leaf (c/e)"));
+                }
+                let mut children = Vec::new();
+                while self.tok == Tok::Comma {
+                    self.advance()?;
+                    children.push(self.support()?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Support::node(producer.producer(), children))
+            }
+            other => Err(self.error(format!("expected a support (c/e/n), found {other:?}"))),
+        }
+    }
+
+    /// The `pred(args) [<- constraint]` prefix shared by the atom
+    /// entry points, with no terminator handling.
+    fn constrained_atom(&mut self) -> Result<ConstrainedAtom, ParseError> {
+        let (pred, args) = self.atom()?;
+        let mut constraint = Constraint::truth();
+        if self.tok == Tok::Arrow {
+            self.advance()?;
+            constraint = self.constraint()?;
+        }
+        Ok(ConstrainedAtom::new(&pred, args, constraint))
+    }
 }
 
 /// Parses a mediator program.
@@ -617,19 +715,312 @@ pub fn parse_program(src: &str) -> Result<Parsed, ParseError> {
 /// trailing dot required), as used for update requests.
 pub fn parse_atom(src: &str) -> Result<ConstrainedAtom, ParseError> {
     let mut p = Parser::new(src)?;
-    let (pred, args) = p.atom()?;
-    let mut constraint = Constraint::truth();
-    if p.tok == Tok::Arrow {
-        p.advance()?;
-        constraint = p.constraint()?;
-    }
+    let atom = p.constrained_atom()?;
     if p.tok == Tok::Dot {
         p.advance()?;
     }
     if p.tok != Tok::End {
         return Err(p.error(format!("trailing input: {}", p.tok)));
     }
-    Ok(ConstrainedAtom::new(&pred, args, constraint))
+    Ok(atom)
+}
+
+/// Parses a single constrained atom with *literal* variables: `X<n>`
+/// maps to `Var(n)` exactly, so `parse_atom_exact(&atom.to_string())`
+/// reproduces `atom` including its variable identities. This is the
+/// codec the durable WAL uses — renaming-fresh parsing
+/// ([`parse_atom`]) would break variable sharing between an entry's
+/// atom and its `children_args`.
+///
+/// Codec limits (documented, not checked here): string constants must
+/// be valid UTF-8 and free of control characters other than `\n`,
+/// `\t`, `\r`; tuple/record constant values have no textual form.
+pub fn parse_atom_exact(src: &str) -> Result<ConstrainedAtom, ParseError> {
+    let mut p = Parser::new_literal(src)?;
+    let atom = p.constrained_atom()?;
+    if p.tok != Tok::End {
+        return Err(p.error(format!("trailing input: {}", p.tok)));
+    }
+    Ok(atom)
+}
+
+/// One durable-log payload, as framed by `mmv-service`'s WAL: the
+/// textual body of a WAL frame. Rendered by [`render_wal_payload`],
+/// parsed back by [`parse_wal_payload`]; the round trip is exact
+/// (variables are literal, see [`parse_atom_exact`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalPayload {
+    /// An applied batch: the global epoch it published, the base of its
+    /// reserved external-insertion ticket range (`tickets=` in the
+    /// textual form), and the batch itself. Recovery replays these
+    /// through the ticketed batch path so `External(t)` supports come
+    /// back bit-identical.
+    Batch {
+        /// The global epoch the batch published.
+        epoch: u64,
+        /// First external-insertion ticket of the batch's reserved
+        /// range (one ticket per insertion request, in order).
+        ticket_base: u64,
+        /// The update transaction.
+        batch: UpdateBatch,
+    },
+    /// A writer-lane recovery (see `mmv-service`'s `Recovery`).
+    Recovery {
+        /// The recovered lane.
+        shard: usize,
+        /// The shard epoch the lane was rebuilt to.
+        epoch: u64,
+    },
+    /// A checkpoint-completion marker: a checkpoint covering every
+    /// epoch `<= epoch` was durably written.
+    Checkpoint {
+        /// The last epoch the checkpoint covers.
+        epoch: u64,
+    },
+}
+
+/// Renders a [`WalPayload`] in the textual WAL format: a `key=value`
+/// header line (`batch epoch=<e> tickets=<t>` / `recovery shard=<s>
+/// epoch=<e>` / `checkpoint epoch=<e>`), then for batches one
+/// `- <atom>` line per deletion and one `+ <atom>` line per insertion.
+pub fn render_wal_payload(payload: &WalPayload) -> String {
+    match payload {
+        WalPayload::Batch {
+            epoch,
+            ticket_base,
+            batch,
+        } => render_wal_batch(*epoch, *ticket_base, batch),
+        WalPayload::Recovery { shard, epoch } => format!("recovery shard={shard} epoch={epoch}\n"),
+        WalPayload::Checkpoint { epoch } => format!("checkpoint epoch={epoch}\n"),
+    }
+}
+
+/// Renders a batch frame directly from a borrowed [`UpdateBatch`] —
+/// the write path's variant of [`render_wal_payload`], avoiding the
+/// deep clone that building a [`WalPayload::Batch`] would take.
+pub fn render_wal_batch(epoch: u64, ticket_base: u64, batch: &UpdateBatch) -> String {
+    let mut s = String::new();
+    writeln!(s, "batch epoch={epoch} tickets={ticket_base}").unwrap();
+    for d in &batch.deletes {
+        writeln!(s, "- {d}").unwrap();
+    }
+    for i in &batch.inserts {
+        writeln!(s, "+ {i}").unwrap();
+    }
+    s
+}
+
+/// Parses a `key=value` field from a WAL header line.
+fn wal_field(
+    fields: &mut std::str::SplitWhitespace<'_>,
+    key: &str,
+    line: usize,
+) -> Result<u64, ParseError> {
+    let err = |message: String| ParseError {
+        message,
+        line,
+        col: 1,
+    };
+    let field = fields
+        .next()
+        .ok_or_else(|| err(format!("missing {key}= field")))?;
+    let value = field
+        .strip_prefix(key)
+        .and_then(|v| v.strip_prefix('='))
+        .ok_or_else(|| err(format!("expected {key}=<n>, found {field:?}")))?;
+    value
+        .parse::<u64>()
+        .map_err(|_| err(format!("bad {key}= value {value:?}")))
+}
+
+/// Parses the textual body of one WAL frame back into a
+/// [`WalPayload`]. Inverse of [`render_wal_payload`].
+pub fn parse_wal_payload(src: &str) -> Result<WalPayload, ParseError> {
+    let mut lines = src.lines().enumerate();
+    let (header_idx, header) =
+        lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or(ParseError {
+                message: "empty WAL payload".into(),
+                line: 1,
+                col: 1,
+            })?;
+    let header_line = header_idx + 1;
+    let err = |message: String, line: usize| ParseError {
+        message,
+        line,
+        col: 1,
+    };
+    let mut fields = header.split_whitespace();
+    let kind = fields.next().expect("non-empty line has a first field");
+    // Re-number errors from single-line atom parses to the payload's
+    // own line numbering.
+    let at_line = |mut e: ParseError, line: usize| {
+        e.line = line;
+        e
+    };
+    let payload = match kind {
+        "batch" => {
+            let epoch = wal_field(&mut fields, "epoch", header_line)?;
+            let ticket_base = wal_field(&mut fields, "tickets", header_line)?;
+            let mut batch = UpdateBatch::new();
+            for (idx, line) in lines.by_ref() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(atom) = line.strip_prefix("- ") {
+                    batch
+                        .deletes
+                        .push(parse_atom_exact(atom).map_err(|e| at_line(e, idx + 1))?);
+                } else if let Some(atom) = line.strip_prefix("+ ") {
+                    // Insertion order is ticket order; deletions always
+                    // render before insertions, so order is preserved.
+                    batch
+                        .inserts
+                        .push(parse_atom_exact(atom).map_err(|e| at_line(e, idx + 1))?);
+                } else {
+                    return Err(err(
+                        format!("expected '- <atom>' or '+ <atom>', found {line:?}"),
+                        idx + 1,
+                    ));
+                }
+            }
+            WalPayload::Batch {
+                epoch,
+                ticket_base,
+                batch,
+            }
+        }
+        "recovery" => {
+            let shard = wal_field(&mut fields, "shard", header_line)? as usize;
+            let epoch = wal_field(&mut fields, "epoch", header_line)?;
+            WalPayload::Recovery { shard, epoch }
+        }
+        "checkpoint" => {
+            let epoch = wal_field(&mut fields, "epoch", header_line)?;
+            WalPayload::Checkpoint { epoch }
+        }
+        other => {
+            return Err(err(
+                format!("unknown WAL record kind {other:?}"),
+                header_line,
+            ))
+        }
+    };
+    if let Some(extra) = fields.next() {
+        return Err(err(format!("trailing header field {extra:?}"), header_line));
+    }
+    if let Some((idx, extra)) = lines.find(|(_, l)| !l.trim().is_empty()) {
+        return Err(err(format!("trailing input: {extra:?}"), idx + 1));
+    }
+    Ok(payload)
+}
+
+/// One materialized-view entry as serialized into a checkpoint:
+/// the constrained atom, its support (in `WithSupports` views), and
+/// the per-child argument vectors StDel uses for replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedEntry {
+    /// The entry's constrained atom.
+    pub atom: ConstrainedAtom,
+    /// The entry's support, if the view tracks supports.
+    pub support: Option<Support>,
+    /// The body-atom argument vectors recorded at derivation time,
+    /// sharing variables with `atom` (hence the literal-variable
+    /// codec).
+    pub children_args: Vec<Vec<Term>>,
+}
+
+fn render_support_into(s: &Support, out: &mut String) {
+    fn leaf(p: Producer, out: &mut String) {
+        match p {
+            Producer::Clause(c) => write!(out, "c({})", c.0).unwrap(),
+            Producer::External(t) => write!(out, "e({t})").unwrap(),
+        }
+    }
+    if s.children().is_empty() {
+        leaf(s.producer(), out);
+    } else {
+        out.push_str("n(");
+        leaf(s.producer(), out);
+        for c in s.children() {
+            out.push_str(", ");
+            render_support_into(c, out);
+        }
+        out.push(')');
+    }
+}
+
+/// Renders one view entry as a single checkpoint line:
+/// `<atom> spt <support|none> args (<terms>)*` — supports in the
+/// grammar `c(<clause>) | e(<ticket>) | n(<leaf>, <support>*)`,
+/// one parenthesized term group per body atom. Inverse of
+/// [`parse_entry`]; variables are literal (`X<n>` ⇔ `Var(n)`).
+pub fn render_entry(
+    atom: &ConstrainedAtom,
+    support: Option<&Support>,
+    children_args: &[Vec<Term>],
+) -> String {
+    let mut s = String::new();
+    write!(s, "{atom} spt ").unwrap();
+    match support {
+        None => s.push_str("none"),
+        Some(sp) => render_support_into(sp, &mut s),
+    }
+    s.push_str(" args");
+    for group in children_args {
+        s.push_str(" (");
+        for (i, t) in group.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "{t}").unwrap();
+        }
+        s.push(')');
+    }
+    s
+}
+
+/// Parses one checkpoint entry line. Inverse of [`render_entry`].
+pub fn parse_entry(src: &str) -> Result<ParsedEntry, ParseError> {
+    let mut p = Parser::new_literal(src)?;
+    let atom = p.constrained_atom()?;
+    p.keyword("spt")?;
+    let support = if matches!(&p.tok, Tok::Ident(s) if s == "none") {
+        p.advance()?;
+        None
+    } else {
+        Some(p.support()?)
+    };
+    p.keyword("args")?;
+    let mut children_args = Vec::new();
+    while p.tok == Tok::LParen {
+        p.advance()?;
+        let mut group = Vec::new();
+        if p.tok != Tok::RParen {
+            loop {
+                group.push(p.checked_term()?);
+                if p.tok == Tok::Comma {
+                    p.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect(&Tok::RParen)?;
+        children_args.push(group);
+    }
+    if p.tok != Tok::End {
+        return Err(p.error(format!("trailing input: {}", p.tok)));
+    }
+    Ok(ParsedEntry {
+        atom,
+        support,
+        children_args,
+    })
 }
 
 #[cfg(test)]
@@ -768,5 +1159,125 @@ mod tests {
         assert_eq!(parsed.db.clauses_for_head("suspect").len(), 1);
         let c1 = parsed.db.clause(crate::program::ClauseId(0));
         assert_eq!(c1.constraint.lits.len(), 7);
+    }
+
+    #[test]
+    fn exact_atoms_round_trip_variable_identity() {
+        let a = ConstrainedAtom::new(
+            "p",
+            vec![Term::var(Var(7)), Term::var(Var(2))],
+            Constraint::eq(Term::var(Var(7)), Term::int(-3)),
+        );
+        let back = parse_atom_exact(&a.to_string()).unwrap();
+        assert_eq!(back, a, "variable ids must survive the round trip");
+        // Renaming-fresh parsing would have allocated X0, X1 instead.
+        let renamed = parse_atom(&a.to_string()).unwrap();
+        assert_ne!(renamed, a);
+        // Non-canonical variable names are an error in exact mode.
+        assert!(parse_atom_exact("p(Foo)").is_err());
+        assert!(parse_atom_exact("p(_G1)").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let a = ConstrainedAtom::new(
+            "p",
+            vec![
+                Term::Const(Value::str("a\n\t\r\\\"z")),
+                Term::Const(Value::str("héllo")),
+            ],
+            Constraint::truth(),
+        );
+        assert_eq!(parse_atom_exact(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn wal_payloads_round_trip() {
+        let batch = UpdateBatch::deleting(vec![ConstrainedAtom::new(
+            "b",
+            vec![Term::var(Var(0))],
+            Constraint::eq(Term::var(Var(0)), Term::int(6)),
+        )])
+        .insert(ConstrainedAtom::new(
+            "c",
+            vec![Term::int(1), Term::Const(Value::str("x"))],
+            Constraint::truth(),
+        ));
+        for payload in [
+            WalPayload::Batch {
+                epoch: 12,
+                ticket_base: 5,
+                batch,
+            },
+            WalPayload::Recovery { shard: 1, epoch: 7 },
+            WalPayload::Checkpoint { epoch: 16 },
+        ] {
+            let text = render_wal_payload(&payload);
+            assert_eq!(parse_wal_payload(&text).unwrap(), payload, "{text}");
+        }
+    }
+
+    #[test]
+    fn wal_payload_errors_carry_positions() {
+        assert!(parse_wal_payload("").is_err());
+        assert!(
+            parse_wal_payload("batch epoch=1").is_err(),
+            "missing tickets="
+        );
+        assert!(parse_wal_payload("batch epoch=1 tickets=0 junk").is_err());
+        assert!(parse_wal_payload("mystery epoch=1").is_err());
+        assert!(parse_wal_payload("checkpoint epoch=1\n+ p(X0)").is_err());
+        let err = parse_wal_payload("batch epoch=1 tickets=0\n* p(X0)").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_wal_payload("batch epoch=1 tickets=0\n- p(X0)\n+ p(").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn entries_round_trip_supports_and_children() {
+        let atom = ConstrainedAtom::new(
+            "a",
+            vec![Term::var(Var(3))],
+            Constraint::cmp(Term::var(Var(3)), CmpOp::Ge, Term::int(0)),
+        );
+        let support = Support::node(
+            Producer::Clause(ClauseId(4)),
+            vec![
+                Support::node(
+                    Producer::Clause(ClauseId(2)),
+                    vec![Support::leaf(Producer::Clause(ClauseId(3)))],
+                ),
+                Support::leaf(Producer::External(9)),
+            ],
+        );
+        let children = vec![
+            vec![Term::var(Var(3))],
+            vec![Term::int(2), Term::var(Var(3))],
+        ];
+        let line = render_entry(&atom, Some(&support), &children);
+        let parsed = parse_entry(&line).unwrap();
+        assert_eq!(parsed.atom, atom);
+        assert_eq!(parsed.support.as_ref(), Some(&support));
+        assert_eq!(parsed.children_args, children);
+
+        // Plain-mode entries: no support, no children.
+        let line = render_entry(&atom, None, &[]);
+        let parsed = parse_entry(&line).unwrap();
+        assert_eq!(parsed.atom, atom);
+        assert_eq!(parsed.support, None);
+        assert!(parsed.children_args.is_empty());
+
+        // An empty child group survives.
+        let line = render_entry(&atom, None, &[vec![]]);
+        assert_eq!(parse_entry(&line).unwrap().children_args, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn entry_parse_rejects_malformed_supports() {
+        assert!(parse_entry("a(X0) spt x(1) args").is_err());
+        assert!(parse_entry("a(X0) spt n(n(c(1), c(2)), c(3)) args").is_err());
+        assert!(parse_entry("a(X0) spt c(-1) args").is_err());
+        assert!(parse_entry("a(X0) spt none args (X0) trailing").is_err());
+        assert!(parse_entry("a(X0) args").is_err());
     }
 }

@@ -29,21 +29,23 @@
 //!   can be replayed onto a freshly built view to reproduce the served
 //!   state (recovery), and that the equivalence tests use to pin batch
 //!   determinism.
+//! * **Durability** — opt-in via [`Durability::durable`]: every batch
+//!   is appended to a segmented write-ahead log *before* it is
+//!   published, with group-commit fsync batching ([`wal`]); a
+//!   background thread periodically checkpoints the served view
+//!   ([`checkpoint`]); and [`ViewService::recover`] rebuilds the
+//!   service after a crash from the newest valid checkpoint plus the
+//!   WAL tail, tolerating a torn final frame.
 //!
 //! ```
 //! use mmv_service::{ServiceWorker, ViewService};
 //! use mmv_core::batch::UpdateBatch;
 //! use mmv_core::parser::{parse_atom, parse_program};
-//! use mmv_core::tp::{FixpointConfig, Operator};
-//! use mmv_core::view::SupportMode;
 //! use mmv_constraints::{NoDomains, SolverConfig, Value};
 //! use std::sync::Arc;
 //!
 //! let parsed = parse_program("b(X) <- X >= 5.  a(X) <- || b(X).").unwrap();
-//! let service = Arc::new(ViewService::build(
-//!     parsed.db, Arc::new(NoDomains), Operator::Tp,
-//!     SupportMode::WithSupports, FixpointConfig::default(),
-//! ).unwrap());
+//! let service = Arc::new(ViewService::builder().build(parsed.db).unwrap());
 //!
 //! // Readers hold epoch-tagged snapshots...
 //! let before = service.snapshot();
@@ -64,14 +66,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
+pub mod config;
 pub mod log;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 pub mod worker;
 
-pub use log::{LogRecord, Recovery, ReplayError, UpdateLog};
-pub use service::{Applied, FaultHook, ServiceError, SharedResolver, ViewService};
+pub use checkpoint::CheckpointStats;
+pub use config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+pub use log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
+pub use service::{Applied, FaultHook, LogRead, ServiceError, SharedResolver, ViewService};
 pub use snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
+pub use wal::{FsyncPolicy, StorageError, WalStats};
 pub use worker::{BatchSender, ServiceWorker};
 
 // Re-export the batch and shard vocabulary so service users need not

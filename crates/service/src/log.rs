@@ -18,10 +18,13 @@
 //! and was rebuilt from its last published shard snapshot.
 
 use crate::snapshot::{Epoch, PublishStats};
+use crate::wal::Wal;
 use mmv_constraints::DomainResolver;
 use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
+use mmv_core::parser::{render_wal_batch, render_wal_payload, WalPayload};
 use mmv_core::tp::{fixpoint, FixpointConfig, Operator};
 use mmv_core::{ConstrainedDatabase, FixpointError, MaterializedView, SupportMode};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One applied batch: what was applied, when (epoch), and what it cost.
@@ -57,6 +60,7 @@ pub struct Recovery {
 
 /// Replay failure: rebuilding the base view or re-applying a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ReplayError {
     /// The base fixpoint could not be rebuilt.
     Fixpoint(FixpointError),
@@ -73,7 +77,123 @@ impl std::fmt::Display for ReplayError {
     }
 }
 
-impl std::error::Error for ReplayError {}
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Fixpoint(e) => Some(e),
+            ReplayError::Batch(_, e) => Some(e),
+        }
+    }
+}
+
+/// Where the service's applied batches go: the in-memory [`UpdateLog`]
+/// and the durable [`DurableLog`] share this interface, so the write
+/// path is identical either way. The sink is called inside the
+/// publication critical section — frames (for durable sinks) and
+/// records append in global epoch order.
+pub trait LogSink: Send {
+    /// Appends one applied-batch record. `ticket_base` is the batch's
+    /// reserved external-insertion ticket base, recorded so replay
+    /// issues the same tickets. Durable sinks write the WAL frame
+    /// *first* (write-ahead: an error leaves the in-memory mirror
+    /// untouched and the batch unpublished) and return its LSN; the
+    /// in-memory sink returns `None`.
+    fn append(&mut self, record: LogRecord, ticket_base: u64) -> std::io::Result<Option<u64>>;
+
+    /// Records a writer-lane recovery. `global_epoch` is the current
+    /// global epoch (durable sinks use it as the WAL frame's epoch
+    /// lower bound).
+    fn record_recovery(&mut self, recovery: Recovery, global_epoch: Epoch);
+
+    /// The in-memory mirror every sink maintains (what
+    /// [`ViewService::log`][crate::ViewService::log] exposes).
+    fn memory(&self) -> &UpdateLog;
+
+    /// Detaches the in-memory mirror, leaving the sink empty — used
+    /// when recovery upgrades the replay-time in-memory sink to a
+    /// durable one without losing the replayed records.
+    fn take_memory(&mut self) -> UpdateLog;
+}
+
+impl LogSink for UpdateLog {
+    fn append(&mut self, record: LogRecord, _ticket_base: u64) -> std::io::Result<Option<u64>> {
+        UpdateLog::append(self, record);
+        Ok(None)
+    }
+
+    fn record_recovery(&mut self, recovery: Recovery, _global_epoch: Epoch) {
+        UpdateLog::record_recovery(self, recovery);
+    }
+
+    fn memory(&self) -> &UpdateLog {
+        self
+    }
+
+    fn take_memory(&mut self) -> UpdateLog {
+        std::mem::take(self)
+    }
+}
+
+/// The durable sink: every appended record is first written as a
+/// [`WalPayload::Batch`] frame to the write-ahead log, then mirrored
+/// in memory. Lane recoveries are journaled best-effort (the in-memory
+/// record always lands; a WAL append failure only costs the audit
+/// trail, never the lane recovery itself).
+pub struct DurableLog {
+    mem: UpdateLog,
+    wal: Arc<Wal>,
+}
+
+impl DurableLog {
+    /// A durable sink over `wal` with an empty in-memory mirror.
+    pub(crate) fn new(wal: Arc<Wal>) -> Self {
+        DurableLog {
+            mem: UpdateLog::new(),
+            wal,
+        }
+    }
+
+    /// A durable sink adopting an existing in-memory mirror (the
+    /// records recovery just replayed).
+    pub(crate) fn with_memory(wal: Arc<Wal>, mem: UpdateLog) -> Self {
+        DurableLog { mem, wal }
+    }
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("records", &self.mem.len())
+            .field("recoveries", &self.mem.recoveries().len())
+            .finish()
+    }
+}
+
+impl LogSink for DurableLog {
+    fn append(&mut self, record: LogRecord, ticket_base: u64) -> std::io::Result<Option<u64>> {
+        let frame = render_wal_batch(record.epoch, ticket_base, &record.batch);
+        let lsn = self.wal.append(record.epoch, &frame)?;
+        self.mem.append(record);
+        Ok(Some(lsn))
+    }
+
+    fn record_recovery(&mut self, recovery: Recovery, global_epoch: Epoch) {
+        let payload = WalPayload::Recovery {
+            shard: recovery.shard,
+            epoch: recovery.epoch,
+        };
+        let _ = self.wal.append(global_epoch, &render_wal_payload(&payload));
+        self.mem.record_recovery(recovery);
+    }
+
+    fn memory(&self) -> &UpdateLog {
+        &self.mem
+    }
+
+    fn take_memory(&mut self) -> UpdateLog {
+        std::mem::take(&mut self.mem)
+    }
+}
 
 /// An append-only, in-memory log of applied batches and lane
 /// recoveries.

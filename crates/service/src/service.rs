@@ -28,12 +28,24 @@
 //! The global epoch (one tick per batch) and every shard epoch (one
 //! tick per batch touching the shard) increase monotonically.
 //!
+//! # Durability
+//!
+//! With [`Durability::durable`] the same critical section also appends
+//! the batch as a write-ahead-log frame *before* the swap — a frame
+//! that fails to reach the OS rejects the batch like any other error —
+//! and the writer then waits (outside all locks) for the group-commit
+//! flusher to make the frame durable ([`crate::wal`]). A background
+//! thread periodically checkpoints the whole served view
+//! ([`crate::checkpoint`]); [`ViewService::recover`] rebuilds the
+//! service from the newest valid checkpoint plus the WAL tail.
+//!
 //! # Failure semantics
 //!
 //! A batch that fails with an error publishes nothing: every locked
 //! lane's writer view is restored from its last published shard
 //! snapshot (an `Arc` re-adoption, not a rebuild) and the batch is
-//! rejected with [`ServiceError::Batch`].
+//! rejected with [`ServiceError::Batch`] (or
+//! [`ServiceError::Storage`], when the WAL append failed).
 //!
 //! A batch that *panics* mid-application poisons the mutexes of the
 //! lanes it held. Poison is not fatal and not contagious: the other
@@ -47,17 +59,22 @@
 //! made every later call panic; the per-lane recovery above replaced
 //! that.)
 
-use crate::log::{LogRecord, Recovery, UpdateLog};
+use crate::checkpoint::{self, CheckpointStats, Checkpointer};
+use crate::config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+use crate::log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
 use crate::snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
+use crate::wal::{self, FsyncPolicy, StorageError, Wal, WalStats};
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
 use mmv_core::batch::{apply_batch_ticketed, BatchError, BatchStats, UpdateBatch};
+use mmv_core::parser::WalPayload;
 use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
 use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
 use mmv_core::view::ShareStats;
 use mmv_core::{ConstrainedDatabase, InstanceError, MaterializedView, SupportMode};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
@@ -70,14 +87,22 @@ pub type SharedResolver = Arc<dyn DomainResolver + Send + Sync>;
 /// the poisoned-lane recovery path.
 pub type FaultHook = Box<dyn FnMut(ShardId) + Send>;
 
-/// Service failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Service failure — the one error type every `mmv-service` entry
+/// point reports, layered over the lower-level errors it wraps
+/// (reachable through [`std::error::Error::source`]).
+#[derive(Debug)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// Building the initial view failed.
     Build(FixpointError),
     /// Applying a batch failed; every touched lane was rolled back and
     /// nothing was published.
     Batch(BatchError),
+    /// Re-applying a logged batch during recovery failed.
+    Replay(ReplayError),
+    /// Durable storage failed: a WAL append or flush, or corrupt
+    /// on-disk state during recovery.
+    Storage(StorageError),
     /// The worker channel is closed (the worker already shut down).
     WorkerGone,
 }
@@ -87,12 +112,24 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Build(e) => write!(f, "service build: {e}"),
             ServiceError::Batch(e) => write!(f, "service batch: {e}"),
+            ServiceError::Replay(e) => write!(f, "service recovery: {e}"),
+            ServiceError::Storage(e) => write!(f, "service storage: {e}"),
             ServiceError::WorkerGone => write!(f, "service worker has shut down"),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Build(e) => Some(e),
+            ServiceError::Batch(e) => Some(e),
+            ServiceError::Replay(e) => Some(e),
+            ServiceError::Storage(e) => Some(e),
+            ServiceError::WorkerGone => None,
+        }
+    }
+}
 
 /// The outcome of one applied batch.
 #[derive(Debug, Clone, Copy)]
@@ -127,10 +164,18 @@ struct Published {
     composite: Arc<ServiceSnapshot>,
 }
 
+/// The durable half of the service: the open WAL, the background
+/// checkpointer, and the checkpoint cadence.
+struct DurableState {
+    wal: Arc<Wal>,
+    checkpointer: Checkpointer,
+    checkpoint_every: u64,
+}
+
 /// Locks a mutex whose guarded state a panic can never leave torn
 /// (counters, append-only logs, the hook slot): a poisoned guard is
 /// recovered as-is.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+fn lock_clean<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(p) => {
@@ -188,13 +233,45 @@ impl Drop for TicketReservation<'_> {
     }
 }
 
+/// Replay context for one logged batch: publish under the *recorded*
+/// epoch with the *recorded* ticket base, and skip the WAL (the record
+/// being replayed is already on disk).
+struct ReplayCtx {
+    epoch: Epoch,
+    ticket_base: u64,
+}
+
+/// A borrowed view of the service's update log (see
+/// [`ViewService::log`]): derefs to [`UpdateLog`]. The guard holds the
+/// log lock — writers block while it lives, and calling
+/// [`ViewService::apply`] from the same thread while holding one
+/// deadlocks — so read what you need and drop it (or `clone()` the
+/// `UpdateLog` out for longer inspection).
+pub struct LogRead<'a>(MutexGuard<'a, Box<dyn LogSink>>);
+
+impl std::ops::Deref for LogRead<'_> {
+    type Target = UpdateLog;
+
+    fn deref(&self) -> &UpdateLog {
+        self.0.memory()
+    }
+}
+
+impl fmt::Debug for LogRead<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0.memory(), f)
+    }
+}
+
 /// A long-lived concurrent view service over one constrained database.
 ///
-/// Construct with [`ViewService::build`] (one writer lane per clause
-/// dependency component) or [`ViewService::build_with_shards`], share
-/// behind an `Arc`, read via [`ViewService::snapshot`] from any thread,
-/// and write via [`ViewService::apply`] (directly, or through a
-/// [`ServiceWorker`][crate::ServiceWorker]).
+/// Construct with [`ViewService::builder`] (all knobs defaulted —
+/// shard layout, durability, resolver, operator, support mode,
+/// fixpoint budgets), share behind an `Arc`, read via
+/// [`ViewService::snapshot`] from any thread, and write via
+/// [`ViewService::apply`] (directly, or through a
+/// [`ServiceWorker`][crate::ServiceWorker]). A durable service is
+/// rebuilt after a crash with [`ViewService::recover`].
 pub struct ViewService {
     db: ConstrainedDatabase,
     resolver: SharedResolver,
@@ -205,11 +282,15 @@ pub struct ViewService {
     lane_dbs: Vec<ConstrainedDatabase>,
     lanes: Vec<Mutex<LaneState>>,
     published: RwLock<Published>,
-    log: Mutex<UpdateLog>,
+    /// The update-log sink (in-memory, or WAL-backed). Lock order: the
+    /// sink lock is always taken *before* the publication lock by any
+    /// thread that holds both.
+    log: Mutex<Box<dyn LogSink>>,
     /// Global external-insertion ticket counter: each batch reserves
     /// one ticket per insertion request, so a split batch issues the
     /// same tickets the unsplit batch would.
     tickets: Mutex<u64>,
+    durable: Option<DurableState>,
     /// Cheap "a fault hook is installed" flag so the hot write path
     /// never touches the hook mutex (a cross-lane serialization point)
     /// outside of tests.
@@ -225,15 +306,261 @@ impl fmt::Debug for ViewService {
             .field("shards", &snap.shard_count())
             .field("entries", &snap.len())
             .field("mode", &snap.mode())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
 
 impl ViewService {
-    /// Builds the initial materialized view (`op ↑ ω (∅)` of `db` in
-    /// `mode`), partitions it into one writer lane per clause
-    /// dependency component, and publishes the composite as global
-    /// epoch 0 (every shard at shard epoch 0).
+    /// A builder with every knob at its default — the construction
+    /// API. `ViewService::builder().build(db)` is the minimal service.
+    pub fn builder() -> ViewServiceBuilder {
+        ViewServiceBuilder::new()
+    }
+
+    /// Builds the initial materialized view (`op ↑ ω (∅)` of `db`),
+    /// partitions it into writer lanes, and publishes the composite as
+    /// global epoch 0. With [`Durability::durable`] the WAL is opened
+    /// too — the directory must hold no earlier WAL/checkpoint state
+    /// (that is what [`ViewService::recover`] is for).
+    pub fn with_config(
+        db: ConstrainedDatabase,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let ServiceConfig {
+            resolver,
+            op,
+            mode,
+            fixpoint: fx,
+            shards: spec,
+            durability,
+            ..
+        } = config;
+        let (view, _) =
+            fixpoint(&db, resolver.as_ref(), op, mode, &fx).map_err(ServiceError::Build)?;
+        let shards = Arc::new(ShardMap::from_db(&db, &spec));
+        let lane_views = Self::split_view(view, &shards, mode);
+        let lane_epochs = vec![0; lane_views.len()];
+        let mut svc = Self::assemble(AssembleParts {
+            db,
+            resolver,
+            op,
+            config: fx,
+            shards,
+            lane_views,
+            lane_epochs,
+            epoch: 0,
+            tickets: 0,
+        });
+        if let Durability::Durable {
+            dir,
+            fsync,
+            checkpoint_every,
+            segment_bytes,
+        } = durability
+        {
+            Self::require_fresh_dir(&dir)?;
+            let wal = Wal::open(&dir, fsync, segment_bytes, 1)
+                .map_err(|e| ServiceError::Storage(e.into()))?;
+            let checkpointer = Checkpointer::spawn(dir, op, wal.clone());
+            svc.log = Mutex::new(Box::new(DurableLog::new(wal.clone())));
+            svc.durable = Some(DurableState {
+                wal,
+                checkpointer,
+                checkpoint_every,
+            });
+        }
+        Ok(svc)
+    }
+
+    /// Recovers a durable service from `dir`: loads the newest valid
+    /// checkpoint (if any — otherwise the base fixpoint is rebuilt),
+    /// replays every WAL record past it through the normal ticketed
+    /// batch path, truncates a torn final frame per the torn-tail
+    /// contract, and reopens the WAL for appending. The recovered view
+    /// is syntactically identical to the pre-crash served view (for
+    /// sequentially applied batches; see the ticket-permutation caveat
+    /// in [`crate::log`]).
+    ///
+    /// `config` must match the database the WAL was written against
+    /// (same operator, support mode, and shard layout); fsync and
+    /// checkpoint knobs are taken from `config.durability` when it is
+    /// durable (its directory is ignored in favor of `dir`).
+    pub fn recover(
+        dir: &Path,
+        db: ConstrainedDatabase,
+        config: ServiceConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let ServiceConfig {
+            resolver,
+            op,
+            mode,
+            fixpoint: fx,
+            shards: spec,
+            durability,
+            ..
+        } = config;
+        let (fsync, checkpoint_every, segment_bytes) = match durability {
+            Durability::Durable {
+                fsync,
+                checkpoint_every,
+                segment_bytes,
+                ..
+            } => (fsync, checkpoint_every, segment_bytes),
+            _ => (
+                FsyncPolicy::GroupCommit(std::time::Duration::ZERO),
+                256,
+                8 << 20,
+            ),
+        };
+        let chk = checkpoint::load_newest(dir).map_err(ServiceError::Storage)?;
+        let scan = wal::scan_dir(dir, true).map_err(ServiceError::Storage)?;
+        let shards = Arc::new(ShardMap::from_db(&db, &spec));
+        let mismatch = |detail: String| {
+            ServiceError::Storage(StorageError::Corrupt {
+                file: dir.to_path_buf(),
+                offset: 0,
+                detail,
+            })
+        };
+        let (lane_views, lane_epochs, base_epoch, base_tickets) = match &chk {
+            Some(c) => {
+                if c.mode != mode {
+                    return Err(mismatch(format!(
+                        "checkpoint mode {:?} != configured {:?}",
+                        c.mode, mode
+                    )));
+                }
+                if c.op != op {
+                    return Err(mismatch(format!(
+                        "checkpoint op {:?} != configured {:?}",
+                        c.op, op
+                    )));
+                }
+                if c.shards.len() != shards.num_shards() {
+                    return Err(mismatch(format!(
+                        "checkpoint has {} shards, current layout {}",
+                        c.shards.len(),
+                        shards.num_shards()
+                    )));
+                }
+                // The lanes' variable generator must clear both the
+                // database's own variables and every variable a
+                // checkpointed entry uses (entries are stored with
+                // exact variable identity).
+                let mut gen = db.fresh_gen();
+                for (_, entries) in &c.shards {
+                    for e in entries {
+                        for v in e.atom.free_vars() {
+                            gen.reserve_below(v.0 + 1);
+                        }
+                        let mut vs = Vec::new();
+                        for args in &e.children_args {
+                            for t in args {
+                                t.collect_vars(&mut vs);
+                            }
+                        }
+                        for v in vs {
+                            gen.reserve_below(v.0 + 1);
+                        }
+                    }
+                }
+                let mut lane_views: Vec<MaterializedView> = (0..shards.num_shards())
+                    .map(|_| MaterializedView::new(mode, gen.clone()))
+                    .collect();
+                for (_, entries) in &c.shards {
+                    for e in entries {
+                        let s = shards.shard_of(&e.atom.pred);
+                        lane_views[s].insert(
+                            e.atom.clone(),
+                            e.support.clone(),
+                            e.children_args.clone(),
+                        );
+                    }
+                }
+                let lane_epochs: Vec<Epoch> = c.shards.iter().map(|(e, _)| *e).collect();
+                (lane_views, lane_epochs, c.epoch, c.tickets)
+            }
+            None => {
+                let (view, _) =
+                    fixpoint(&db, resolver.as_ref(), op, mode, &fx).map_err(ServiceError::Build)?;
+                let lane_views = Self::split_view(view, &shards, mode);
+                let lane_epochs = vec![0; lane_views.len()];
+                (lane_views, lane_epochs, 0, 0)
+            }
+        };
+        let mut svc = Self::assemble(AssembleParts {
+            db,
+            resolver,
+            op,
+            config: fx,
+            shards,
+            lane_views,
+            lane_epochs,
+            epoch: base_epoch,
+            tickets: base_tickets,
+        });
+        let mut replayed = 0u64;
+        let mut recoveries: Vec<Recovery> = Vec::new();
+        for payload in &scan.payloads {
+            match payload {
+                WalPayload::Batch {
+                    epoch,
+                    ticket_base,
+                    batch,
+                } if *epoch > base_epoch => {
+                    svc.apply_inner(
+                        batch.clone(),
+                        Some(ReplayCtx {
+                            epoch: *epoch,
+                            ticket_base: *ticket_base,
+                        }),
+                    )
+                    .map_err(|e| match e {
+                        ServiceError::Batch(be) => {
+                            ServiceError::Replay(ReplayError::Batch(*epoch, be))
+                        }
+                        other => other,
+                    })?;
+                    replayed += 1;
+                }
+                WalPayload::Batch { .. } | WalPayload::Checkpoint { .. } => {}
+                WalPayload::Recovery { shard, epoch } => recoveries.push(Recovery {
+                    shard: *shard,
+                    epoch: *epoch,
+                }),
+                _ => {}
+            }
+        }
+        let recovered_epoch = svc.read_published().epoch;
+        let wal = Wal::open(dir, fsync, segment_bytes, scan.next_seq)
+            .map_err(|e| ServiceError::Storage(e.into()))?;
+        let checkpointer = Checkpointer::spawn(dir.to_path_buf(), op, wal.clone());
+        {
+            let mut sink = lock_clean(&svc.log);
+            let mut mem = sink.take_memory();
+            for r in recoveries {
+                mem.record_recovery(r);
+            }
+            *sink = Box::new(DurableLog::with_memory(wal.clone(), mem));
+        }
+        svc.durable = Some(DurableState {
+            wal,
+            checkpointer,
+            checkpoint_every,
+        });
+        let report = RecoveryReport {
+            checkpoint_epoch: chk.as_ref().map(|c| c.epoch),
+            replayed_records: replayed,
+            recovered_epoch,
+            torn_tail: scan.torn_tail,
+            segments_scanned: scan.segments,
+        };
+        Ok((svc, report))
+    }
+
+    /// Positional construction, superseded by [`ViewService::builder`].
+    #[deprecated(since = "0.6.0", note = "use ViewService::builder()")]
     pub fn build(
         db: ConstrainedDatabase,
         resolver: SharedResolver,
@@ -241,13 +568,18 @@ impl ViewService {
         mode: SupportMode,
         config: FixpointConfig,
     ) -> Result<Self, ServiceError> {
-        Self::build_with_shards(db, resolver, op, mode, config, ShardSpec::auto())
+        ViewService::builder()
+            .resolver(resolver)
+            .operator(op)
+            .mode(mode)
+            .fixpoint(config)
+            .build(db)
     }
 
-    /// [`ViewService::build`] with an explicit shard layout —
-    /// [`ShardSpec::at_most`] caps the lane count (components are
-    /// merged, balanced by predicate count), and
-    /// [`ShardSpec::single_lane`] restores the one-writer-lock layout.
+    /// Positional construction with an explicit shard layout,
+    /// superseded by [`ViewService::builder`] +
+    /// [`ViewServiceBuilder::shards`].
+    #[deprecated(since = "0.6.0", note = "use ViewService::builder().shards(spec)")]
     pub fn build_with_shards(
         db: ConstrainedDatabase,
         resolver: SharedResolver,
@@ -256,44 +588,74 @@ impl ViewService {
         config: FixpointConfig,
         spec: ShardSpec,
     ) -> Result<Self, ServiceError> {
-        let (mut view, _) =
-            fixpoint(&db, resolver.as_ref(), op, mode, &config).map_err(ServiceError::Build)?;
-        let shards = Arc::new(ShardMap::from_db(&db, &spec));
-        // Split the built view into per-shard views: each lane re-hosts
-        // its predicates' entries (supports and children metadata moved
-        // verbatim — clause numbering is global, so they stay valid
-        // against the lane's restricted sub-database). A single lane
-        // adopts the built view as-is.
-        let lane_views: Vec<MaterializedView> = if shards.is_single() {
-            vec![view]
-        } else {
-            let gen = view.var_gen_mut().clone();
-            let mut lane_views: Vec<MaterializedView> = (0..shards.num_shards())
-                .map(|_| MaterializedView::new(mode, gen.clone()))
-                .collect();
-            for (_, e) in view.live_entries() {
-                let s = shards.shard_of(&e.atom.pred);
-                lane_views[s].insert(e.atom.clone(), e.support.clone(), e.children_args.clone());
-            }
-            lane_views
-        };
+        ViewService::builder()
+            .resolver(resolver)
+            .operator(op)
+            .mode(mode)
+            .fixpoint(config)
+            .shards(spec)
+            .build(db)
+    }
+
+    /// Splits a built view into per-shard views: each lane re-hosts
+    /// its predicates' entries (supports and children metadata moved
+    /// verbatim — clause numbering is global, so they stay valid
+    /// against the lane's restricted sub-database). A single lane
+    /// adopts the built view as-is.
+    fn split_view(
+        mut view: MaterializedView,
+        shards: &ShardMap,
+        mode: SupportMode,
+    ) -> Vec<MaterializedView> {
+        if shards.is_single() {
+            return vec![view];
+        }
+        let gen = view.var_gen_mut().clone();
+        let mut lane_views: Vec<MaterializedView> = (0..shards.num_shards())
+            .map(|_| MaterializedView::new(mode, gen.clone()))
+            .collect();
+        for (_, e) in view.live_entries() {
+            let s = shards.shard_of(&e.atom.pred);
+            lane_views[s].insert(e.atom.clone(), e.support.clone(), e.children_args.clone());
+        }
+        lane_views
+    }
+
+    /// Assembles the in-memory service from prepared lanes (shared by
+    /// fresh construction and recovery).
+    fn assemble(parts: AssembleParts) -> ViewService {
+        let AssembleParts {
+            db,
+            resolver,
+            op,
+            config,
+            shards,
+            lane_views,
+            lane_epochs,
+            epoch,
+            tickets,
+        } = parts;
         let lane_dbs: Vec<ConstrainedDatabase> = (0..shards.num_shards())
             .map(|s| shards.restrict_db(&db, s))
             .collect();
         let mut published = Vec::with_capacity(lane_views.len());
         let mut lanes = Vec::with_capacity(lane_views.len());
-        for lane_view in lane_views {
+        for (lane_view, lane_epoch) in lane_views.into_iter().zip(lane_epochs) {
             // The lane adopts a structurally-shared clone of the
             // published shard snapshot (a few Arc bumps).
-            let snapshot = Arc::new(ViewSnapshot::new(0, lane_view));
+            let snapshot = Arc::new(ViewSnapshot::new(lane_epoch, lane_view));
             lanes.push(Mutex::new(LaneState {
                 view: snapshot.view().clone(),
-                epoch: 0,
+                epoch: lane_epoch,
             }));
             published.push(snapshot);
         }
-        let composite = Arc::new(ServiceSnapshot::new(0, published.clone(), shards.clone()));
-        Ok(ViewService {
+        let composite = Arc::new(ServiceSnapshot::new(
+            epoch,
+            published.clone(),
+            shards.clone(),
+        ));
+        ViewService {
             db,
             resolver,
             op,
@@ -303,14 +665,41 @@ impl ViewService {
             lanes,
             published: RwLock::new(Published {
                 shards: published,
-                epoch: 0,
+                epoch,
                 composite,
             }),
-            log: Mutex::new(UpdateLog::new()),
-            tickets: Mutex::new(0),
+            log: Mutex::new(Box::new(UpdateLog::new())),
+            tickets: Mutex::new(tickets),
+            durable: None,
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
-        })
+        }
+    }
+
+    /// Rejects a durable-build directory that already holds WAL or
+    /// checkpoint state — building over history would shadow it;
+    /// recovery is the explicit path.
+    fn require_fresh_dir(dir: &Path) -> Result<(), ServiceError> {
+        std::fs::create_dir_all(dir).map_err(|e| ServiceError::Storage(e.into()))?;
+        let entries = std::fs::read_dir(dir).map_err(|e| ServiceError::Storage(e.into()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ServiceError::Storage(e.into()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("wal-") || name.starts_with("chk-") {
+                return Err(ServiceError::Storage(
+                    std::io::Error::new(
+                        std::io::ErrorKind::AlreadyExists,
+                        format!(
+                            "{} already holds durable state ({name}); use ViewService::recover",
+                            dir.display()
+                        ),
+                    )
+                    .into(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The database the service maintains the view of.
@@ -331,6 +720,27 @@ impl ViewService {
     /// The predicate → writer-lane partition.
     pub fn shard_map(&self) -> &ShardMap {
         &self.shards
+    }
+
+    /// Cumulative WAL I/O counters (`None` for an in-memory service).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durable.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Cumulative checkpoint counters (`None` for an in-memory
+    /// service).
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.durable.as_ref().map(|d| d.checkpointer.stats())
+    }
+
+    /// Hands the current composite snapshot to the background
+    /// checkpointer regardless of cadence. Returns `false` for an
+    /// in-memory service or when a checkpoint is already in flight.
+    pub fn request_checkpoint(&self) -> bool {
+        let Some(d) = &self.durable else { return false };
+        let snap = self.snapshot();
+        let tickets = *lock_clean(&self.tickets);
+        d.checkpointer.request(snap, tickets)
     }
 
     /// Installs (or clears) the fault-injection hook called with the
@@ -377,13 +787,19 @@ impl ViewService {
             Err(poisoned) => {
                 self.lanes[shard].clear_poison();
                 let mut g = poisoned.into_inner();
-                let snap = self.read_published().shards[shard].clone();
+                let (snap, global_epoch) = {
+                    let p = self.read_published();
+                    (p.shards[shard].clone(), p.epoch)
+                };
                 g.view = snap.view().clone();
                 g.epoch = snap.epoch();
-                lock_clean(&self.log).record_recovery(Recovery {
-                    shard,
-                    epoch: snap.epoch(),
-                });
+                lock_clean(&self.log).record_recovery(
+                    Recovery {
+                        shard,
+                        epoch: snap.epoch(),
+                    },
+                    global_epoch,
+                );
                 g
             }
         }
@@ -405,18 +821,32 @@ impl ViewService {
     /// Applies one batch as a transaction: split it by shard, lock the
     /// touched lanes in canonical order, maintain each lane's view with
     /// its own sub-database, then publish all touched shard snapshots
-    /// atomically (two-phase publish) and append to the log. Batches on
-    /// disjoint shards run concurrently; readers are never blocked.
+    /// atomically (two-phase publish) and append to the log — for a
+    /// durable service the WAL frame is written *before* the swap, and
+    /// the call then blocks (outside all locks) until the frame is
+    /// durable under the fsync policy. Batches on disjoint shards run
+    /// concurrently; readers are never blocked.
     ///
     /// On error every touched lane's writer view is restored from its
     /// published shard snapshot and nothing is published or logged —
-    /// the failed batch is simply rejected.
+    /// the failed batch is simply rejected. One exception: a
+    /// [`ServiceError::Storage`] from the *durability wait* (the
+    /// group-commit flusher hit an I/O error) reports a batch that is
+    /// already published in memory but whose persistence is unknown.
     pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
+        self.apply_inner(batch, None)
+    }
+
+    fn apply_inner(
+        &self,
+        batch: UpdateBatch,
+        replay: Option<ReplayCtx>,
+    ) -> Result<Applied, ServiceError> {
         // Route the batch. The common case — every request in one
         // shard (always true single-lane) — borrows the batch as-is;
         // only genuinely cross-shard batches pay the split's per-atom
         // clones.
-        let touched: std::collections::BTreeSet<ShardId> = batch
+        let touched: BTreeSet<ShardId> = batch
             .deletes
             .iter()
             .chain(&batch.inserts)
@@ -442,9 +872,16 @@ impl ViewService {
         // request, globally ordered, so shard-split insertion supports
         // match the single-lane (and log-replay) numbering. The RAII
         // reservation rolls the counter back if the batch errors or
-        // panics before publication.
-        let reservation = TicketReservation::reserve(&self.tickets, batch.inserts.len() as u64);
-        let ticket_base = reservation.base;
+        // panics before publication. Replay skips the counter and uses
+        // the recorded base instead.
+        let n_inserts = batch.inserts.len() as u64;
+        let (ticket_base, reservation) = match &replay {
+            Some(ctx) => (ctx.ticket_base, None),
+            None => {
+                let r = TicketReservation::reserve(&self.tickets, n_inserts);
+                (r.base, Some(r))
+            }
+        };
         // Lock the touched lanes in ascending shard order (parts are
         // sorted) — the canonical order that makes deadlock impossible.
         let mut guards: Vec<(ShardId, MutexGuard<'_, LaneState>)> = parts
@@ -515,37 +952,107 @@ impl ViewService {
                 Arc::new(ViewSnapshot::new(guard.epoch, guard.view.clone())),
             ));
         }
-        // Phase two: swap all touched shards and advance the global
-        // epoch inside one publication critical section — readers see
-        // the whole batch or none of it. The log record is appended in
-        // the same section so epochs append in order even when disjoint
-        // batches publish concurrently.
-        let epoch = {
+        // Phase two: append the log record (for a durable sink: write
+        // the WAL frame — write-ahead, so a failed append rejects the
+        // batch with nothing published), then swap all touched shards
+        // and advance the global epoch, all inside one publication
+        // critical section — readers see the whole batch or none of
+        // it, and WAL frames append in epoch order even when disjoint
+        // batches publish concurrently. Lock order: sink before
+        // publication, for every thread that holds both.
+        let mut checkpoint_snapshot: Option<Arc<ServiceSnapshot>> = None;
+        let (epoch, lsn) = {
+            let mut sink = lock_clean(&self.log);
             let mut p = self.write_published();
-            for (shard, snapshot) in frozen {
-                p.shards[shard] = snapshot;
+            let epoch = match &replay {
+                Some(ctx) => {
+                    debug_assert_eq!(
+                        p.epoch + 1,
+                        ctx.epoch,
+                        "WAL epochs are contiguous: every batch logs one"
+                    );
+                    ctx.epoch
+                }
+                None => p.epoch + 1,
+            };
+            // The view size after this publish: touched shards at
+            // their frozen size, the rest as published.
+            let mut total = 0usize;
+            let mut fi = 0;
+            for (s, snap) in p.shards.iter().enumerate() {
+                if fi < frozen.len() && frozen[fi].0 == s {
+                    total += frozen[fi].1.len();
+                    fi += 1;
+                } else {
+                    total += snap.len();
+                }
             }
-            p.epoch += 1;
-            // The swap is the point of no return: the published state
-            // now contains the batch's tickets, so they stay consumed.
-            reservation.commit();
-            p.composite = Arc::new(ServiceSnapshot::new(
-                p.epoch,
-                p.shards.clone(),
-                self.shards.clone(),
-            ));
-            stats.view_entries = p.shards.iter().map(|s| s.len()).sum();
+            stats.view_entries = total;
             publish.publish_latency = publish_start.elapsed();
-            lock_clean(&self.log).append(LogRecord {
-                epoch: p.epoch,
+            let record = LogRecord {
+                epoch,
                 batch,
                 stats,
                 latency,
                 publish,
                 shards_touched,
-            });
-            p.epoch
+            };
+            let lsn = match sink.append(record, ticket_base) {
+                Ok(lsn) => lsn,
+                Err(e) => {
+                    // The WAL rejected the frame: the batch must not
+                    // publish. Restore every touched lane (view *and*
+                    // epoch — phase one already bumped it).
+                    for (s, g) in guards.iter_mut() {
+                        g.view = p.shards[*s].view().clone();
+                        g.epoch = p.shards[*s].epoch();
+                    }
+                    return Err(ServiceError::Storage(e.into()));
+                }
+            };
+            for (shard, snapshot) in frozen {
+                p.shards[shard] = snapshot;
+            }
+            p.epoch = epoch;
+            // The swap is the point of no return: the published state
+            // now contains the batch's tickets, so they stay consumed.
+            if let Some(r) = reservation {
+                r.commit();
+            }
+            p.composite = Arc::new(ServiceSnapshot::new(
+                p.epoch,
+                p.shards.clone(),
+                self.shards.clone(),
+            ));
+            if replay.is_none() {
+                if let Some(d) = &self.durable {
+                    if d.checkpoint_every > 0 && epoch % d.checkpoint_every == 0 {
+                        checkpoint_snapshot = Some(p.composite.clone());
+                    }
+                }
+            }
+            (epoch, lsn)
         };
+        // Lanes release before the durability wait: maintenance on
+        // other batches (and the group-commit coalescing that serves
+        // them) overlaps this batch's fsync.
+        drop(guards);
+        if let Some(ctx) = &replay {
+            // Replay restores the ticket counter's high-water mark.
+            let mut t = lock_clean(&self.tickets);
+            *t = (*t).max(ctx.ticket_base + n_inserts);
+        }
+        if let Some(lsn) = lsn {
+            if let Some(d) = &self.durable {
+                d.wal.wait_durable(lsn).map_err(ServiceError::Storage)?;
+            }
+        }
+        if let Some(snap) = checkpoint_snapshot {
+            let tickets = *lock_clean(&self.tickets);
+            if let Some(d) = &self.durable {
+                d.checkpointer.request(snap, tickets);
+            }
+        }
         Ok(Applied {
             epoch,
             stats,
@@ -555,10 +1062,11 @@ impl ViewService {
         })
     }
 
-    /// Clones the update log (epoch-ordered records of every applied
-    /// batch, plus lane recoveries) for replay or inspection.
-    pub fn log(&self) -> UpdateLog {
-        lock_clean(&self.log).clone()
+    /// Borrows the update log (epoch-ordered records of every applied
+    /// batch, plus lane recoveries) for replay or inspection. The
+    /// guard holds the log lock — see [`LogRead`].
+    pub fn log(&self) -> LogRead<'_> {
+        LogRead(lock_clean(&self.log))
     }
 
     /// Convenience read: query the *current* snapshot with the
@@ -583,6 +1091,20 @@ impl ViewService {
         self.snapshot()
             .ask(pred, args, self.resolver.as_ref(), config)
     }
+}
+
+/// Prepared lanes for [`ViewService::assemble`], shared by fresh
+/// construction and recovery.
+struct AssembleParts {
+    db: ConstrainedDatabase,
+    resolver: SharedResolver,
+    op: Operator,
+    config: FixpointConfig,
+    shards: Arc<ShardMap>,
+    lane_views: Vec<MaterializedView>,
+    lane_epochs: Vec<Epoch>,
+    epoch: Epoch,
+    tickets: u64,
 }
 
 #[cfg(test)]
@@ -620,14 +1142,7 @@ mod tests {
     }
 
     fn service(mode: SupportMode) -> ViewService {
-        ViewService::build(
-            db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            mode,
-            FixpointConfig::default(),
-        )
-        .unwrap()
+        ViewService::builder().mode(mode).build(db()).unwrap()
     }
 
     #[test]
@@ -654,16 +1169,12 @@ mod tests {
 
     #[test]
     fn exhausted_build_budget_is_a_build_error() {
-        let svc = ViewService::build(
-            db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig {
+        let svc = ViewService::builder()
+            .fixpoint(FixpointConfig {
                 max_iterations: 0,
                 ..FixpointConfig::default()
-            },
-        );
+            })
+            .build(db());
         assert!(matches!(svc, Err(ServiceError::Build(_))));
     }
 
@@ -671,17 +1182,13 @@ mod tests {
     fn failed_batches_publish_nothing() {
         // max_entries = 3 admits the 2-entry base view; the two-insert
         // batch (2 adds + a propagated `a` entry) overflows it.
-        let svc = ViewService::build(
-            db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig {
+        let svc = ViewService::builder()
+            .fixpoint(FixpointConfig {
                 max_entries: 3,
                 ..FixpointConfig::default()
-            },
-        )
-        .expect("base view fits the budget");
+            })
+            .build(db())
+            .expect("base view fits the budget");
         let err = svc
             .apply(UpdateBatch::inserting(vec![point(30), point(40)]))
             .unwrap_err();
@@ -726,14 +1233,7 @@ mod tests {
                 )),
             ),
         ]);
-        let svc = ViewService::build(
-            db,
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .unwrap();
+        let svc = ViewService::builder().build(db).unwrap();
         assert_eq!(svc.shard_map().num_shards(), 2);
         let c_shard = svc.shard_map().shard_of("c");
         let applied = svc
@@ -787,14 +1287,7 @@ mod tests {
                 )),
             ),
         ]);
-        let svc = ViewService::build(
-            db,
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .unwrap();
+        let svc = ViewService::builder().build(db).unwrap();
         let del_c = ConstrainedAtom::new("c", vec![x()], Constraint::eq(x(), Term::int(105)));
         let applied = svc
             .apply(UpdateBatch::deleting(vec![point(3), del_c]))
@@ -820,5 +1313,23 @@ mod tests {
         let snap = svc.snapshot();
         assert_eq!(snap.epoch(), 1);
         assert_eq!(snap.shard_epoch(0), 0, "no lane was touched");
+    }
+
+    #[test]
+    fn builder_on_a_dirty_durable_dir_is_refused() {
+        let dir = std::env::temp_dir().join(format!("mmv-svc-dirty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("wal-000001.log"),
+            "#mmv-wal v1 seg=1 first_epoch=1\n",
+        )
+        .unwrap();
+        let err = ViewService::builder()
+            .durability(Durability::durable(&dir))
+            .build(db())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

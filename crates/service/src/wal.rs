@@ -1,0 +1,898 @@
+//! The durable write-ahead log: segmented append-only files of
+//! [`WalPayload`] frames, with group-commit fsync batching.
+//!
+//! # File format
+//!
+//! A WAL directory holds segments `wal-<seq>.log`. Each segment starts
+//! with a header line
+//!
+//! ```text
+//! #mmv-wal v1 seg=<seq> first_epoch=<e>
+//! ```
+//!
+//! (`first_epoch` is a lower bound on the global epoch of every record
+//! in the segment — informational: checkpoint pruning decides coverage
+//! by reading a segment's actual frames, see [`prune_segments`]).
+//! After the header come frames:
+//!
+//! ```text
+//! @<len> <crc32-hex>
+//! <payload — len bytes of textual WalPayload>
+//! ```
+//!
+//! The payload is the textual atom format of
+//! [`mmv_core::parser::render_wal_payload`]; the CRC-32 (IEEE) covers
+//! the payload bytes. Everything is line-oriented and human-readable —
+//! `cat` a segment to audit the update history.
+//!
+//! # Torn-tail contract
+//!
+//! A crash can tear the *last* frame of the *last* segment (a partial
+//! `write`). [`scan_dir`] therefore distinguishes:
+//!
+//! * **Bad frame in the final segment** (malformed header, short
+//!   payload, CRC mismatch): everything from the bad frame on is
+//!   dropped — silently recovered, reported via [`WalScan::torn_tail`],
+//!   and (in repair mode) truncated away so the next writer appends
+//!   after the last good frame.
+//! * **Bad frame in a non-final segment**: that is not a torn write —
+//!   later segments exist, so the frame was once complete. The scan
+//!   fails with an explicit [`StorageError::Corrupt`].
+//! * **CRC-valid but unparseable payload**: always
+//!   [`StorageError::Corrupt`], even at the tail — the bytes were
+//!   written intact, so the log itself is damaged or from a future
+//!   format.
+//!
+//! # Group commit
+//!
+//! Writers append under the publication lock (so frame order is epoch
+//! order) and then, *after* releasing their lanes, wait on a
+//! durability watermark. A single flusher thread batches every frame
+//! appended since the last fsync into one `fdatasync` — so `n`
+//! concurrent writers pay one disk flush, not `n`
+//! ([`FsyncPolicy::GroupCommit`]). [`FsyncPolicy::Always`] flushes
+//! inline on every append; [`FsyncPolicy::Never`] never flushes
+//! (contents still reach the OS page cache on every append, so a
+//! process kill loses nothing — only a machine crash can).
+//!
+//! Replay of the logged batches inherits the ticket-permutation caveat
+//! documented in [`crate::log`]: concurrently applied insert-carrying
+//! batches may permute external tickets relative to replay. The WAL
+//! records each batch's reserved ticket base so sequentially applied
+//! batches replay bit-identically.
+
+use mmv_core::parser::{parse_wal_payload, WalPayload};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// When the WAL flushes appended frames to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsyncPolicy {
+    /// `fdatasync` inline on every append: maximum durability, every
+    /// writer pays a disk flush.
+    Always,
+    /// Group commit: a flusher thread coalesces every frame appended
+    /// within the window (and while the previous flush was in flight)
+    /// into one `fdatasync`. `Duration::ZERO` flushes as fast as the
+    /// disk allows, with the flush latency itself as the natural
+    /// batching window.
+    GroupCommit(Duration),
+    /// Never fsync. Frames still reach the OS page cache on append, so
+    /// this survives a process kill — but not a machine crash.
+    Never,
+}
+
+/// Cumulative WAL I/O counters (see [`Wal::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Frames appended.
+    pub records: u64,
+    /// Bytes written (headers + frames).
+    pub bytes_written: u64,
+    /// Group-commit rounds (or inline flushes under `Always`): each
+    /// made one batch of appended frames durable.
+    pub fsync_batches: u64,
+    /// Individual `fdatasync` calls (≥ `fsync_batches`: a round spans
+    /// a rotation's old and new segment files).
+    pub fsyncs: u64,
+    /// Segment files created.
+    pub segments_created: u64,
+}
+
+/// A durable-storage failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// An I/O operation failed.
+    Io(io::Error),
+    /// A log segment or checkpoint is damaged beyond the torn-tail
+    /// contract (bad frame in a non-final segment, CRC-valid but
+    /// unparseable payload, checkpoint with a valid trailer but
+    /// inconsistent content).
+    Corrupt {
+        /// The damaged file.
+        file: PathBuf,
+        /// Byte offset of the damage (0 if not meaningful).
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o: {e}"),
+            StorageError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt {} at byte {offset}: {detail}", file.display()),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3), table-driven; the frame checksum.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            m.clear_poison();
+            p.into_inner()
+        }
+    }
+}
+
+/// State the appender and the flusher share.
+struct SyncShared {
+    /// LSN (frame count) of the last appended frame.
+    appended: u64,
+    /// LSN up to which frames are known durable.
+    durable: u64,
+    /// Rotated-out segment files with frames possibly not yet synced.
+    pending: Vec<Arc<File>>,
+    /// The current segment file.
+    current: Option<Arc<File>>,
+    /// Sticky flusher failure: once set, waits fail fast.
+    error: Option<String>,
+    shutdown: bool,
+    stats: WalStats,
+}
+
+struct WalShared {
+    sync: Mutex<SyncShared>,
+    appended_cv: Condvar,
+    durable_cv: Condvar,
+}
+
+/// The appender's exclusive state.
+struct Appender {
+    file: Option<Arc<File>>,
+    seg_len: u64,
+    next_seq: u64,
+    rotate: bool,
+}
+
+/// A handle onto one WAL directory, opened for appending.
+pub struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    inner: Mutex<Appender>,
+    shared: Arc<WalShared>,
+    /// Set when a rotation was requested (checkpoint completed) so the
+    /// next append opens a fresh segment.
+    rotate_requested: AtomicBool,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens `dir` for appending, creating it if missing. `start_seq`
+    /// is the sequence number of the next segment to create (recovery
+    /// passes one past the last scanned segment; a fresh service
+    /// passes 1). Segments are created lazily on first append, so the
+    /// `first_epoch` header is always exact.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+        start_seq: u64,
+    ) -> io::Result<Arc<Wal>> {
+        std::fs::create_dir_all(dir)?;
+        let shared = Arc::new(WalShared {
+            sync: Mutex::new(SyncShared {
+                appended: 0,
+                durable: 0,
+                pending: Vec::new(),
+                current: None,
+                error: None,
+                shutdown: false,
+                stats: WalStats::default(),
+            }),
+            appended_cv: Condvar::new(),
+            durable_cv: Condvar::new(),
+        });
+        let flusher = match policy {
+            FsyncPolicy::GroupCommit(window) => {
+                let shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("mmv-wal-flusher".into())
+                        .spawn(move || flusher_loop(&shared, window))
+                        .expect("spawn WAL flusher"),
+                )
+            }
+            FsyncPolicy::Always | FsyncPolicy::Never => None,
+        };
+        Ok(Arc::new(Wal {
+            dir: dir.to_path_buf(),
+            policy,
+            segment_bytes: segment_bytes.max(1),
+            inner: Mutex::new(Appender {
+                file: None,
+                seg_len: 0,
+                next_seq: start_seq.max(1),
+                rotate: false,
+            }),
+            shared,
+            rotate_requested: AtomicBool::new(false),
+            flusher: Mutex::new(flusher),
+        }))
+    }
+
+    /// The WAL's fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// A snapshot of the cumulative I/O counters.
+    pub fn stats(&self) -> WalStats {
+        lock_clean(&self.shared.sync).stats
+    }
+
+    /// Requests that the next append open a fresh segment — called
+    /// after a checkpoint completes, so later records land in a new
+    /// segment and the older ones become prunable by the *next*
+    /// checkpoint once every record they hold is covered.
+    pub fn request_rotation(&self) {
+        self.rotate_requested.store(true, Ordering::Release);
+    }
+
+    /// Appends one payload frame and returns its LSN. `epoch` is a
+    /// lower bound on the record's global epoch (the batch's epoch;
+    /// the current global epoch for recovery/checkpoint markers) and
+    /// only feeds the segment header when this append opens one.
+    ///
+    /// The write reaches the OS immediately; durability depends on the
+    /// policy — callers that need it call [`Wal::wait_durable`] with
+    /// the returned LSN *after* releasing their lane locks.
+    pub fn append(&self, epoch: u64, payload: &str) -> io::Result<u64> {
+        let mut a = lock_clean(&self.inner);
+        if self.rotate_requested.swap(false, Ordering::Acquire) {
+            a.rotate = true;
+        }
+        if a.file.is_none() || a.rotate || a.seg_len >= self.segment_bytes {
+            self.open_segment(&mut a, epoch)?;
+        }
+        let frame = format!(
+            "@{} {:08x}\n{}\n",
+            payload.len(),
+            crc32(payload.as_bytes()),
+            payload
+        );
+        let file = a.file.as_ref().expect("segment is open").clone();
+        (&*file).write_all(frame.as_bytes())?;
+        a.seg_len += frame.len() as u64;
+        let mut s = lock_clean(&self.shared.sync);
+        s.appended += 1;
+        let lsn = s.appended;
+        s.stats.records += 1;
+        s.stats.bytes_written += frame.len() as u64;
+        match self.policy {
+            FsyncPolicy::Never => s.durable = s.appended,
+            FsyncPolicy::Always => {
+                let pending: Vec<Arc<File>> = s.pending.drain(..).collect();
+                for f in &pending {
+                    f.sync_data()?;
+                    s.stats.fsyncs += 1;
+                }
+                file.sync_data()?;
+                s.stats.fsyncs += 1;
+                s.stats.fsync_batches += 1;
+                s.durable = s.appended;
+            }
+            FsyncPolicy::GroupCommit(_) => {
+                self.shared.appended_cv.notify_one();
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Blocks until the frame at `lsn` is durable under the policy
+    /// (immediate for `Never`, and for `Always` where the append
+    /// already flushed). Fails fast if the flusher hit an I/O error.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), StorageError> {
+        if matches!(self.policy, FsyncPolicy::Never) {
+            return Ok(());
+        }
+        let mut s = lock_clean(&self.shared.sync);
+        while s.durable < lsn && s.error.is_none() {
+            s = match self.shared.durable_cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        match &s.error {
+            Some(e) => Err(StorageError::Io(io::Error::other(e.clone()))),
+            None => Ok(()),
+        }
+    }
+
+    fn open_segment(&self, a: &mut Appender, epoch: u64) -> io::Result<()> {
+        let seq = a.next_seq;
+        let path = self.dir.join(format!("wal-{seq:06}.log"));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        let header = format!("#mmv-wal v1 seg={seq} first_epoch={epoch}\n");
+        (&file).write_all(header.as_bytes())?;
+        // Make the file's existence durable before any frame can be.
+        File::open(&self.dir)?.sync_all()?;
+        let file = Arc::new(file);
+        let old = a.file.replace(file.clone());
+        a.next_seq = seq + 1;
+        a.seg_len = header.len() as u64;
+        a.rotate = false;
+        let mut s = lock_clean(&self.shared.sync);
+        if let Some(old) = old {
+            // The rotated-out file may still hold unsynced frames; the
+            // next flush covers it before the watermark advances.
+            s.pending.push(old);
+        }
+        s.current = Some(file);
+        s.stats.segments_created += 1;
+        s.stats.bytes_written += header.len() as u64;
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        {
+            let mut s = lock_clean(&self.shared.sync);
+            s.shutdown = true;
+        }
+        self.shared.appended_cv.notify_all();
+        if let Some(h) = lock_clean(&self.flusher).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The group-commit loop: wait for appended frames, optionally let the
+/// window coalesce more, then one `fdatasync` covers them all.
+fn flusher_loop(shared: &WalShared, window: Duration) {
+    let mut s = lock_clean(&shared.sync);
+    loop {
+        while s.error.is_none() && !s.shutdown && s.appended == s.durable {
+            s = match shared.appended_cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if s.error.is_some() || (s.shutdown && s.appended == s.durable) {
+            return;
+        }
+        if !window.is_zero() {
+            drop(s);
+            std::thread::sleep(window);
+            s = lock_clean(&shared.sync);
+        }
+        let target = s.appended;
+        let mut files: Vec<Arc<File>> = s.pending.drain(..).collect();
+        if let Some(cur) = s.current.clone() {
+            files.push(cur);
+        }
+        drop(s);
+        let mut failed = None;
+        for f in &files {
+            if let Err(e) = f.sync_data() {
+                failed = Some(e.to_string());
+                break;
+            }
+        }
+        s = lock_clean(&shared.sync);
+        match failed {
+            None => {
+                s.durable = s.durable.max(target);
+                s.stats.fsync_batches += 1;
+                s.stats.fsyncs += files.len() as u64;
+            }
+            Some(e) => s.error = Some(e),
+        }
+        shared.durable_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading a WAL directory back.
+
+/// The result of scanning a WAL directory (see [`scan_dir`]).
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every decoded payload, in append order.
+    pub payloads: Vec<WalPayload>,
+    /// Segments visited.
+    pub segments: u64,
+    /// Whether the final segment ended in a torn frame (dropped, and
+    /// truncated away in repair mode).
+    pub torn_tail: bool,
+    /// One past the highest segment sequence seen (the `start_seq` a
+    /// recovering writer should reopen with).
+    pub next_seq: u64,
+}
+
+fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".log"))
+            .and_then(|d| d.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses one frame at `bytes[offset..]`. `Ok(None)` means clean end
+/// of segment; `Err(detail)` a bad frame at `offset`.
+fn parse_frame(bytes: &[u8], offset: usize) -> Result<Option<(String, usize)>, String> {
+    if offset == bytes.len() {
+        return Ok(None);
+    }
+    let rest = &bytes[offset..];
+    if rest[0] != b'@' {
+        return Err("expected '@' frame header".into());
+    }
+    let Some(nl) = rest.iter().take(80).position(|&b| b == b'\n') else {
+        return Err("unterminated frame header".into());
+    };
+    let header = std::str::from_utf8(&rest[1..nl]).map_err(|_| "non-UTF-8 frame header")?;
+    let (len, crc) = header
+        .split_once(' ')
+        .and_then(|(l, c)| Some((l.parse::<usize>().ok()?, u32::from_str_radix(c, 16).ok()?)))
+        .ok_or("malformed frame header")?;
+    let body_start = nl + 1;
+    let body_end = body_start
+        .checked_add(len)
+        .filter(|&e| e < rest.len())
+        .ok_or("frame shorter than its declared length")?;
+    if rest[body_end] != b'\n' {
+        return Err("missing frame terminator".into());
+    }
+    let payload = &rest[body_start..body_end];
+    if crc32(payload) != crc {
+        return Err(format!(
+            "CRC mismatch (stored {crc:08x}, computed {:08x})",
+            crc32(payload)
+        ));
+    }
+    // From here on the frame was written intact: failures are
+    // corruption, not a torn tail — the caller treats them as fatal
+    // via the second error slot.
+    let payload = std::str::from_utf8(payload).map_err(|_| "non-UTF-8 payload")?;
+    Ok(Some((payload.to_string(), offset + body_end + 1)))
+}
+
+/// Scans every segment of `dir` in order and decodes the payloads,
+/// applying the torn-tail contract (see the module docs). With
+/// `repair` set, a torn tail is also truncated off the final segment
+/// (and the truncation fsynced) so the next writer starts clean.
+pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
+    let files = segment_files(dir)?;
+    let mut scan = WalScan {
+        payloads: Vec::new(),
+        segments: files.len() as u64,
+        torn_tail: false,
+        next_seq: files.last().map_or(1, |(seq, _)| seq + 1),
+    };
+    let last = files.len().wrapping_sub(1);
+    for (i, (_seq, path)) in files.iter().enumerate() {
+        let bytes = std::fs::read(path)?;
+        let is_last = i == last;
+        let corrupt = |offset: usize, detail: String| StorageError::Corrupt {
+            file: path.clone(),
+            offset: offset as u64,
+            detail,
+        };
+        // The header line. A zero-length file is an empty segment
+        // (creation crashed before the header reached disk).
+        let mut offset = match bytes.iter().position(|&b| b == b'\n') {
+            _ if bytes.is_empty() => continue,
+            Some(nl) if bytes.starts_with(b"#mmv-wal v1 ") => nl + 1,
+            _ if is_last => {
+                // Torn header write: nothing recoverable here.
+                scan.torn_tail = true;
+                if repair {
+                    truncate_to(path, 0)?;
+                }
+                continue;
+            }
+            _ => return Err(corrupt(0, "bad segment header".into())),
+        };
+        loop {
+            match parse_frame(&bytes, offset) {
+                Ok(None) => break,
+                Ok(Some((payload, next))) => {
+                    let decoded = parse_wal_payload(&payload)
+                        .map_err(|e| corrupt(offset, format!("unparseable payload: {e}")))?;
+                    scan.payloads.push(decoded);
+                    offset = next;
+                }
+                Err(_) if is_last => {
+                    scan.torn_tail = true;
+                    if repair {
+                        truncate_to(path, offset as u64)?;
+                    }
+                    break;
+                }
+                Err(detail) => return Err(corrupt(offset, detail)),
+            }
+        }
+    }
+    Ok(scan)
+}
+
+fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()
+}
+
+/// Deletes segments made redundant by a checkpoint covering every
+/// epoch `<= chk_epoch`: a non-newest segment is prunable when *every*
+/// frame in it parses cleanly and carries an epoch `<= chk_epoch` —
+/// decided by reading the segment, never inferred from another
+/// segment's header. (The `first_epoch` header is only a lower bound:
+/// a checkpoint/recovery *marker* appended concurrently with batch
+/// writers can open a rotated segment with an epoch older than batch
+/// frames already sitting in the previous segment, so header-based
+/// coverage inference would delete un-checkpointed batches.) The
+/// newest segment is never deleted; a segment that fails to read or
+/// parse is conservatively kept. Returns how many were removed.
+pub fn prune_segments(dir: &Path, chk_epoch: u64) -> io::Result<u64> {
+    let files = segment_files(dir)?;
+    let mut deleted = 0;
+    for (_, path) in files.iter().rev().skip(1) {
+        if segment_covered_by(path, chk_epoch) {
+            std::fs::remove_file(path)?;
+            deleted += 1;
+        }
+    }
+    if deleted > 0 {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(deleted)
+}
+
+/// Whether every record in the segment at `path` is at an epoch the
+/// checkpoint covers (`<= chk_epoch`). Any read, frame, or payload
+/// failure answers `false` — pruning keeps what it cannot prove.
+fn segment_covered_by(path: &Path, chk_epoch: u64) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    if bytes.is_empty() {
+        // An empty segment (creation crashed pre-header) holds nothing.
+        return true;
+    }
+    if !bytes.starts_with(b"#mmv-wal v1 ") {
+        return false;
+    }
+    let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+        return false;
+    };
+    let mut offset = nl + 1;
+    loop {
+        match parse_frame(&bytes, offset) {
+            Ok(None) => return true,
+            Ok(Some((payload, next))) => {
+                match parse_wal_payload(&payload) {
+                    Ok(p) => {
+                        let epoch = match p {
+                            WalPayload::Batch { epoch, .. }
+                            | WalPayload::Recovery { epoch, .. }
+                            | WalPayload::Checkpoint { epoch } => epoch,
+                            _ => return false,
+                        };
+                        if epoch > chk_epoch {
+                            return false;
+                        }
+                    }
+                    Err(_) => return false,
+                }
+                offset = next;
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmv_core::batch::UpdateBatch;
+    use mmv_core::parser::render_wal_payload;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmv-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch_payload(epoch: u64) -> WalPayload {
+        WalPayload::Batch {
+            epoch,
+            ticket_base: epoch * 3,
+            batch: UpdateBatch::new(),
+        }
+    }
+
+    fn append_all(wal: &Wal, payloads: &[WalPayload]) {
+        for p in payloads {
+            let epoch = match p {
+                WalPayload::Batch { epoch, .. }
+                | WalPayload::Recovery { epoch, .. }
+                | WalPayload::Checkpoint { epoch } => *epoch,
+                _ => 0,
+            };
+            let lsn = wal.append(epoch, &render_wal_payload(p)).unwrap();
+            wal.wait_durable(lsn).unwrap();
+        }
+    }
+
+    #[test]
+    fn appended_frames_scan_back_in_order() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::GroupCommit(Duration::ZERO),
+            FsyncPolicy::Never,
+        ] {
+            let dir = tmpdir(&format!("roundtrip-{policy:?}").replace(['(', ')', ' ', '.'], ""));
+            let payloads: Vec<WalPayload> = (1..=5).map(batch_payload).collect();
+            {
+                let wal = Wal::open(&dir, policy, 1 << 20, 1).unwrap();
+                append_all(&wal, &payloads);
+                let stats = wal.stats();
+                assert_eq!(stats.records, 5);
+                assert_eq!(stats.segments_created, 1);
+                if policy != FsyncPolicy::Never {
+                    assert!(stats.fsync_batches >= 1, "{stats:?}");
+                }
+            }
+            let scan = scan_dir(&dir, false).unwrap();
+            assert_eq!(scan.payloads, payloads);
+            assert!(!scan.torn_tail);
+            assert_eq!(scan.next_seq, 2);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn segments_rotate_by_size_and_on_request() {
+        let dir = tmpdir("rotate");
+        let payloads: Vec<WalPayload> = (1..=4).map(batch_payload).collect();
+        {
+            // Tiny cap: every frame exceeds it, so each lands in its
+            // own segment.
+            let wal = Wal::open(&dir, FsyncPolicy::Never, 8, 1).unwrap();
+            append_all(&wal, &payloads[..3]);
+            wal.request_rotation();
+            append_all(&wal, &payloads[3..]);
+            assert_eq!(wal.stats().segments_created, 4);
+        }
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads, payloads);
+        assert_eq!(scan.segments, 4);
+        // A checkpoint covering epoch 3 can prune the first three
+        // segments (every record in them is at an epoch <= 3); the
+        // newest segment survives regardless.
+        let deleted = prune_segments(&dir, 3).unwrap();
+        assert_eq!(deleted, 3);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads, payloads[3..]);
+        assert_eq!(scan.next_seq, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_batches_past_the_checkpoint() {
+        // The checkpoint-marker race: a marker carrying the checkpoint
+        // epoch opens a rotated segment *after* batch frames for later
+        // epochs already landed in the previous one. Pruning must keep
+        // that previous segment — its epoch-3 batch is not covered by
+        // the epoch-2 checkpoint, whatever any header claims.
+        let dir = tmpdir("prune-race");
+        let wal = Wal::open(&dir, FsyncPolicy::Never, 1 << 20, 1).unwrap();
+        append_all(
+            &wal,
+            &[batch_payload(1), batch_payload(2), batch_payload(3)],
+        );
+        wal.request_rotation();
+        // Stale lower-bound marker (epoch 2) opens segment 2.
+        wal.append(2, &render_wal_payload(&WalPayload::Checkpoint { epoch: 2 }))
+            .unwrap();
+        assert_eq!(prune_segments(&dir, 2).unwrap(), 0);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads.len(), 4, "nothing was deleted");
+        // Once a checkpoint actually covers epoch 3, segment 1 goes.
+        assert_eq!(prune_segments(&dir, 3).unwrap(), 1);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads.len(), 1, "only the marker remains");
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_but_middle_corruption_is_fatal() {
+        let dir = tmpdir("torn");
+        let payloads: Vec<WalPayload> = (1..=3).map(batch_payload).collect();
+        {
+            let wal = Wal::open(&dir, FsyncPolicy::Never, 1 << 20, 1).unwrap();
+            append_all(&wal, &payloads);
+        }
+        let path = dir.join("wal-000001.log");
+        let clean = std::fs::read(&path).unwrap();
+        // Torn tail: append half a frame.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(b"@57 deadbeef\nbatch epo");
+        std::fs::write(&path, &torn).unwrap();
+        let scan = scan_dir(&dir, true).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.payloads, payloads);
+        // Repair truncated the tail: a second scan is clean.
+        let scan = scan_dir(&dir, false).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(std::fs::read(&path).unwrap(), clean);
+
+        // Flip a payload byte mid-file: CRC failure in the (single,
+        // hence final) segment → torn tail there too; but with a
+        // *later* segment present it is corruption.
+        let mut flipped = clean.clone();
+        let pos = clean.len() / 2;
+        flipped[pos] ^= 0x20;
+        std::fs::write(&path, &flipped).unwrap();
+        std::fs::write(
+            dir.join("wal-000002.log"),
+            "#mmv-wal v1 seg=2 first_epoch=4\n",
+        )
+        .unwrap();
+        let err = scan_dir(&dir, false).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_valid_garbage_is_corrupt_even_at_the_tail() {
+        let dir = tmpdir("garbage");
+        {
+            let wal = Wal::open(&dir, FsyncPolicy::Never, 1 << 20, 1).unwrap();
+            append_all(&wal, &[batch_payload(1)]);
+        }
+        let path = dir.join("wal-000001.log");
+        let payload = "mystery kind=7\n";
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(
+            format!(
+                "@{} {:08x}\n{payload}\n",
+                payload.len(),
+                crc32(payload.as_bytes())
+            )
+            .as_bytes(),
+        );
+        std::fs::write(&path, &bytes).unwrap();
+        let err = scan_dir(&dir, true).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_across_writers() {
+        let dir = tmpdir("group");
+        let wal = Wal::open(&dir, FsyncPolicy::GroupCommit(Duration::ZERO), 1 << 20, 1).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let epoch = t * 50 + i + 1;
+                        let lsn = wal
+                            .append(epoch, &render_wal_payload(&batch_payload(epoch)))
+                            .unwrap();
+                        wal.wait_durable(lsn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.records, 200);
+        assert!(
+            stats.fsync_batches < 200,
+            "group commit must coalesce: {stats:?}"
+        );
+        drop(wal);
+        assert_eq!(scan_dir(&dir, false).unwrap().payloads.len(), 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -71,9 +71,8 @@ impl ServiceWorker {
 mod tests {
     use super::*;
     use mmv_constraints::solver::SolverConfig;
-    use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Value, Var};
-    use mmv_core::tp::{FixpointConfig, Operator};
-    use mmv_core::{BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase, SupportMode};
+    use mmv_constraints::{CmpOp, Constraint, Term, Value, Var};
+    use mmv_core::{BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase};
 
     fn x() -> Term {
         Term::var(Var(0))
@@ -98,16 +97,7 @@ mod tests {
                 vec![BodyAtom::new("b", vec![x()])],
             ),
         ]);
-        let svc = Arc::new(
-            ViewService::build(
-                db,
-                Arc::new(NoDomains),
-                Operator::Tp,
-                SupportMode::WithSupports,
-                FixpointConfig::default(),
-            )
-            .unwrap(),
-        );
+        let svc = Arc::new(ViewService::builder().build(db).unwrap());
         let point =
             |v: i64| ConstrainedAtom::new("b", vec![x()], Constraint::eq(x(), Term::int(v)));
         let (tx, worker) = ServiceWorker::spawn(svc.clone());

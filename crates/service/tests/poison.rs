@@ -47,14 +47,10 @@ fn point(pred: &str, v: i64) -> ConstrainedAtom {
 
 fn poisoned_lanes_recover(mode: SupportMode) {
     let svc = Arc::new(
-        ViewService::build(
-            two_chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            mode,
-            FixpointConfig::default(),
-        )
-        .expect("service builds"),
+        ViewService::builder()
+            .mode(mode)
+            .build(two_chain_db())
+            .expect("service builds"),
     );
     assert_eq!(svc.shard_map().num_shards(), 2);
     let cfg = SolverConfig::default();
@@ -110,24 +106,24 @@ fn poisoned_lanes_recover(mode: SupportMode) {
     // The recoveries were logged, one per poisoned lane, each rebuilt
     // to its lane's last published *shard* epoch (b0's lane saw the
     // healthy batch, b1's lane never advanced).
-    let log = svc.log();
-    assert_eq!(log.recoveries().len(), 2);
-    let b0_shard = svc.shard_map().shard_of("b0");
-    for r in log.recoveries() {
-        let expected = if r.shard == b0_shard { 1 } else { 0 };
-        assert_eq!(r.epoch, expected, "lane {} published epoch", r.shard);
+    {
+        // `log()` borrows the live log (guard-scoped: drop it before
+        // the next `apply`/`log` call).
+        let log = svc.log();
+        assert_eq!(log.recoveries().len(), 2);
+        let b0_shard = svc.shard_map().shard_of("b0");
+        for r in log.recoveries() {
+            let expected = if r.shard == b0_shard { 1 } else { 0 };
+            assert_eq!(r.epoch, expected, "lane {} published epoch", r.shard);
+        }
     }
 
     // Exactly the panicked batch is lost: the served state equals a
     // service that applied only the successful batches...
-    let clean = ViewService::build(
-        two_chain_db(),
-        Arc::new(NoDomains),
-        Operator::Tp,
-        mode,
-        FixpointConfig::default(),
-    )
-    .expect("clean service builds");
+    let clean = ViewService::builder()
+        .mode(mode)
+        .build(two_chain_db())
+        .expect("clean service builds");
     for batch in [
         UpdateBatch::deleting(vec![point("b0", 0)]),
         UpdateBatch::deleting(vec![point("b0", 2)]),
@@ -163,14 +159,9 @@ fn unpoisoned_lanes_keep_serving_while_another_lane_is_poisoned() {
     // Poison only lane 0 (single-shard batch) and leave it unrecovered;
     // lane 1 must keep applying batches as if nothing happened.
     let svc = Arc::new(
-        ViewService::build(
-            two_chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .expect("service builds"),
+        ViewService::builder()
+            .build(two_chain_db())
+            .expect("service builds"),
     );
     let b0_shard = svc.shard_map().shard_of("b0");
     svc.set_fault_hook(Some(Box::new(move |shard| {
@@ -210,14 +201,9 @@ fn panicking_insert_batch_does_not_burn_tickets() {
     // from what replaying the log (which never saw the panicked batch)
     // would produce, silently breaking the recovery story.
     let svc = Arc::new(
-        ViewService::build(
-            two_chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .expect("service builds"),
+        ViewService::builder()
+            .build(two_chain_db())
+            .expect("service builds"),
     );
     let interval = |pred: &str, lo: i64| {
         ConstrainedAtom::new(
@@ -268,14 +254,9 @@ fn worker_killed_by_panicking_batch_reports_instead_of_repanicking() {
     // reports WorkerGone rather than panicking the supervisor — and
     // the service itself recovers the lane on its next use.
     let svc = Arc::new(
-        ViewService::build(
-            two_chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .expect("service builds"),
+        ViewService::builder()
+            .build(two_chain_db())
+            .expect("service builds"),
     );
     svc.set_fault_hook(Some(Box::new(|_| panic!("injected worker-batch panic"))));
     let (tx, worker) = mmv_service::ServiceWorker::spawn(svc.clone());
@@ -295,17 +276,13 @@ fn worker_surfaces_batch_errors_not_poison() {
     // clean error — unrelated to the poison path, but pins that the
     // error path still rolls back and rejects.
     let svc = Arc::new(
-        ViewService::build(
-            two_chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig {
+        ViewService::builder()
+            .fixpoint(FixpointConfig {
                 max_entries: 5,
                 ..FixpointConfig::default()
-            },
-        )
-        .expect("4-entry base view fits"),
+            })
+            .build(two_chain_db())
+            .expect("4-entry base view fits"),
     );
     let big = UpdateBatch::inserting(vec![
         ConstrainedAtom::new(

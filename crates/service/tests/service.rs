@@ -10,7 +10,7 @@
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Value, Var};
 use mmv_core::batch::UpdateBatch;
-use mmv_core::tp::{FixpointConfig, Operator};
+use mmv_core::tp::Operator;
 use mmv_core::{BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase, SupportMode};
 use mmv_service::{ServiceWorker, ViewService};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,14 +64,10 @@ fn interval(lo: i64, hi: i64) -> ConstrainedAtom {
 
 fn service(mode: SupportMode) -> Arc<ViewService> {
     Arc::new(
-        ViewService::build(
-            chain_db(),
-            Arc::new(NoDomains),
-            Operator::Tp,
-            mode,
-            FixpointConfig::default(),
-        )
-        .expect("base view builds"),
+        ViewService::builder()
+            .mode(mode)
+            .build(chain_db())
+            .expect("base view builds"),
     )
 }
 

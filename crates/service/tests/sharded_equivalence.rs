@@ -108,14 +108,18 @@ proptest! {
         let cfg = FixpointConfig::default();
         let scfg = SolverConfig::default();
         for mode in [SupportMode::Plain, SupportMode::WithSupports] {
-            let sharded = ViewService::build(
-                db.clone(), Arc::new(NoDomains), Operator::Tp, mode, cfg.clone(),
-            ).expect("sharded service builds");
+            let sharded = ViewService::builder()
+                .mode(mode)
+                .fixpoint(cfg.clone())
+                .build(db.clone())
+                .expect("sharded service builds");
             prop_assert_eq!(sharded.shard_map().num_shards(), COMPONENTS);
-            let single = ViewService::build_with_shards(
-                db.clone(), Arc::new(NoDomains), Operator::Tp, mode, cfg.clone(),
-                ShardSpec::single_lane(),
-            ).expect("single-lane service builds");
+            let single = ViewService::builder()
+                .mode(mode)
+                .fixpoint(cfg.clone())
+                .shards(ShardSpec::single_lane())
+                .build(db.clone())
+                .expect("single-lane service builds");
             prop_assert!(single.shard_map().is_single());
 
             // The declarative oracle for the first batch, taken from
@@ -180,16 +184,7 @@ proptest! {
 #[test]
 fn concurrent_readers_observe_monotone_untorn_epochs() {
     let db = multi_chain_db();
-    let svc = Arc::new(
-        ViewService::build(
-            db,
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .expect("service builds"),
-    );
+    let svc = Arc::new(ViewService::builder().build(db).expect("service builds"));
     let stop = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..3)
         .map(|_| {

@@ -11,7 +11,7 @@
 use mmv::constraints::{NoDomains, SolverConfig, Value};
 use mmv::core::batch::UpdateBatch;
 use mmv::core::parser::{parse_atom, parse_program};
-use mmv::core::tp::{FixpointConfig, Operator};
+use mmv::core::tp::Operator;
 use mmv::core::view::SupportMode;
 use mmv::service::{ServiceWorker, ViewService};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,14 +30,9 @@ fn main() {
     ";
     let parsed = parse_program(program).expect("program parses");
     let service = Arc::new(
-        ViewService::build(
-            parsed.db,
-            Arc::new(NoDomains),
-            Operator::Tp,
-            SupportMode::WithSupports,
-            FixpointConfig::default(),
-        )
-        .expect("initial view builds"),
+        ViewService::builder()
+            .build(parsed.db)
+            .expect("initial view builds"),
     );
     let cfg = SolverConfig::default();
     println!(
