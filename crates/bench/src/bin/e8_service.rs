@@ -53,7 +53,10 @@ use mmv_constraints::{Constraint, NoDomains, Term, Value, Var};
 use mmv_core::batch::UpdateBatch;
 use mmv_core::tp::{fixpoint, FixpointConfig, Operator};
 use mmv_core::{ConstrainedAtom, ShardSpec, SupportMode};
-use mmv_service::{Durability, FsyncPolicy, ServiceWorker, ViewService};
+use mmv_service::{
+    Durability, Fault, FaultPlan, FaultVfs, FsyncPolicy, OpSel, ServiceError, ServiceHealth,
+    ServiceWorker, StdVfs, StorageOp, Vfs, ViewService,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -631,6 +634,167 @@ fn main() {
     );
     drop(recovered);
     let _ = std::fs::remove_dir_all(&dur_dir_base);
+
+    // ---- Part 6: fault injection — Vfs gate overhead, degraded reads -----
+    // (a) Every storage op now routes through an `Arc<dyn Vfs>`; the
+    // sweep above already pays that (StdVfs). Here the same group-commit
+    // workload additionally runs through a FaultVfs with an empty fault
+    // plan — the full injection gate (op counting + plan lookup) on
+    // every op — to price the instrumentation itself.
+    println!();
+    let fi_dir_base = std::env::temp_dir().join(format!("mmv-e8-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fi_dir_base);
+    let measure_vfs = |stub: &str, vfs: Option<Arc<dyn Vfs>>| -> f64 {
+        let mut rates = Vec::with_capacity(DUR_ROUNDS);
+        for round in 0..DUR_ROUNDS {
+            let dir = fi_dir_base.join(format!("{stub}-{round}"));
+            let mut d = Durability::durable(&dir).checkpoint_every(0);
+            if let Some(v) = &vfs {
+                d = d.vfs(v.clone());
+            }
+            let service = Arc::new(
+                dur_builder()
+                    .durability(d)
+                    .build(sweep_db.clone())
+                    .expect("fault-vfs service builds"),
+            );
+            let wall = run_writers(&service);
+            assert_eq!(service.epoch(), sweep_batches.len() as u64);
+            rates.push(sweep_batches.len() as f64 / wall.as_secs_f64());
+        }
+        rates.sort_by(|a, b| a.total_cmp(b));
+        rates[rates.len() / 2]
+    };
+    let std_rate = measure_vfs("std", None);
+    let fault_vfs = FaultVfs::new(Arc::new(StdVfs), FaultPlan::none());
+    let gated_rate = measure_vfs("gated", Some(Arc::new(fault_vfs.clone())));
+    println!(
+        "vfs gate: group-commit sweep {std_rate:.0} batches/sec via StdVfs, \
+         {gated_rate:.0} via FaultVfs (no faults) — {:.2}x, {} ops gated",
+        gated_rate / std_rate,
+        fault_vfs.stats().ops,
+    );
+    report.push(
+        JsonRow::new()
+            .str("section", "vfs_overhead")
+            .int("batches", sweep_batches.len() as i64)
+            .int("rounds", DUR_ROUNDS as i64)
+            .float("stdvfs_batches_per_sec", std_rate)
+            .float("faultvfs_batches_per_sec", gated_rate)
+            .float("faultvfs_vs_stdvfs", gated_rate / std_rate)
+            .int("ops_gated", fault_vfs.stats().ops as i64),
+    );
+
+    // (b) Degraded serving: a persistent append fault flips the service
+    // read-only; readers keep hitting the last published composite
+    // snapshot while writers are rejected without touching storage.
+    let deg_dir = fi_dir_base.join("degraded");
+    let acked_target = 4u64;
+    // Append 0 is the segment header; data appends start at 1, so
+    // append `acked_target + 1` is the first rejected batch's frame.
+    let deg_vfs = FaultVfs::new(
+        Arc::new(StdVfs),
+        FaultPlan::none().script(
+            OpSel::NthOfKind(StorageOp::Append, acked_target + 1),
+            Fault::Enospc,
+        ),
+    );
+    let service = Arc::new(
+        dur_builder()
+            .durability(
+                Durability::durable(&deg_dir)
+                    .fsync(FsyncPolicy::Always)
+                    .checkpoint_every(0)
+                    .vfs(Arc::new(deg_vfs.clone()))
+                    .probe_interval(Duration::from_millis(5)),
+            )
+            .build(sweep_db.clone())
+            .expect("degraded service builds"),
+    );
+    let mut batches = sweep_batches.iter().cloned();
+    for _ in 0..acked_target {
+        service
+            .apply(batches.next().expect("enough sweep batches"))
+            .expect("pre-fault batch applies");
+    }
+    let tripped = batches.next().expect("enough sweep batches");
+    service
+        .apply(tripped.clone())
+        .expect_err("the faulted append rejects the batch");
+    assert_eq!(service.health(), ServiceHealth::ReadOnly);
+    assert_eq!(service.epoch(), acked_target);
+
+    let window = Duration::from_millis(if quick { 100 } else { 300 });
+    let (reads, rejects) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let service = service.clone();
+                let top = pred_name(sweep_spec.layers, r % sweep_spec.preds_per_layer);
+                let space = sweep_spec.value_space + sweep_spec.interval_width;
+                s.spawn(move || {
+                    let cfg = SolverConfig::default();
+                    let mut reads = 0u64;
+                    let end = Instant::now() + window;
+                    while Instant::now() < end {
+                        let snap = service.snapshot();
+                        assert_eq!(snap.epoch(), acked_target, "read-only view is frozen");
+                        let p = Value::int((reads as i64 * 37 + r as i64 * 11) % space);
+                        snap.ask(&top, &[p], &NoDomains, &cfg)
+                            .expect("degraded read");
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        let rejecter = {
+            let service = service.clone();
+            let batch = tripped.clone();
+            s.spawn(move || {
+                let mut rejects = 0u64;
+                let end = Instant::now() + window;
+                while Instant::now() < end {
+                    match service.apply(batch.clone()) {
+                        Err(ServiceError::ReadOnly) => rejects += 1,
+                        other => panic!("read-only service accepted a write: {other:?}"),
+                    }
+                }
+                rejects
+            })
+        };
+        let reads: u64 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+        (reads, rejecter.join().expect("rejecter"))
+    });
+    let degraded_reads_per_sec = reads as f64 / window.as_secs_f64();
+    let writes_rejected_per_sec = rejects as f64 / window.as_secs_f64();
+
+    // Heal the disk; the probe restores write service.
+    deg_vfs.heal();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.health() != ServiceHealth::Healthy {
+        assert!(Instant::now() < deadline, "probe never healed the service");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let heal_start = Instant::now();
+    service.apply(tripped).expect("post-heal batch commits");
+    let post_heal_apply = heal_start.elapsed();
+    println!(
+        "degraded serving: {degraded_reads_per_sec:.0} reads/sec against the \
+         frozen epoch-{acked_target} snapshot, {writes_rejected_per_sec:.0} \
+         writes/sec rejected without storage I/O; post-heal apply {}",
+        fmt_duration(post_heal_apply),
+    );
+    report.push(
+        JsonRow::new()
+            .str("section", "degraded")
+            .int("acked_epochs", acked_target as i64)
+            .secs("window_s", window)
+            .float("degraded_reads_per_sec", degraded_reads_per_sec)
+            .float("writes_rejected_per_sec", writes_rejected_per_sec)
+            .secs("post_heal_apply_s", post_heal_apply),
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&fi_dir_base);
 
     report.write_if(&json);
     println!();

@@ -778,6 +778,13 @@ pub enum WalPayload {
         /// The last epoch the checkpoint covers.
         epoch: u64,
     },
+    /// A storage-health marker: the service's background probe wrote
+    /// (and fsynced) this frame to prove the log accepts appends again,
+    /// journaling the read-only → healthy transition.
+    Health {
+        /// The global epoch at which storage was confirmed healthy.
+        epoch: u64,
+    },
 }
 
 /// Renders a [`WalPayload`] in the textual WAL format: a `key=value`
@@ -793,6 +800,7 @@ pub fn render_wal_payload(payload: &WalPayload) -> String {
         } => render_wal_batch(*epoch, *ticket_base, batch),
         WalPayload::Recovery { shard, epoch } => format!("recovery shard={shard} epoch={epoch}\n"),
         WalPayload::Checkpoint { epoch } => format!("checkpoint epoch={epoch}\n"),
+        WalPayload::Health { epoch } => format!("health epoch={epoch}\n"),
     }
 }
 
@@ -902,6 +910,10 @@ pub fn parse_wal_payload(src: &str) -> Result<WalPayload, ParseError> {
         "checkpoint" => {
             let epoch = wal_field(&mut fields, "epoch", header_line)?;
             WalPayload::Checkpoint { epoch }
+        }
+        "health" => {
+            let epoch = wal_field(&mut fields, "epoch", header_line)?;
+            WalPayload::Health { epoch }
         }
         other => {
             return Err(err(
@@ -1211,6 +1223,7 @@ mod tests {
             },
             WalPayload::Recovery { shard: 1, epoch: 7 },
             WalPayload::Checkpoint { epoch: 16 },
+            WalPayload::Health { epoch: 17 },
         ] {
             let text = render_wal_payload(&payload);
             assert_eq!(parse_wal_payload(&text).unwrap(), payload, "{text}");

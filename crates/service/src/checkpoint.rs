@@ -38,20 +38,34 @@
 //! rotate, and segments fully covered by `e` (see
 //! [`crate::wal::prune_segments`]) plus checkpoints older than the
 //! previous one are deleted.
+//!
+//! # Failure handling
+//!
+//! All checkpoint IO goes through a [`Vfs`] and is retried under the
+//! service's [`RetryPolicy`] while the failure is transient
+//! ([`StorageError::is_transient`]) — the write-to-temp protocol makes
+//! a whole-write retry idempotent. A failure that survives retries
+//! **never kills the thread**: it counts into
+//! [`CheckpointStats::failed`], degrades the service health
+//! ([`crate::ServiceHealth::Degraded`] — batches still commit, but
+//! recovery will replay a longer WAL tail), and the failed snapshot is
+//! held and re-attempted on a timer until either it succeeds or a
+//! newer snapshot supersedes it. The first subsequent success restores
+//! the checkpoint path to healthy.
 
+use crate::health::{Health, RetryPolicy};
 use crate::snapshot::ServiceSnapshot;
-use crate::wal::{crc32, prune_segments, StorageError, Wal};
+use crate::vfs::{StdVfs, StorageOp, Vfs};
+use crate::wal::{crc32, prune_segments_with, StorageError, Wal};
 use mmv_core::parser::{parse_entry, render_entry, render_wal_payload, ParsedEntry, WalPayload};
 use mmv_core::tp::Operator;
 use mmv_core::SupportMode;
 use std::fmt::Write as _;
-use std::fs::File;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cumulative checkpointer counters (see [`Checkpointer::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -98,44 +112,52 @@ impl std::fmt::Debug for Checkpointer {
 }
 
 impl Checkpointer {
+    /// `Checkpointer::spawn_with` through the production [`StdVfs`],
+    /// a default retry policy, a detached health cell, and a 250 ms
+    /// re-attempt timer.
+    pub fn spawn(dir: PathBuf, op: Operator, wal: Arc<Wal>) -> Checkpointer {
+        Checkpointer::spawn_with(
+            Arc::new(StdVfs),
+            dir,
+            op,
+            wal,
+            RetryPolicy::default(),
+            Arc::new(Health::default()),
+            Duration::from_millis(250),
+        )
+    }
+
     /// Spawns the checkpoint thread for `dir`. `wal` is asked to
     /// rotate after each durable checkpoint, and pruning runs against
-    /// the same directory.
-    pub fn spawn(dir: PathBuf, op: Operator, wal: Arc<Wal>) -> Checkpointer {
+    /// the same directory. Transient IO failures retry under `retry`;
+    /// persistent ones degrade `health` and re-attempt every
+    /// `retry_interval` without ever killing the thread.
+    pub(crate) fn spawn_with(
+        vfs: Arc<dyn Vfs>,
+        dir: PathBuf,
+        op: Operator,
+        wal: Arc<Wal>,
+        retry: RetryPolicy,
+        health: Arc<Health>,
+        retry_interval: Duration,
+    ) -> Checkpointer {
         let stats = Arc::new(Mutex::new(CheckpointStats::default()));
         let thread_stats = stats.clone();
         let (tx, rx) = sync_channel::<Job>(1);
         let handle = std::thread::Builder::new()
             .name("mmv-checkpointer".into())
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    let start = Instant::now();
-                    let epoch = job.snapshot.epoch();
-                    let entries = job.snapshot.len() as u64;
-                    match write_checkpoint(&dir, &job.snapshot, job.tickets, op) {
-                        Ok(_) => {
-                            // Rotation first, so records appended from
-                            // here on land in a segment the *next*
-                            // checkpoint can prune everything before.
-                            wal.request_rotation();
-                            let _ = wal.append(
-                                epoch,
-                                &render_wal_payload(&WalPayload::Checkpoint { epoch }),
-                            );
-                            let pruned = prune_segments(&dir, epoch).unwrap_or(0);
-                            let _ = prune_checkpoints(&dir, epoch);
-                            let micros = start.elapsed().as_micros() as u64;
-                            let mut s = lock(&thread_stats);
-                            s.checkpoints += 1;
-                            s.last_epoch = epoch;
-                            s.last_micros = micros;
-                            s.total_micros += micros;
-                            s.last_entries = entries;
-                            s.segments_pruned += pruned;
-                        }
-                        Err(_) => lock(&thread_stats).failed += 1,
-                    }
-                }
+                checkpoint_loop(
+                    &rx,
+                    &*vfs,
+                    &dir,
+                    op,
+                    &wal,
+                    retry,
+                    &health,
+                    retry_interval,
+                    &thread_stats,
+                );
             })
             .expect("spawn checkpointer");
         Checkpointer {
@@ -192,6 +214,86 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// The checkpoint thread body: receive a frozen snapshot, write it
+/// (whole-write retry on transient faults), and on a persistent
+/// failure hold the job — degraded, re-attempting on a timer, replaced
+/// whenever a newer snapshot arrives — instead of dying.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_loop(
+    rx: &Receiver<Job>,
+    vfs: &dyn Vfs,
+    dir: &Path,
+    op: Operator,
+    wal: &Wal,
+    retry: RetryPolicy,
+    health: &Health,
+    retry_interval: Duration,
+    stats: &Mutex<CheckpointStats>,
+) {
+    let mut held: Option<Job> = None;
+    let mut disconnected = false;
+    loop {
+        let job = match held.take() {
+            Some(j) => j,
+            None if disconnected => return,
+            None => match rx.recv() {
+                Ok(j) => j,
+                Err(_) => return,
+            },
+        };
+        let start = Instant::now();
+        let epoch = job.snapshot.epoch();
+        let entries = job.snapshot.len() as u64;
+        let attempt = retry.run(
+            || write_checkpoint_with(vfs, dir, &job.snapshot, job.tickets, op),
+            StorageError::is_transient,
+        );
+        match attempt {
+            Ok(_) => {
+                health.checkpoint_ok();
+                // Rotation first, so records appended from here on
+                // land in a segment the *next* checkpoint can prune
+                // everything before.
+                wal.request_rotation();
+                let _ = wal.append(
+                    epoch,
+                    &render_wal_payload(&WalPayload::Checkpoint { epoch }),
+                );
+                let pruned = prune_segments_with(vfs, dir, epoch).unwrap_or(0);
+                let _ = prune_checkpoints_with(vfs, dir, epoch);
+                let micros = start.elapsed().as_micros() as u64;
+                let mut s = lock(stats);
+                s.checkpoints += 1;
+                s.last_epoch = epoch;
+                s.last_micros = micros;
+                s.total_micros += micros;
+                s.last_entries = entries;
+                s.segments_pruned += pruned;
+            }
+            Err(e) => {
+                lock(stats).failed += 1;
+                health.checkpoint_failed(&format!("checkpoint at epoch {epoch}: {e}"));
+                if disconnected {
+                    // Shutdown already requested: this was the final
+                    // attempt.
+                    return;
+                }
+                // Hold the snapshot and re-attempt on a timer; a newer
+                // one supersedes it (checkpoints are cumulative — only
+                // the newest matters).
+                held = Some(match rx.recv_timeout(retry_interval) {
+                    Ok(newer) => newer,
+                    Err(RecvTimeoutError::Timeout) => job,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        job
+                    }
+                });
+            }
+        }
+    }
+}
+
 fn mode_name(mode: SupportMode) -> &'static str {
     match mode {
         SupportMode::Plain => "plain",
@@ -206,10 +308,21 @@ fn op_name(op: Operator) -> &'static str {
     }
 }
 
+/// [`write_checkpoint_with`] through the production [`StdVfs`].
+pub fn write_checkpoint(
+    dir: &Path,
+    snapshot: &ServiceSnapshot,
+    tickets: u64,
+    op: Operator,
+) -> Result<PathBuf, StorageError> {
+    write_checkpoint_with(&StdVfs, dir, snapshot, tickets, op)
+}
+
 /// Serializes and durably writes one checkpoint; returns its path.
 /// Write-to-temp, fsync, rename, fsync-dir — never a half-visible
-/// file.
-pub fn write_checkpoint(
+/// file, and therefore safe to re-run wholesale after any failure.
+pub fn write_checkpoint_with(
+    vfs: &dyn Vfs,
     dir: &Path,
     snapshot: &ServiceSnapshot,
     tickets: u64,
@@ -238,13 +351,20 @@ pub fn write_checkpoint(
     let path = dir.join(format!("chk-{:012}.ckpt", snapshot.epoch()));
     let tmp = dir.join(format!("chk-{:012}.ckpt.tmp", snapshot.epoch()));
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(body.as_bytes())?;
-        f.write_all(trailer.as_bytes())?;
-        f.sync_data()?;
+        let f = vfs
+            .create(&tmp)
+            .map_err(|e| StorageError::io(StorageOp::Create, tmp.clone(), e))?;
+        f.write_all(body.as_bytes())
+            .map_err(|e| StorageError::io(StorageOp::Append, tmp.clone(), e))?;
+        f.write_all(trailer.as_bytes())
+            .map_err(|e| StorageError::io(StorageOp::Append, tmp.clone(), e))?;
+        f.sync_data()
+            .map_err(|e| StorageError::io(StorageOp::Fsync, tmp.clone(), e))?;
     }
-    std::fs::rename(&tmp, &path)?;
-    File::open(dir)?.sync_all()?;
+    vfs.rename(&tmp, &path)
+        .map_err(|e| StorageError::io(StorageOp::Rename, path.clone(), e))?;
+    vfs.sync_dir(dir)
+        .map_err(|e| StorageError::io(StorageOp::SyncDir, dir, e))?;
     Ok(path)
 }
 
@@ -288,9 +408,10 @@ fn checkpoint_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
 /// WAL. A checkpoint with an intact trailer but unparseable content
 /// is [`StorageError::Corrupt`].
 pub fn load_newest(dir: &Path) -> Result<Option<LoadedCheckpoint>, StorageError> {
-    let files = checkpoint_files(dir)?;
+    let files = checkpoint_files(dir).map_err(|e| StorageError::io(StorageOp::ReadDir, dir, e))?;
     for (_, path) in files.iter().rev() {
-        let bytes = std::fs::read(path)?;
+        let bytes =
+            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?;
         let Some(body) = validate_trailer(&bytes) else {
             continue; // torn checkpoint: fall back to an older one
         };
@@ -393,11 +514,16 @@ fn parse_checkpoint(body: &str) -> Result<LoadedCheckpoint, String> {
     })
 }
 
+/// [`prune_checkpoints_with`] through the production [`StdVfs`].
+pub fn prune_checkpoints(dir: &Path, epoch: u64) -> Result<u64, StorageError> {
+    prune_checkpoints_with(&StdVfs, dir, epoch)
+}
+
 /// Deletes checkpoints older than the one *preceding* `epoch` — the
 /// newest and its immediate predecessor are kept (the predecessor is
 /// the fallback if the newest is later found damaged).
-pub fn prune_checkpoints(dir: &Path, epoch: u64) -> std::io::Result<u64> {
-    let files = checkpoint_files(dir)?;
+pub fn prune_checkpoints_with(vfs: &dyn Vfs, dir: &Path, epoch: u64) -> Result<u64, StorageError> {
+    let files = checkpoint_files(dir).map_err(|e| StorageError::io(StorageOp::ReadDir, dir, e))?;
     let keep_from = files
         .iter()
         .filter(|(e, _)| *e < epoch)
@@ -407,12 +533,14 @@ pub fn prune_checkpoints(dir: &Path, epoch: u64) -> std::io::Result<u64> {
     let mut deleted = 0;
     for (e, path) in &files {
         if *e < keep_from {
-            std::fs::remove_file(path)?;
+            vfs.remove_file(path)
+                .map_err(|e| StorageError::io(StorageOp::Remove, path.clone(), e))?;
             deleted += 1;
         }
     }
     if deleted > 0 {
-        File::open(dir)?.sync_all()?;
+        vfs.sync_dir(dir)
+            .map_err(|e| StorageError::io(StorageOp::SyncDir, dir, e))?;
     }
     Ok(deleted)
 }

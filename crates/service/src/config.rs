@@ -29,8 +29,10 @@
 //! [`Durability::durable`] and the setter methods, so future knobs are
 //! not breaking changes.
 
+use crate::health::RetryPolicy;
 use crate::service::{ServiceError, SharedResolver, ViewService};
-use crate::wal::FsyncPolicy;
+use crate::vfs::{StdVfs, StorageOp, Vfs};
+use crate::wal::{FsyncPolicy, StorageError};
 use mmv_constraints::NoDomains;
 use mmv_core::shard::ShardSpec;
 use mmv_core::tp::{FixpointConfig, Operator};
@@ -64,6 +66,13 @@ pub enum Durability {
         /// Soft cap on a WAL segment's size; appends past it rotate to
         /// a fresh segment.
         segment_bytes: u64,
+        /// The filesystem all storage I/O goes through. The default
+        /// ([`StdVfs`]) is the real filesystem; tests install a
+        /// [`FaultVfs`][crate::FaultVfs] to inject storage faults.
+        vfs: Arc<dyn Vfs>,
+        /// How often the background health probe retries reopening the
+        /// WAL while the service is read-only.
+        probe_interval: Duration,
     },
 }
 
@@ -78,6 +87,8 @@ impl Durability {
             fsync: FsyncPolicy::GroupCommit(Duration::ZERO),
             checkpoint_every: 256,
             segment_bytes: 8 << 20,
+            vfs: Arc::new(StdVfs),
+            probe_interval: Duration::from_millis(250),
         }
     }
 
@@ -110,6 +121,25 @@ impl Durability {
         self
     }
 
+    /// Sets the filesystem storage I/O goes through (no-op on
+    /// [`Durability::InMemory`]). The default is the real filesystem;
+    /// fault-injection tests install a [`FaultVfs`][crate::FaultVfs].
+    pub fn vfs(mut self, filesystem: Arc<dyn Vfs>) -> Durability {
+        if let Durability::Durable { vfs, .. } = &mut self {
+            *vfs = filesystem;
+        }
+        self
+    }
+
+    /// Sets the read-only health probe's retry cadence (no-op on
+    /// [`Durability::InMemory`]).
+    pub fn probe_interval(mut self, interval: Duration) -> Durability {
+        if let Durability::Durable { probe_interval, .. } = &mut self {
+            *probe_interval = interval;
+        }
+        self
+    }
+
     /// The storage directory, when durable.
     pub fn dir(&self) -> Option<&Path> {
         match self {
@@ -138,6 +168,10 @@ pub struct ServiceConfig {
     pub shards: ShardSpec,
     /// The update-log backing.
     pub durability: Durability,
+    /// Retry budget for transient storage faults: every WAL append,
+    /// fsync, and checkpoint write retries under this policy before
+    /// the failure surfaces.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -149,6 +183,7 @@ impl Default for ServiceConfig {
             fixpoint: FixpointConfig::default(),
             shards: ShardSpec::auto(),
             durability: Durability::InMemory,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -161,6 +196,7 @@ impl fmt::Debug for ServiceConfig {
             .field("fixpoint", &self.fixpoint)
             .field("shards", &self.shards)
             .field("durability", &self.durability)
+            .field("retry", &self.retry)
             .finish_non_exhaustive()
     }
 }
@@ -225,6 +261,13 @@ impl ViewServiceBuilder {
         self
     }
 
+    /// Sets the transient-fault retry policy (default:
+    /// [`RetryPolicy::default`] — 4 retries, exponential backoff).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
     /// The assembled configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
@@ -248,13 +291,14 @@ impl ViewServiceBuilder {
         db: ConstrainedDatabase,
     ) -> Result<(ViewService, RecoveryReport), ServiceError> {
         let Some(dir) = self.config.durability.dir().map(Path::to_path_buf) else {
-            return Err(ServiceError::Storage(
+            return Err(ServiceError::Storage(StorageError::io(
+                StorageOp::ReadDir,
+                "<no durable dir>",
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
                     "recover() needs Durability::durable(dir)",
-                )
-                .into(),
-            ));
+                ),
+            )));
         };
         ViewService::recover(&dir, db, self.config)
     }

@@ -36,6 +36,13 @@
 //!   ([`checkpoint`]); and [`ViewService::recover`] rebuilds the
 //!   service after a crash from the newest valid checkpoint plus the
 //!   WAL tail, tolerating a torn final frame.
+//! * **Fault tolerance** — all storage I/O goes through a [`Vfs`]
+//!   (swappable for the deterministic, seed-driven [`FaultVfs`] in
+//!   tests); transient faults are absorbed by bounded-backoff retry
+//!   ([`RetryPolicy`]); a persistent WAL failure flips the service
+//!   [`ServiceHealth::ReadOnly`] — writes fail fast, readers keep
+//!   serving the last published snapshot — and a background probe
+//!   restores write service when storage recovers ([`health`]).
 //!
 //! ```
 //! use mmv_service::{ServiceWorker, ViewService};
@@ -68,17 +75,23 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod health;
 pub mod log;
 pub mod service;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 pub mod worker;
 
 pub use checkpoint::CheckpointStats;
 pub use config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+pub use health::{HealthTransition, RetryPolicy, ServiceHealth};
 pub use log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
 pub use service::{Applied, FaultHook, LogRead, ServiceError, SharedResolver, ViewService};
 pub use snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
+pub use vfs::{
+    Fault, FaultPlan, FaultStats, FaultVfs, OpSel, ScriptedFault, StdVfs, StorageOp, Vfs,
+};
 pub use wal::{FsyncPolicy, StorageError, WalStats};
 pub use worker::{BatchSender, ServiceWorker};
 

@@ -16,9 +16,17 @@
 //! Besides applied batches, the log records writer-lane *recoveries*
 //! ([`Recovery`]): a lane whose mutex was poisoned by a panicking batch
 //! and was rebuilt from its last published shard snapshot.
+//!
+//! Durable sinks surface storage failures as [`StorageError`] —
+//! attributed with the failing path and operation and classified
+//! transient/persistent — and support *retraction*
+//! ([`LogSink::retract`]): under group commit a record is mirrored
+//! when its frame is appended, but the batch only publishes once the
+//! frame is durable, so a failed durability wait rolls the mirror
+//! back too (the WAL frame itself is truncated by the flusher).
 
 use crate::snapshot::{Epoch, PublishStats};
-use crate::wal::Wal;
+use crate::wal::{StorageError, Wal};
 use mmv_constraints::DomainResolver;
 use mmv_core::batch::{apply_batch, BatchError, BatchStats, UpdateBatch};
 use mmv_core::parser::{render_wal_batch, render_wal_payload, WalPayload};
@@ -98,7 +106,14 @@ pub trait LogSink: Send {
     /// *first* (write-ahead: an error leaves the in-memory mirror
     /// untouched and the batch unpublished) and return its LSN; the
     /// in-memory sink returns `None`.
-    fn append(&mut self, record: LogRecord, ticket_base: u64) -> std::io::Result<Option<u64>>;
+    fn append(&mut self, record: LogRecord, ticket_base: u64) -> Result<Option<u64>, StorageError>;
+
+    /// Removes the record appended at `epoch` again: the deferred
+    /// group-commit durability wait failed after the record was
+    /// already mirrored, and the batch is being rolled back. (The WAL
+    /// frame itself is truncated by the flusher's give-up path; this
+    /// only un-mirrors.)
+    fn retract(&mut self, epoch: Epoch);
 
     /// Records a writer-lane recovery. `global_epoch` is the current
     /// global epoch (durable sinks use it as the WAL frame's epoch
@@ -116,9 +131,17 @@ pub trait LogSink: Send {
 }
 
 impl LogSink for UpdateLog {
-    fn append(&mut self, record: LogRecord, _ticket_base: u64) -> std::io::Result<Option<u64>> {
+    fn append(
+        &mut self,
+        record: LogRecord,
+        _ticket_base: u64,
+    ) -> Result<Option<u64>, StorageError> {
         UpdateLog::append(self, record);
         Ok(None)
+    }
+
+    fn retract(&mut self, epoch: Epoch) {
+        UpdateLog::retract(self, epoch);
     }
 
     fn record_recovery(&mut self, recovery: Recovery, _global_epoch: Epoch) {
@@ -170,11 +193,15 @@ impl std::fmt::Debug for DurableLog {
 }
 
 impl LogSink for DurableLog {
-    fn append(&mut self, record: LogRecord, ticket_base: u64) -> std::io::Result<Option<u64>> {
+    fn append(&mut self, record: LogRecord, ticket_base: u64) -> Result<Option<u64>, StorageError> {
         let frame = render_wal_batch(record.epoch, ticket_base, &record.batch);
         let lsn = self.wal.append(record.epoch, &frame)?;
         self.mem.append(record);
         Ok(Some(lsn))
+    }
+
+    fn retract(&mut self, epoch: Epoch) {
+        self.mem.retract(epoch);
     }
 
     fn record_recovery(&mut self, recovery: Recovery, global_epoch: Epoch) {
@@ -218,6 +245,15 @@ impl UpdateLog {
             "log epochs must ascend"
         );
         self.records.push(record);
+    }
+
+    /// Removes the record at `epoch`, if present — the rollback of a
+    /// mirrored-but-never-durable batch. Searches from the back:
+    /// retractions always target a recent epoch.
+    pub fn retract(&mut self, epoch: Epoch) {
+        if let Some(i) = self.records.iter().rposition(|r| r.epoch == epoch) {
+            self.records.remove(i);
+        }
     }
 
     /// Records a writer-lane recovery.

@@ -45,7 +45,30 @@
 //! lane's writer view is restored from its last published shard
 //! snapshot (an `Arc` re-adoption, not a rebuild) and the batch is
 //! rejected with [`ServiceError::Batch`] (or
-//! [`ServiceError::Storage`], when the WAL append failed).
+//! [`ServiceError::Storage`], when the WAL append failed). Under
+//! [`FsyncPolicy::GroupCommit`] publication is *deferred* until the
+//! flusher reports the frame durable — the touched lanes stay locked
+//! across the wait — so a batch whose fsync fails is rolled back
+//! (lanes, log record, epoch) before any reader could observe it.
+//!
+//! # Degraded serving
+//!
+//! Storage faults are classified transient or persistent
+//! ([`StorageError::is_transient`]). Transient faults are absorbed by
+//! bounded exponential retry ([`crate::RetryPolicy`], configured via
+//! [`ServiceConfig::retry`][crate::ServiceConfig]) inside the WAL and
+//! checkpointer and never surface. A *persistent* WAL failure rejects
+//! the batch and flips the service [`ServiceHealth::ReadOnly`]:
+//! subsequent writes fail fast with [`ServiceError::ReadOnly`] (no
+//! lane is locked, no ticket burned) while readers keep being served
+//! the last published composite snapshot, untouched. A background
+//! probe periodically re-opens the WAL and restores
+//! [`ServiceHealth::Healthy`] when storage recovers; every transition
+//! is journaled ([`ViewService::health_transitions`]) and written to
+//! the WAL as a `health` frame. Persistent *checkpoint* failures only
+//! degrade health ([`ServiceHealth::Degraded`]) — writes and reads
+//! continue, recovery just replays a longer WAL tail — and the
+//! checkpointer retries in the background rather than dying.
 //!
 //! A batch that *panics* mid-application poisons the mutexes of the
 //! lanes it held. Poison is not fatal and not contagious: the other
@@ -61,8 +84,10 @@
 
 use crate::checkpoint::{self, CheckpointStats, Checkpointer};
 use crate::config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+use crate::health::{Health, HealthProbe, HealthTransition, ServiceHealth};
 use crate::log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
 use crate::snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
+use crate::vfs::{StdVfs, StorageOp, Vfs};
 use crate::wal::{self, FsyncPolicy, StorageError, Wal, WalStats};
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
@@ -103,8 +128,15 @@ pub enum ServiceError {
     /// Durable storage failed: a WAL append or flush, or corrupt
     /// on-disk state during recovery.
     Storage(StorageError),
+    /// The service is read-only after a persistent storage failure:
+    /// the batch was rejected before touching any lane. Readers are
+    /// unaffected; the background probe restores write service when
+    /// storage recovers (watch [`ViewService::health`]).
+    ReadOnly,
     /// The worker channel is closed (the worker already shut down).
-    WorkerGone,
+    /// Carries the worker's panic message when it died panicking and
+    /// the payload was a string.
+    WorkerGone(Option<String>),
 }
 
 impl fmt::Display for ServiceError {
@@ -114,7 +146,15 @@ impl fmt::Display for ServiceError {
             ServiceError::Batch(e) => write!(f, "service batch: {e}"),
             ServiceError::Replay(e) => write!(f, "service recovery: {e}"),
             ServiceError::Storage(e) => write!(f, "service storage: {e}"),
-            ServiceError::WorkerGone => write!(f, "service worker has shut down"),
+            ServiceError::ReadOnly => write!(
+                f,
+                "service is read-only: durable storage is unavailable \
+                 (reads keep serving the last published snapshot)"
+            ),
+            ServiceError::WorkerGone(None) => write!(f, "service worker has shut down"),
+            ServiceError::WorkerGone(Some(msg)) => {
+                write!(f, "service worker has shut down (panicked: {msg})")
+            }
         }
     }
 }
@@ -126,7 +166,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Batch(e) => Some(e),
             ServiceError::Replay(e) => Some(e),
             ServiceError::Storage(e) => Some(e),
-            ServiceError::WorkerGone => None,
+            ServiceError::ReadOnly | ServiceError::WorkerGone(_) => None,
         }
     }
 }
@@ -162,11 +202,18 @@ struct Published {
     shards: Vec<Arc<ViewSnapshot>>,
     epoch: Epoch,
     composite: Arc<ServiceSnapshot>,
+    /// Batches appended to the WAL whose publication is deferred on
+    /// the group-commit flusher. Checkpoints are staged only when this
+    /// is zero: a composite snapshotted with a lower-epoch batch still
+    /// in flight would claim WAL coverage it does not have.
+    deferred_inflight: usize,
 }
 
 /// The durable half of the service: the open WAL, the background
-/// checkpointer, and the checkpoint cadence.
+/// checkpointer + health probe, and the checkpoint cadence.
 struct DurableState {
+    /// Declared first so the probe stops before the rest tears down.
+    _probe: HealthProbe,
     wal: Arc<Wal>,
     checkpointer: Checkpointer,
     checkpoint_every: u64,
@@ -290,6 +337,15 @@ pub struct ViewService {
     /// one ticket per insertion request, so a split batch issues the
     /// same tickets the unsplit batch would.
     tickets: Mutex<u64>,
+    /// The next-global-epoch allocator (the last allocated epoch).
+    /// Under deferred publication the *published* epoch lags frames
+    /// already in the WAL, so allocation cannot read it; this counter
+    /// is the source of truth, advanced under the sink lock so WAL
+    /// frames append in epoch order.
+    next_epoch: Mutex<Epoch>,
+    /// Health state machine + transition journal (shared with the
+    /// checkpointer and the storage probe).
+    health: Arc<Health>,
     durable: Option<DurableState>,
     /// Cheap "a fault hook is installed" flag so the hot write path
     /// never touches the hook mutex (a cross-lane serialization point)
@@ -334,6 +390,7 @@ impl ViewService {
             fixpoint: fx,
             shards: spec,
             durability,
+            retry,
             ..
         } = config;
         let (view, _) =
@@ -357,14 +414,26 @@ impl ViewService {
             fsync,
             checkpoint_every,
             segment_bytes,
+            vfs,
+            probe_interval,
         } = durability
         {
             Self::require_fresh_dir(&dir)?;
-            let wal = Wal::open(&dir, fsync, segment_bytes, 1)
-                .map_err(|e| ServiceError::Storage(e.into()))?;
-            let checkpointer = Checkpointer::spawn(dir, op, wal.clone());
+            let wal = Wal::open_with(vfs.clone(), &dir, fsync, segment_bytes, 1, retry)
+                .map_err(ServiceError::Storage)?;
+            let checkpointer = Checkpointer::spawn_with(
+                vfs,
+                dir,
+                op,
+                wal.clone(),
+                retry,
+                svc.health.clone(),
+                probe_interval,
+            );
+            let probe = HealthProbe::spawn(svc.health.clone(), wal.clone(), probe_interval);
             svc.log = Mutex::new(Box::new(DurableLog::new(wal.clone())));
             svc.durable = Some(DurableState {
+                _probe: probe,
                 wal,
                 checkpointer,
                 checkpoint_every,
@@ -398,19 +467,24 @@ impl ViewService {
             fixpoint: fx,
             shards: spec,
             durability,
+            retry,
             ..
         } = config;
-        let (fsync, checkpoint_every, segment_bytes) = match durability {
+        let (fsync, checkpoint_every, segment_bytes, vfs, probe_interval) = match durability {
             Durability::Durable {
                 fsync,
                 checkpoint_every,
                 segment_bytes,
+                vfs,
+                probe_interval,
                 ..
-            } => (fsync, checkpoint_every, segment_bytes),
+            } => (fsync, checkpoint_every, segment_bytes, vfs, probe_interval),
             _ => (
                 FsyncPolicy::GroupCommit(std::time::Duration::ZERO),
                 256,
                 8 << 20,
+                Arc::new(StdVfs) as Arc<dyn Vfs>,
+                std::time::Duration::from_millis(250),
             ),
         };
         let chk = checkpoint::load_newest(dir).map_err(ServiceError::Storage)?;
@@ -533,9 +607,18 @@ impl ViewService {
             }
         }
         let recovered_epoch = svc.read_published().epoch;
-        let wal = Wal::open(dir, fsync, segment_bytes, scan.next_seq)
-            .map_err(|e| ServiceError::Storage(e.into()))?;
-        let checkpointer = Checkpointer::spawn(dir.to_path_buf(), op, wal.clone());
+        let wal = Wal::open_with(vfs.clone(), dir, fsync, segment_bytes, scan.next_seq, retry)
+            .map_err(ServiceError::Storage)?;
+        let checkpointer = Checkpointer::spawn_with(
+            vfs,
+            dir.to_path_buf(),
+            op,
+            wal.clone(),
+            retry,
+            svc.health.clone(),
+            probe_interval,
+        );
+        let probe = HealthProbe::spawn(svc.health.clone(), wal.clone(), probe_interval);
         {
             let mut sink = lock_clean(&svc.log);
             let mut mem = sink.take_memory();
@@ -545,6 +628,7 @@ impl ViewService {
             *sink = Box::new(DurableLog::with_memory(wal.clone(), mem));
         }
         svc.durable = Some(DurableState {
+            _probe: probe,
             wal,
             checkpointer,
             checkpoint_every,
@@ -655,6 +739,8 @@ impl ViewService {
             published.clone(),
             shards.clone(),
         ));
+        let health = Arc::new(Health::default());
+        health.note_epoch(epoch);
         ViewService {
             db,
             resolver,
@@ -667,9 +753,12 @@ impl ViewService {
                 shards: published,
                 epoch,
                 composite,
+                deferred_inflight: 0,
             }),
             log: Mutex::new(Box::new(UpdateLog::new())),
             tickets: Mutex::new(tickets),
+            next_epoch: Mutex::new(epoch),
+            health,
             durable: None,
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
@@ -680,23 +769,27 @@ impl ViewService {
     /// checkpoint state — building over history would shadow it;
     /// recovery is the explicit path.
     fn require_fresh_dir(dir: &Path) -> Result<(), ServiceError> {
-        std::fs::create_dir_all(dir).map_err(|e| ServiceError::Storage(e.into()))?;
-        let entries = std::fs::read_dir(dir).map_err(|e| ServiceError::Storage(e.into()))?;
+        let dir_err = |op: StorageOp| {
+            move |e: std::io::Error| ServiceError::Storage(StorageError::io(op, dir, e))
+        };
+        std::fs::create_dir_all(dir).map_err(dir_err(StorageOp::Create))?;
+        let entries = std::fs::read_dir(dir).map_err(dir_err(StorageOp::ReadDir))?;
         for entry in entries {
-            let entry = entry.map_err(|e| ServiceError::Storage(e.into()))?;
+            let entry = entry.map_err(dir_err(StorageOp::ReadDir))?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if name.starts_with("wal-") || name.starts_with("chk-") {
-                return Err(ServiceError::Storage(
+                return Err(ServiceError::Storage(StorageError::io(
+                    StorageOp::Create,
+                    dir,
                     std::io::Error::new(
                         std::io::ErrorKind::AlreadyExists,
                         format!(
                             "{} already holds durable state ({name}); use ViewService::recover",
                             dir.display()
                         ),
-                    )
-                    .into(),
-                ));
+                    ),
+                )));
             }
         }
         Ok(())
@@ -731,6 +824,21 @@ impl ViewService {
     /// service).
     pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
         self.durable.as_ref().map(|d| d.checkpointer.stats())
+    }
+
+    /// The service's current health: `Healthy`, `Degraded` (checkpoints
+    /// failing, writes and reads fine), or `ReadOnly` (WAL down, writes
+    /// rejected, reads served from the last published snapshot). An
+    /// in-memory service is always `Healthy`.
+    pub fn health(&self) -> ServiceHealth {
+        self.health.current()
+    }
+
+    /// The journal of health transitions, oldest first: every flip
+    /// between `Healthy`, `Degraded`, and `ReadOnly`, with the epoch it
+    /// happened at and the storage error (or probe success) behind it.
+    pub fn health_transitions(&self) -> Vec<HealthTransition> {
+        self.health.transitions()
     }
 
     /// Hands the current composite snapshot to the background
@@ -823,16 +931,16 @@ impl ViewService {
     /// its own sub-database, then publish all touched shard snapshots
     /// atomically (two-phase publish) and append to the log — for a
     /// durable service the WAL frame is written *before* the swap, and
-    /// the call then blocks (outside all locks) until the frame is
-    /// durable under the fsync policy. Batches on disjoint shards run
+    /// under group commit the swap itself waits for the flusher to
+    /// make the frame durable. Batches on disjoint shards run
     /// concurrently; readers are never blocked.
     ///
     /// On error every touched lane's writer view is restored from its
     /// published shard snapshot and nothing is published or logged —
-    /// the failed batch is simply rejected. One exception: a
-    /// [`ServiceError::Storage`] from the *durability wait* (the
-    /// group-commit flusher hit an I/O error) reports a batch that is
-    /// already published in memory but whose persistence is unknown.
+    /// the failed batch is simply rejected. A persistent storage
+    /// failure additionally flips the service read-only: later writes
+    /// fail fast with [`ServiceError::ReadOnly`] until the background
+    /// probe restores storage (see [`ViewService::health`]).
     pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
         self.apply_inner(batch, None)
     }
@@ -842,6 +950,13 @@ impl ViewService {
         batch: UpdateBatch,
         replay: Option<ReplayCtx>,
     ) -> Result<Applied, ServiceError> {
+        // Fail fast while read-only: the batch is rejected before any
+        // lane is locked or ticket reserved, so degraded-mode writes
+        // cost almost nothing and never contend with readers. (Replay
+        // is exempt — it rebuilds recorded history, it doesn't write.)
+        if replay.is_none() && self.health.current() == ServiceHealth::ReadOnly {
+            return Err(ServiceError::ReadOnly);
+        }
         // Route the batch. The common case — every request in one
         // shard (always true single-lane) — borrows the batch as-is;
         // only genuinely cross-shard batches pay the split's per-atom
@@ -875,7 +990,7 @@ impl ViewService {
         // panics before publication. Replay skips the counter and uses
         // the recorded base instead.
         let n_inserts = batch.inserts.len() as u64;
-        let (ticket_base, reservation) = match &replay {
+        let (ticket_base, mut reservation) = match &replay {
             Some(ctx) => (ctx.ticket_base, None),
             None => {
                 let r = TicketReservation::reserve(&self.tickets, n_inserts);
@@ -955,39 +1070,57 @@ impl ViewService {
         // Phase two: append the log record (for a durable sink: write
         // the WAL frame — write-ahead, so a failed append rejects the
         // batch with nothing published), then swap all touched shards
-        // and advance the global epoch, all inside one publication
-        // critical section — readers see the whole batch or none of
-        // it, and WAL frames append in epoch order even when disjoint
-        // batches publish concurrently. Lock order: sink before
+        // and advance the global epoch inside one publication critical
+        // section — readers see the whole batch or none of it, and WAL
+        // frames append in epoch order (the epoch allocator is bumped
+        // under the sink lock) even when disjoint batches publish
+        // concurrently. Under an inline fsync policy the append itself
+        // settles durability, so the swap happens right here; under
+        // group commit it is *deferred* until the flusher reports the
+        // frame durable, so no reader ever observes an epoch that an
+        // fsync failure could still roll back. Lock order: sink before
         // publication, for every thread that holds both.
+        let defer_publish = replay.is_none()
+            && self
+                .durable
+                .as_ref()
+                .is_some_and(|d| matches!(d.wal.policy(), FsyncPolicy::GroupCommit(_)));
+        let mut frozen = Some(frozen);
         let mut checkpoint_snapshot: Option<Arc<ServiceSnapshot>> = None;
-        let (epoch, lsn) = {
+        let (epoch, wait_lsn) = {
             let mut sink = lock_clean(&self.log);
-            let mut p = self.write_published();
-            let epoch = match &replay {
-                Some(ctx) => {
-                    debug_assert_eq!(
-                        p.epoch + 1,
-                        ctx.epoch,
-                        "WAL epochs are contiguous: every batch logs one"
-                    );
-                    ctx.epoch
+            let epoch = {
+                let mut ne = lock_clean(&self.next_epoch);
+                match &replay {
+                    Some(ctx) => {
+                        *ne = (*ne).max(ctx.epoch);
+                        ctx.epoch
+                    }
+                    None => {
+                        *ne += 1;
+                        *ne
+                    }
                 }
-                None => p.epoch + 1,
             };
             // The view size after this publish: touched shards at
-            // their frozen size, the rest as published.
-            let mut total = 0usize;
-            let mut fi = 0;
-            for (s, snap) in p.shards.iter().enumerate() {
-                if fi < frozen.len() && frozen[fi].0 == s {
-                    total += frozen[fi].1.len();
-                    fi += 1;
-                } else {
-                    total += snap.len();
+            // their frozen size, the rest as published. (Relative to
+            // the *published* table — with other batches' publications
+            // still deferred this is a statistic, not an invariant.)
+            {
+                let p = self.read_published();
+                let frozen = frozen.as_ref().expect("not yet consumed");
+                let mut total = 0usize;
+                let mut fi = 0;
+                for (s, snap) in p.shards.iter().enumerate() {
+                    if fi < frozen.len() && frozen[fi].0 == s {
+                        total += frozen[fi].1.len();
+                        fi += 1;
+                    } else {
+                        total += snap.len();
+                    }
                 }
+                stats.view_entries = total;
             }
-            stats.view_entries = total;
             publish.publish_latency = publish_start.elapsed();
             let record = LogRecord {
                 epoch,
@@ -1002,50 +1135,72 @@ impl ViewService {
                 Err(e) => {
                     // The WAL rejected the frame: the batch must not
                     // publish. Restore every touched lane (view *and*
-                    // epoch — phase one already bumped it).
-                    for (s, g) in guards.iter_mut() {
-                        g.view = p.shards[*s].view().clone();
-                        g.epoch = p.shards[*s].epoch();
+                    // epoch — phase one already bumped it), hand the
+                    // global epoch back, and — on a persistent fault
+                    // (transients were already retried away below us)
+                    // — flip the service read-only.
+                    self.rollback_lanes(&mut guards);
+                    self.rewind_epoch(epoch, replay.is_some());
+                    if replay.is_none() && !e.is_transient() {
+                        self.health.wal_failed(&format!("WAL append failed: {e}"));
                     }
-                    return Err(ServiceError::Storage(e.into()));
+                    return Err(ServiceError::Storage(e));
                 }
             };
-            for (shard, snapshot) in frozen {
-                p.shards[shard] = snapshot;
+            if defer_publish && lsn.is_some() {
+                self.write_published().deferred_inflight += 1;
+                (epoch, lsn)
+            } else {
+                checkpoint_snapshot = self.publish_frozen(
+                    epoch,
+                    frozen.take().expect("not yet consumed"),
+                    reservation.take(),
+                    replay.is_none(),
+                    false,
+                );
+                (epoch, None)
             }
-            p.epoch = epoch;
-            // The swap is the point of no return: the published state
-            // now contains the batch's tickets, so they stay consumed.
-            if let Some(r) = reservation {
-                r.commit();
-            }
-            p.composite = Arc::new(ServiceSnapshot::new(
-                p.epoch,
-                p.shards.clone(),
-                self.shards.clone(),
-            ));
-            if replay.is_none() {
-                if let Some(d) = &self.durable {
-                    if d.checkpoint_every > 0 && epoch % d.checkpoint_every == 0 {
-                        checkpoint_snapshot = Some(p.composite.clone());
-                    }
+        };
+        // The durability wait (group commit only). The touched lanes
+        // stay locked — their writer views hold unpublished state —
+        // but the sink and publication locks are free, so disjoint
+        // batches keep appending and coalesce into the same fsync.
+        if let Some(lsn) = wait_lsn {
+            let d = self
+                .durable
+                .as_ref()
+                .expect("deferred publication implies a durable service");
+            match d.wal.wait_durable(lsn) {
+                Ok(()) => {
+                    checkpoint_snapshot = self.publish_frozen(
+                        epoch,
+                        frozen.take().expect("not yet consumed"),
+                        reservation.take(),
+                        true,
+                        true,
+                    );
+                }
+                Err(e) => {
+                    // The flusher gave up on this frame: it never
+                    // became durable and was truncated from (or queued
+                    // for truncation in) its segment. Un-publish
+                    // everything — lanes, log record, epoch — and go
+                    // read-only; readers keep the last published
+                    // composite untouched.
+                    self.rollback_lanes(&mut guards);
+                    lock_clean(&self.log).retract(epoch);
+                    self.rewind_epoch(epoch, false);
+                    self.write_published().deferred_inflight -= 1;
+                    self.health.wal_failed(&format!("WAL flush failed: {e}"));
+                    return Err(ServiceError::Storage(e));
                 }
             }
-            (epoch, lsn)
-        };
-        // Lanes release before the durability wait: maintenance on
-        // other batches (and the group-commit coalescing that serves
-        // them) overlaps this batch's fsync.
+        }
         drop(guards);
         if let Some(ctx) = &replay {
             // Replay restores the ticket counter's high-water mark.
             let mut t = lock_clean(&self.tickets);
             *t = (*t).max(ctx.ticket_base + n_inserts);
-        }
-        if let Some(lsn) = lsn {
-            if let Some(d) = &self.durable {
-                d.wal.wait_durable(lsn).map_err(ServiceError::Storage)?;
-            }
         }
         if let Some(snap) = checkpoint_snapshot {
             let tickets = *lock_clean(&self.tickets);
@@ -1060,6 +1215,74 @@ impl ViewService {
             publish,
             shards_touched,
         })
+    }
+
+    /// Swaps a batch's frozen shard snapshots into the published table
+    /// and advances the global epoch (monotonically — a deferred
+    /// publication can complete after a higher-epoch batch on disjoint
+    /// shards). Commits the ticket reservation at the swap, the point
+    /// of no return. Returns the composite to hand to the checkpointer
+    /// when the batch lands on the checkpoint cadence — only while no
+    /// other deferred publication is in flight, so a checkpoint never
+    /// claims WAL coverage its snapshot does not contain.
+    fn publish_frozen(
+        &self,
+        epoch: Epoch,
+        frozen: Vec<(ShardId, Arc<ViewSnapshot>)>,
+        reservation: Option<TicketReservation<'_>>,
+        stage_checkpoint: bool,
+        was_deferred: bool,
+    ) -> Option<Arc<ServiceSnapshot>> {
+        let mut p = self.write_published();
+        for (shard, snapshot) in frozen {
+            p.shards[shard] = snapshot;
+        }
+        p.epoch = p.epoch.max(epoch);
+        if let Some(r) = reservation {
+            r.commit();
+        }
+        p.composite = Arc::new(ServiceSnapshot::new(
+            p.epoch,
+            p.shards.clone(),
+            self.shards.clone(),
+        ));
+        self.health.note_epoch(p.epoch);
+        if was_deferred {
+            p.deferred_inflight -= 1;
+        }
+        if stage_checkpoint && p.deferred_inflight == 0 {
+            if let Some(d) = &self.durable {
+                if d.checkpoint_every > 0 && epoch % d.checkpoint_every == 0 {
+                    return Some(p.composite.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Restores every locked lane to its last published shard snapshot
+    /// (view *and* epoch — phase one may already have bumped it): the
+    /// rejected batch leaves no trace in any writer lane.
+    fn rollback_lanes(&self, guards: &mut [(ShardId, MutexGuard<'_, LaneState>)]) {
+        let p = self.read_published();
+        for (s, g) in guards.iter_mut() {
+            g.view = p.shards[*s].view().clone();
+            g.epoch = p.shards[*s].epoch();
+        }
+    }
+
+    /// Hands a rejected batch's global epoch back to the allocator —
+    /// conditional on nothing having interleaved, like the ticket
+    /// rollback, so epoch numbering stays gapless under sequential
+    /// use. (Replay never allocates, so it never rewinds.)
+    fn rewind_epoch(&self, epoch: Epoch, replay: bool) {
+        if replay {
+            return;
+        }
+        let mut ne = lock_clean(&self.next_epoch);
+        if *ne == epoch {
+            *ne = epoch - 1;
+        }
     }
 
     /// Borrows the update log (epoch-ordered records of every applied

@@ -1,5 +1,8 @@
 //! The durable write-ahead log: segmented append-only files of
-//! [`WalPayload`] frames, with group-commit fsync batching.
+//! [`WalPayload`] frames, with group-commit fsync batching — all IO
+//! routed through a [`Vfs`] ([`crate::vfs`]) so storage faults are
+//! injectable and every failure is attributed and classified
+//! ([`StorageError`]).
 //!
 //! # File format
 //!
@@ -46,14 +49,34 @@
 //! # Group commit
 //!
 //! Writers append under the publication lock (so frame order is epoch
-//! order) and then, *after* releasing their lanes, wait on a
-//! durability watermark. A single flusher thread batches every frame
-//! appended since the last fsync into one `fdatasync` — so `n`
-//! concurrent writers pay one disk flush, not `n`
+//! order) and then wait on a durability watermark. A single flusher
+//! thread batches every frame appended since the last fsync into one
+//! `fdatasync` — so `n` concurrent writers pay one disk flush, not `n`
 //! ([`FsyncPolicy::GroupCommit`]). [`FsyncPolicy::Always`] flushes
 //! inline on every append; [`FsyncPolicy::Never`] never flushes
 //! (contents still reach the OS page cache on every append, so a
 //! process kill loses nothing — only a machine crash can).
+//!
+//! # Faults, retry, and the sticky error
+//!
+//! Transient IO failures ([`StorageError::is_transient`]) are retried
+//! in place under the WAL's [`RetryPolicy`] — in the appender, the
+//! group-commit flusher, and segment opening — with any partial write
+//! truncated away between attempts, so a transient blip never surfaces
+//! to a writer. A failure that survives retries is attributed
+//! ([`StorageError::Io`]) and handled so that *disk state tracks acked
+//! state*:
+//!
+//! * an inline (`Always`) fsync failure truncates the just-written
+//!   frame before the error is returned;
+//! * a flusher fsync failure truncates every frame past the durable
+//!   watermark, delivers the error to **every** waiter in the batch
+//!   (none observes its LSN as durable), and parks the WAL behind a
+//!   *sticky error*: subsequent appends fail fast until
+//!   [`Wal::probe`] — called by the service's health probe — finishes
+//!   any pending repairs, clears the error, and proves the log accepts
+//!   a durable append again by journaling a
+//!   [`WalPayload::Health`] frame.
 //!
 //! Replay of the logged batches inherits the ticket-permutation caveat
 //! documented in [`crate::log`]: concurrently applied insert-carrying
@@ -61,10 +84,11 @@
 //! records each batch's reserved ticket base so sequentially applied
 //! batches replay bit-identically.
 
-use mmv_core::parser::{parse_wal_payload, WalPayload};
+use crate::health::RetryPolicy;
+use crate::vfs::{StdVfs, StorageOp, Vfs, VfsFile};
+use mmv_core::parser::{parse_wal_payload, render_wal_payload, WalPayload};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -104,14 +128,24 @@ pub struct WalStats {
     pub fsyncs: u64,
     /// Segment files created.
     pub segments_created: u64,
+    /// Transient IO failures absorbed by in-place retry.
+    pub retries: u64,
 }
 
 /// A durable-storage failure.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum StorageError {
-    /// An I/O operation failed.
-    Io(io::Error),
+    /// An I/O operation failed, attributed with what was being done to
+    /// which file.
+    Io {
+        /// The operation that failed.
+        op: StorageOp,
+        /// The file (or directory) it failed on.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
     /// A log segment or checkpoint is damaged beyond the torn-tail
     /// contract (bad frame in a non-final segment, CRC-valid but
     /// unparseable payload, checkpoint with a valid trailer but
@@ -126,10 +160,52 @@ pub enum StorageError {
     },
 }
 
+/// The transient/persistent classification — the one decision point
+/// retry logic consults. `Interrupted`, `WouldBlock`, and `TimedOut`
+/// are worth retrying; everything else (EIO, ENOSPC, permissions, …)
+/// is treated as persistent.
+pub(crate) fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl StorageError {
+    /// Attributes an IO failure with the operation and path.
+    pub fn io(op: StorageOp, path: impl Into<PathBuf>, source: io::Error) -> StorageError {
+        StorageError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Whether retrying could plausibly succeed (a transient
+    /// `io::ErrorKind`: interrupted / would-block / timed out);
+    /// corruption never is.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => is_transient_io(source),
+            StorageError::Corrupt { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io(e) => write!(f, "storage i/o: {e}"),
+            StorageError::Io { op, path, source } => write!(
+                f,
+                "storage {op} failed on {}: {source} [{:?}, {}]",
+                path.display(),
+                source.kind(),
+                if is_transient_io(source) {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
             StorageError::Corrupt {
                 file,
                 offset,
@@ -142,15 +218,9 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            StorageError::Io(e) => Some(e),
+            StorageError::Io { source, .. } => Some(source),
             StorageError::Corrupt { .. } => None,
         }
-    }
-}
-
-impl From<io::Error> for StorageError {
-    fn from(e: io::Error) -> Self {
-        StorageError::Io(e)
     }
 }
 
@@ -193,6 +263,30 @@ fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
+/// An open segment file plus the path it was opened under (for error
+/// attribution and give-up repair bookkeeping).
+#[derive(Clone)]
+struct FileHandle {
+    file: Arc<dyn VfsFile>,
+    path: PathBuf,
+}
+
+/// One appended-but-not-yet-durable frame (GroupCommit only): enough
+/// to truncate it away should its fsync batch fail.
+struct FrameSpan {
+    lsn: u64,
+    path: PathBuf,
+    start: u64,
+}
+
+/// The sticky flusher failure: its attribution, replayed to every
+/// fail-fast append and durability wait until the probe clears it.
+struct StickyError {
+    op: StorageOp,
+    path: PathBuf,
+    message: String,
+}
+
 /// State the appender and the flusher share.
 struct SyncShared {
     /// LSN (frame count) of the last appended frame.
@@ -200,11 +294,19 @@ struct SyncShared {
     /// LSN up to which frames are known durable.
     durable: u64,
     /// Rotated-out segment files with frames possibly not yet synced.
-    pending: Vec<Arc<File>>,
+    pending: Vec<FileHandle>,
     /// The current segment file.
-    current: Option<Arc<File>>,
-    /// Sticky flusher failure: once set, waits fail fast.
-    error: Option<String>,
+    current: Option<FileHandle>,
+    /// Frames past the durable watermark (GroupCommit), oldest first.
+    frames: Vec<FrameSpan>,
+    /// Give-up truncations that themselves failed; [`Wal::probe`]
+    /// finishes them before clearing the sticky error.
+    repairs: Vec<(FileHandle, u64)>,
+    /// The give-up truncation applied to the *current* segment, so the
+    /// probe can resynchronize the appender's length bookkeeping.
+    truncated_current: Option<(PathBuf, u64)>,
+    /// Sticky flusher failure: once set, appends and waits fail fast.
+    error: Option<StickyError>,
     shutdown: bool,
     stats: WalStats,
 }
@@ -217,17 +319,23 @@ struct WalShared {
 
 /// The appender's exclusive state.
 struct Appender {
-    file: Option<Arc<File>>,
+    file: Option<FileHandle>,
     seg_len: u64,
     next_seq: u64,
     rotate: bool,
+    /// A failed append whose cleanup truncation also failed: the
+    /// length to truncate the current segment back to before anything
+    /// else may be appended.
+    torn: Option<u64>,
 }
 
 /// A handle onto one WAL directory, opened for appending.
 pub struct Wal {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     policy: FsyncPolicy,
     segment_bytes: u64,
+    retry: RetryPolicy,
     inner: Mutex<Appender>,
     shared: Arc<WalShared>,
     /// Set when a rotation was requested (checkpoint completed) so the
@@ -247,24 +355,49 @@ impl fmt::Debug for Wal {
 }
 
 impl Wal {
-    /// Opens `dir` for appending, creating it if missing. `start_seq`
-    /// is the sequence number of the next segment to create (recovery
-    /// passes one past the last scanned segment; a fresh service
-    /// passes 1). Segments are created lazily on first append, so the
-    /// `first_epoch` header is always exact.
+    /// Opens `dir` for appending through the production [`StdVfs`]
+    /// with the default [`RetryPolicy`]. `start_seq` is the sequence
+    /// number of the next segment to create (recovery passes one past
+    /// the last scanned segment; a fresh service passes 1). Segments
+    /// are created lazily on first append, so the `first_epoch` header
+    /// is always exact.
     pub fn open(
         dir: &Path,
         policy: FsyncPolicy,
         segment_bytes: u64,
         start_seq: u64,
-    ) -> io::Result<Arc<Wal>> {
-        std::fs::create_dir_all(dir)?;
+    ) -> Result<Arc<Wal>, StorageError> {
+        Wal::open_with(
+            Arc::new(StdVfs),
+            dir,
+            policy,
+            segment_bytes,
+            start_seq,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`Wal::open`] with an explicit [`Vfs`] (fault injection) and
+    /// retry policy.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+        start_seq: u64,
+        retry: RetryPolicy,
+    ) -> Result<Arc<Wal>, StorageError> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| StorageError::io(StorageOp::Create, dir, e))?;
         let shared = Arc::new(WalShared {
             sync: Mutex::new(SyncShared {
                 appended: 0,
                 durable: 0,
                 pending: Vec::new(),
                 current: None,
+                frames: Vec::new(),
+                repairs: Vec::new(),
+                truncated_current: None,
                 error: None,
                 shutdown: false,
                 stats: WalStats::default(),
@@ -278,21 +411,24 @@ impl Wal {
                 Some(
                     std::thread::Builder::new()
                         .name("mmv-wal-flusher".into())
-                        .spawn(move || flusher_loop(&shared, window))
+                        .spawn(move || flusher_loop(&shared, window, retry))
                         .expect("spawn WAL flusher"),
                 )
             }
             FsyncPolicy::Always | FsyncPolicy::Never => None,
         };
         Ok(Arc::new(Wal {
+            vfs,
             dir: dir.to_path_buf(),
             policy,
             segment_bytes: segment_bytes.max(1),
+            retry,
             inner: Mutex::new(Appender {
                 file: None,
                 seg_len: 0,
                 next_seq: start_seq.max(1),
                 rotate: false,
+                torn: None,
             }),
             shared,
             rotate_requested: AtomicBool::new(false),
@@ -325,11 +461,38 @@ impl Wal {
     ///
     /// The write reaches the OS immediately; durability depends on the
     /// policy — callers that need it call [`Wal::wait_durable`] with
-    /// the returned LSN *after* releasing their lane locks.
-    pub fn append(&self, epoch: u64, payload: &str) -> io::Result<u64> {
+    /// the returned LSN. Transient IO failures are retried in place
+    /// (partial writes truncated between attempts); surfaced errors
+    /// leave the log exactly as if the append never happened (or, if
+    /// cleanup itself failed, park the repair for the next append or
+    /// probe).
+    pub fn append(&self, epoch: u64, payload: &str) -> Result<u64, StorageError> {
         let mut a = lock_clean(&self.inner);
+        // Fail fast behind a sticky flusher error: the WAL is
+        // read-only until the probe repairs and clears it.
+        {
+            let s = lock_clean(&self.shared.sync);
+            if let Some(err) = &s.error {
+                return Err(StorageError::io(
+                    err.op,
+                    err.path.clone(),
+                    io::Error::other(err.message.clone()),
+                ));
+            }
+        }
         if self.rotate_requested.swap(false, Ordering::Acquire) {
             a.rotate = true;
+        }
+        // Repair a torn frame a previous failed append left behind.
+        if let Some(len) = a.torn {
+            let h = a
+                .file
+                .clone()
+                .expect("a torn frame implies an open segment");
+            self.run_retry(|| h.file.set_len(len))
+                .map_err(|e| StorageError::io(StorageOp::Truncate, h.path.clone(), e))?;
+            a.seg_len = len;
+            a.torn = None;
         }
         if a.file.is_none() || a.rotate || a.seg_len >= self.segment_bytes {
             self.open_segment(&mut a, epoch)?;
@@ -340,37 +503,79 @@ impl Wal {
             crc32(payload.as_bytes()),
             payload
         );
-        let file = a.file.as_ref().expect("segment is open").clone();
-        (&*file).write_all(frame.as_bytes())?;
-        a.seg_len += frame.len() as u64;
+        let h = a.file.clone().expect("segment is open");
+        let start = a.seg_len;
+        self.write_frame(&h, start, frame.as_bytes(), &mut a.torn)?;
+        a.seg_len = start + frame.len() as u64;
+        let flen = frame.len() as u64;
         let mut s = lock_clean(&self.shared.sync);
-        s.appended += 1;
-        let lsn = s.appended;
-        s.stats.records += 1;
-        s.stats.bytes_written += frame.len() as u64;
         match self.policy {
-            FsyncPolicy::Never => s.durable = s.appended,
-            FsyncPolicy::Always => {
-                let pending: Vec<Arc<File>> = s.pending.drain(..).collect();
-                for f in &pending {
-                    f.sync_data()?;
-                    s.stats.fsyncs += 1;
-                }
-                file.sync_data()?;
-                s.stats.fsyncs += 1;
-                s.stats.fsync_batches += 1;
+            FsyncPolicy::Never => {
+                s.appended += 1;
                 s.durable = s.appended;
+                s.stats.records += 1;
+                s.stats.bytes_written += flen;
+                Ok(s.appended)
+            }
+            FsyncPolicy::Always => {
+                let pending: Vec<FileHandle> = s.pending.clone();
+                let mut synced = 0u64;
+                let mut failed: Option<StorageError> = None;
+                for f in pending.iter().chain(std::iter::once(&h)) {
+                    match self.run_retry_counted(&mut s.stats, || f.file.sync_data()) {
+                        Ok(()) => synced += 1,
+                        Err(e) => {
+                            failed = Some(StorageError::io(StorageOp::Fsync, f.path.clone(), e));
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    None => {
+                        s.pending.clear();
+                        s.appended += 1;
+                        s.durable = s.appended;
+                        s.stats.records += 1;
+                        s.stats.bytes_written += flen;
+                        s.stats.fsyncs += synced;
+                        s.stats.fsync_batches += 1;
+                        Ok(s.appended)
+                    }
+                    Some(e) => {
+                        drop(s);
+                        // The frame is neither durable nor acked:
+                        // remove it so disk tracks acked state.
+                        match h.file.set_len(start) {
+                            Ok(()) => {
+                                let _ = h.file.sync_data();
+                                a.seg_len = start;
+                            }
+                            Err(_) => a.torn = Some(start),
+                        }
+                        Err(e)
+                    }
+                }
             }
             FsyncPolicy::GroupCommit(_) => {
+                s.appended += 1;
+                let lsn = s.appended;
+                s.stats.records += 1;
+                s.stats.bytes_written += flen;
+                s.frames.push(FrameSpan {
+                    lsn,
+                    path: h.path.clone(),
+                    start,
+                });
                 self.shared.appended_cv.notify_one();
+                Ok(lsn)
             }
         }
-        Ok(lsn)
     }
 
     /// Blocks until the frame at `lsn` is durable under the policy
     /// (immediate for `Never`, and for `Always` where the append
-    /// already flushed). Fails fast if the flusher hit an I/O error.
+    /// already flushed). Fails fast — with the flusher's attributed
+    /// error — if the fsync batch covering `lsn` failed.
     pub fn wait_durable(&self, lsn: u64) -> Result<(), StorageError> {
         if matches!(self.policy, FsyncPolicy::Never) {
             return Ok(());
@@ -382,25 +587,186 @@ impl Wal {
                 Err(p) => p.into_inner(),
             };
         }
-        match &s.error {
-            Some(e) => Err(StorageError::Io(io::Error::other(e.clone()))),
-            None => Ok(()),
+        if s.durable >= lsn {
+            return Ok(());
+        }
+        let err = s
+            .error
+            .as_ref()
+            .expect("undurable wait exits only on error");
+        Err(StorageError::io(
+            err.op,
+            err.path.clone(),
+            io::Error::other(err.message.clone()),
+        ))
+    }
+
+    /// Proves the log accepts durable appends again: finishes any
+    /// give-up repairs the flusher could not make, clears the sticky
+    /// error, and journals a [`WalPayload::Health`] frame through the
+    /// normal append + durability path. The service's background
+    /// health probe calls this while read-only; the first success
+    /// restores `Healthy`.
+    pub fn probe(&self, epoch: u64) -> Result<(), StorageError> {
+        {
+            let mut a = lock_clean(&self.inner);
+            let mut s = lock_clean(&self.shared.sync);
+            while let Some((h, len)) = s.repairs.first().cloned() {
+                self.run_retry(|| h.file.set_len(len))
+                    .map_err(|e| StorageError::io(StorageOp::Truncate, h.path.clone(), e))?;
+                let _ = h.file.sync_data();
+                if a.file.as_ref().is_some_and(|f| f.path == h.path) {
+                    a.seg_len = len;
+                    a.torn = None;
+                }
+                s.repairs.remove(0);
+            }
+            if s.error.take().is_some() {
+                if let Some((path, len)) = s.truncated_current.take() {
+                    if a.file.as_ref().is_some_and(|f| f.path == path) {
+                        a.seg_len = len;
+                        a.torn = None;
+                    }
+                }
+            }
+        }
+        let lsn = self.append(epoch, &render_wal_payload(&WalPayload::Health { epoch }))?;
+        self.wait_durable(lsn)
+    }
+
+    /// Runs `op` under the WAL's retry policy (transient failures
+    /// only).
+    fn run_retry(&self, op: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+        self.retry.run(op, is_transient_io)
+    }
+
+    /// [`Wal::run_retry`], counting absorbed retries into `stats`.
+    fn run_retry_counted(
+        &self,
+        stats: &mut WalStats,
+        mut op: impl FnMut() -> io::Result<()>,
+    ) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < self.retry.max_retries && is_transient_io(&e) => {
+                    attempt += 1;
+                    stats.retries += 1;
+                    let pause = self.retry.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
-    fn open_segment(&self, a: &mut Appender, epoch: u64) -> io::Result<()> {
+    /// Writes `buf` at `start` (the current end of `h`), retrying
+    /// transient failures with any partial write truncated away
+    /// between attempts. If the cleanup truncation itself fails the
+    /// offset is parked in `torn` for the next append (or probe) to
+    /// repair before anything else lands.
+    fn write_frame(
+        &self,
+        h: &FileHandle,
+        start: u64,
+        buf: &[u8],
+        torn: &mut Option<u64>,
+    ) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        // Whether a failed write may have left a partial frame that
+        // must be truncated before the next attempt (or before giving
+        // up — disk must track acked state).
+        let mut dirty = false;
+        let pause_or_fail = |attempt: &mut u32, e: &io::Error| {
+            if *attempt < self.retry.max_retries && is_transient_io(e) {
+                *attempt += 1;
+                lock_clean(&self.shared.sync).stats.retries += 1;
+                let pause = self.retry.backoff(*attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                true
+            } else {
+                false
+            }
+        };
+        loop {
+            if dirty {
+                // `dirty` stays set: any later failed attempt needs
+                // the same truncation before its retry.
+                match h.file.set_len(start) {
+                    Ok(()) => {}
+                    Err(te) => {
+                        // The repair itself can be hit by the same
+                        // transient run — it consumes attempts too.
+                        if pause_or_fail(&mut attempt, &te) {
+                            continue;
+                        }
+                        *torn = Some(start);
+                        return Err(StorageError::io(StorageOp::Truncate, h.path.clone(), te));
+                    }
+                }
+            }
+            match h.file.write_all(buf) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    dirty = true;
+                    if pause_or_fail(&mut attempt, &e) {
+                        continue;
+                    }
+                    // Giving up: one last cleanup attempt, parking the
+                    // offset for later repair if it fails.
+                    if h.file.set_len(start).is_err() {
+                        *torn = Some(start);
+                    }
+                    return Err(StorageError::io(StorageOp::Append, h.path.clone(), e));
+                }
+            }
+        }
+    }
+
+    fn open_segment(&self, a: &mut Appender, epoch: u64) -> Result<(), StorageError> {
         let seq = a.next_seq;
         let path = self.dir.join(format!("wal-{seq:06}.log"));
-        let file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
+        let file = match self
+            .retry
+            .run(|| self.vfs.create_new_append(&path), is_transient_io)
+        {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                // An earlier open failed (or crashed) after creating
+                // the file — possibly with a torn header. `next_seq`
+                // only advances on success, so reclaim it empty.
+                let f = self
+                    .vfs
+                    .open_append(&path)
+                    .map_err(|e| StorageError::io(StorageOp::Create, path.clone(), e))?;
+                self.run_retry(|| f.set_len(0))
+                    .map_err(|e| StorageError::io(StorageOp::Truncate, path.clone(), e))?;
+                f
+            }
+            Err(e) => return Err(StorageError::io(StorageOp::Create, path.clone(), e)),
+        };
+        let handle = FileHandle {
+            file,
+            path: path.clone(),
+        };
         let header = format!("#mmv-wal v1 seg={seq} first_epoch={epoch}\n");
-        (&file).write_all(header.as_bytes())?;
-        // Make the file's existence durable before any frame can be.
-        File::open(&self.dir)?.sync_all()?;
-        let file = Arc::new(file);
-        let old = a.file.replace(file.clone());
+        let mut scratch_torn = None;
+        // On error, leave the file for the reclaim path above; nothing
+        // in the appender state has changed.
+        self.write_frame(&handle, 0, header.as_bytes(), &mut scratch_torn)?;
+        // Make the file's existence durable before any frame can be —
+        // and before the appender adopts the segment, so a failure
+        // here retries the whole open.
+        if let Err(e) = self.run_retry(|| self.vfs.sync_dir(&self.dir)) {
+            let _ = handle.file.set_len(0);
+            return Err(StorageError::io(StorageOp::SyncDir, self.dir.clone(), e));
+        }
+        let old = a.file.replace(handle.clone());
         a.next_seq = seq + 1;
         a.seg_len = header.len() as u64;
         a.rotate = false;
@@ -410,7 +776,7 @@ impl Wal {
             // next flush covers it before the watermark advances.
             s.pending.push(old);
         }
-        s.current = Some(file);
+        s.current = Some(handle);
         s.stats.segments_created += 1;
         s.stats.bytes_written += header.len() as u64;
         Ok(())
@@ -432,16 +798,19 @@ impl Drop for Wal {
 
 /// The group-commit loop: wait for appended frames, optionally let the
 /// window coalesce more, then one `fdatasync` covers them all.
-fn flusher_loop(shared: &WalShared, window: Duration) {
+/// Transient fsync failures are retried in place; a persistent one
+/// triggers [`give_up`] — truncate the undurable frames, park behind a
+/// sticky error, keep the thread alive for after the probe heals it.
+fn flusher_loop(shared: &WalShared, window: Duration, retry: RetryPolicy) {
     let mut s = lock_clean(&shared.sync);
     loop {
-        while s.error.is_none() && !s.shutdown && s.appended == s.durable {
+        while !s.shutdown && (s.appended == s.durable || s.error.is_some()) {
             s = match shared.appended_cv.wait(s) {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
             };
         }
-        if s.error.is_some() || (s.shutdown && s.appended == s.durable) {
+        if s.shutdown && (s.appended == s.durable || s.error.is_some()) {
             return;
         }
         if !window.is_zero() {
@@ -450,29 +819,91 @@ fn flusher_loop(shared: &WalShared, window: Duration) {
             s = lock_clean(&shared.sync);
         }
         let target = s.appended;
-        let mut files: Vec<Arc<File>> = s.pending.drain(..).collect();
+        let mut files: Vec<FileHandle> = s.pending.drain(..).collect();
         if let Some(cur) = s.current.clone() {
             files.push(cur);
         }
         drop(s);
-        let mut failed = None;
-        for f in &files {
-            if let Err(e) = f.sync_data() {
-                failed = Some(e.to_string());
+        let mut retried = 0u64;
+        let mut failed: Option<(PathBuf, io::Error)> = None;
+        for h in &files {
+            let mut attempt = 0u32;
+            let r = loop {
+                match h.file.sync_data() {
+                    Ok(()) => break Ok(()),
+                    Err(e) if attempt < retry.max_retries && is_transient_io(&e) => {
+                        attempt += 1;
+                        retried += 1;
+                        let pause = retry.backoff(attempt);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            if let Err(e) = r {
+                failed = Some((h.path.clone(), e));
                 break;
             }
         }
         s = lock_clean(&shared.sync);
+        s.stats.retries += retried;
         match failed {
             None => {
                 s.durable = s.durable.max(target);
+                let target = s.durable;
+                s.frames.retain(|f| f.lsn > target);
                 s.stats.fsync_batches += 1;
                 s.stats.fsyncs += files.len() as u64;
             }
-            Some(e) => s.error = Some(e),
+            Some((path, e)) => give_up(&mut s, &files, &path, &e),
         }
         shared.durable_cv.notify_all();
     }
+}
+
+/// The flusher's persistent-failure path: every frame past the durable
+/// watermark is truncated away (so no NACKed frame survives on disk),
+/// the watermarks are re-converged, and a sticky error is recorded —
+/// every waiter in the failed batch sees it, and appends fail fast
+/// until [`Wal::probe`] clears it. Truncations that themselves fail
+/// are parked for the probe to finish.
+fn give_up(s: &mut SyncShared, files: &[FileHandle], path: &Path, e: &io::Error) {
+    use std::collections::BTreeMap;
+    let mut wanted: BTreeMap<PathBuf, u64> = BTreeMap::new();
+    for f in &s.frames {
+        wanted
+            .entry(f.path.clone())
+            .and_modify(|m| *m = (*m).min(f.start))
+            .or_insert(f.start);
+    }
+    s.frames.clear();
+    for (p, len) in wanted {
+        let handle = s
+            .current
+            .iter()
+            .chain(s.pending.iter())
+            .chain(files.iter())
+            .find(|h| h.path == p)
+            .cloned();
+        let Some(h) = handle else { continue };
+        match h.file.set_len(len) {
+            Ok(()) => {
+                let _ = h.file.sync_data();
+                if s.current.as_ref().is_some_and(|c| c.path == p) {
+                    s.truncated_current = Some((p, len));
+                }
+            }
+            Err(_) => s.repairs.push((h, len)),
+        }
+    }
+    s.appended = s.durable;
+    s.error = Some(StickyError {
+        op: StorageOp::Fsync,
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -555,8 +986,10 @@ fn parse_frame(bytes: &[u8], offset: usize) -> Result<Option<(String, usize)>, S
 /// applying the torn-tail contract (see the module docs). With
 /// `repair` set, a torn tail is also truncated off the final segment
 /// (and the truncation fsynced) so the next writer starts clean.
+/// Always reads through `std::fs` — recovery-time reads are not
+/// fault-injection targets.
 pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
-    let files = segment_files(dir)?;
+    let files = segment_files(dir).map_err(|e| StorageError::io(StorageOp::ReadDir, dir, e))?;
     let mut scan = WalScan {
         payloads: Vec::new(),
         segments: files.len() as u64,
@@ -565,7 +998,8 @@ pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
     };
     let last = files.len().wrapping_sub(1);
     for (i, (_seq, path)) in files.iter().enumerate() {
-        let bytes = std::fs::read(path)?;
+        let bytes =
+            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?;
         let is_last = i == last;
         let corrupt = |offset: usize, detail: String| StorageError::Corrupt {
             file: path.clone(),
@@ -610,10 +1044,21 @@ pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
     Ok(scan)
 }
 
-fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
-    let f = OpenOptions::new().write(true).open(path)?;
-    f.set_len(len)?;
-    f.sync_data()
+fn truncate_to(path: &Path, len: u64) -> Result<(), StorageError> {
+    let attr = |e| StorageError::io(StorageOp::Truncate, path, e);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(attr)?;
+    f.set_len(len).map_err(attr)?;
+    f.sync_data().map_err(attr)
+}
+
+/// Deletes segments made redundant by a checkpoint covering every
+/// epoch `<= chk_epoch`, through [`StdVfs`]. See
+/// [`prune_segments_with`].
+pub fn prune_segments(dir: &Path, chk_epoch: u64) -> Result<u64, StorageError> {
+    prune_segments_with(&StdVfs, dir, chk_epoch)
 }
 
 /// Deletes segments made redundant by a checkpoint covering every
@@ -627,17 +1072,19 @@ fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
 /// coverage inference would delete un-checkpointed batches.) The
 /// newest segment is never deleted; a segment that fails to read or
 /// parse is conservatively kept. Returns how many were removed.
-pub fn prune_segments(dir: &Path, chk_epoch: u64) -> io::Result<u64> {
-    let files = segment_files(dir)?;
+pub fn prune_segments_with(vfs: &dyn Vfs, dir: &Path, chk_epoch: u64) -> Result<u64, StorageError> {
+    let files = segment_files(dir).map_err(|e| StorageError::io(StorageOp::ReadDir, dir, e))?;
     let mut deleted = 0;
     for (_, path) in files.iter().rev().skip(1) {
         if segment_covered_by(path, chk_epoch) {
-            std::fs::remove_file(path)?;
+            vfs.remove_file(path)
+                .map_err(|e| StorageError::io(StorageOp::Remove, path.clone(), e))?;
             deleted += 1;
         }
     }
     if deleted > 0 {
-        File::open(dir)?.sync_all()?;
+        vfs.sync_dir(dir)
+            .map_err(|e| StorageError::io(StorageOp::SyncDir, dir, e))?;
     }
     Ok(deleted)
 }
@@ -669,7 +1116,8 @@ fn segment_covered_by(path: &Path, chk_epoch: u64) -> bool {
                         let epoch = match p {
                             WalPayload::Batch { epoch, .. }
                             | WalPayload::Recovery { epoch, .. }
-                            | WalPayload::Checkpoint { epoch } => epoch,
+                            | WalPayload::Checkpoint { epoch }
+                            | WalPayload::Health { epoch } => epoch,
                             _ => return false,
                         };
                         if epoch > chk_epoch {
@@ -688,6 +1136,7 @@ fn segment_covered_by(path: &Path, chk_epoch: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{Fault, FaultPlan, FaultVfs, OpSel};
     use mmv_core::batch::UpdateBatch;
     use mmv_core::parser::render_wal_payload;
 
@@ -716,6 +1165,14 @@ mod tests {
             };
             let lsn = wal.append(epoch, &render_wal_payload(p)).unwrap();
             wal.wait_durable(lsn).unwrap();
+        }
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
         }
     }
 
@@ -893,6 +1350,204 @@ mod tests {
         );
         drop(wal);
         assert_eq!(scan_dir(&dir, false).unwrap().payloads.len(), 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retry() {
+        // A transient blip on an append and on an fsync: both retried
+        // invisibly, nothing surfaces, the log scans back clean.
+        let dir = tmpdir("transient");
+        let plan = FaultPlan::none()
+            .script(
+                OpSel::NthOfKind(StorageOp::Append, 2),
+                Fault::Transient { run: 2 },
+            )
+            .script(
+                OpSel::NthOfKind(StorageOp::Fsync, 1),
+                Fault::Transient { run: 1 },
+            );
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let payloads: Vec<WalPayload> = (1..=3).map(batch_payload).collect();
+        {
+            let wal = Wal::open_with(
+                Arc::new(fault.clone()),
+                &dir,
+                FsyncPolicy::Always,
+                1 << 20,
+                1,
+                fast_retry(),
+            )
+            .unwrap();
+            append_all(&wal, &payloads);
+            let stats = wal.stats();
+            assert!(stats.retries >= 3, "{stats:?}");
+        }
+        assert!(!fault.stats().injected.is_empty());
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads, payloads);
+        assert!(!scan.torn_tail, "partial writes were truncated away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_is_repaired_and_retried() {
+        let dir = tmpdir("short");
+        let plan =
+            FaultPlan::none().script(OpSel::NthOfKind(StorageOp::Append, 1), Fault::ShortWrite);
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let payloads: Vec<WalPayload> = (1..=2).map(batch_payload).collect();
+        {
+            let wal = Wal::open_with(
+                Arc::new(fault),
+                &dir,
+                FsyncPolicy::Always,
+                1 << 20,
+                1,
+                fast_retry(),
+            )
+            .unwrap();
+            append_all(&wal, &payloads);
+        }
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads, payloads, "the torn half-frame never lands");
+        assert!(!scan.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inline_fsync_failure_truncates_the_unacked_frame_and_probe_recovers() {
+        let dir = tmpdir("fsync-fail");
+        // The first data fsync (Fsync op 0) brings the sync path down
+        // persistently until heal().
+        let plan =
+            FaultPlan::none().script(OpSel::NthOfKind(StorageOp::Fsync, 0), Fault::FsyncFail);
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let wal = Wal::open_with(
+            Arc::new(fault.clone()),
+            &dir,
+            FsyncPolicy::Always,
+            1 << 20,
+            1,
+            fast_retry(),
+        )
+        .unwrap();
+        let err = wal
+            .append(1, &render_wal_payload(&batch_payload(1)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                StorageError::Io {
+                    op: StorageOp::Fsync,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("fsync"), "{err}");
+        // The NACKed frame was truncated away: header-only segment.
+        let scan = scan_dir(&dir, false).unwrap();
+        assert!(scan.payloads.is_empty());
+        assert!(!scan.torn_tail);
+        // Storage heals; the probe journals a Health frame and appends
+        // flow again.
+        fault.heal();
+        wal.probe(7).unwrap();
+        append_all(&wal, &[batch_payload(2)]);
+        drop(wal);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(
+            scan.payloads,
+            vec![WalPayload::Health { epoch: 7 }, batch_payload(2)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flusher_give_up_fails_every_waiter_and_leaves_no_nacked_frames() {
+        let dir = tmpdir("give-up");
+        let plan =
+            FaultPlan::none().script(OpSel::NthOfKind(StorageOp::Fsync, 0), Fault::FsyncFail);
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let wal = Wal::open_with(
+            Arc::new(fault.clone()),
+            &dir,
+            FsyncPolicy::GroupCommit(Duration::from_millis(20)),
+            1 << 20,
+            1,
+            fast_retry(),
+        )
+        .unwrap();
+        // Two frames appended into the same (failing) fsync window.
+        let lsn1 = wal
+            .append(1, &render_wal_payload(&batch_payload(1)))
+            .unwrap();
+        let lsn2 = wal
+            .append(2, &render_wal_payload(&batch_payload(2)))
+            .unwrap();
+        assert!(wal.wait_durable(lsn1).is_err(), "waiter 1 sees the failure");
+        assert!(wal.wait_durable(lsn2).is_err(), "waiter 2 sees the failure");
+        // Sticky: further appends fail fast without touching the disk.
+        let err = wal
+            .append(3, &render_wal_payload(&batch_payload(3)))
+            .unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        // Neither NACKed frame survived on disk.
+        let scan = scan_dir(&dir, false).unwrap();
+        assert!(scan.payloads.is_empty(), "{:?}", scan.payloads);
+        // Heal, probe, and the WAL serves appends again.
+        fault.heal();
+        wal.probe(2).unwrap();
+        let lsn = wal
+            .append(3, &render_wal_payload(&batch_payload(3)))
+            .unwrap();
+        wal.wait_durable(lsn).unwrap();
+        drop(wal);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(
+            scan.payloads,
+            vec![WalPayload::Health { epoch: 2 }, batch_payload(3)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_on_append_fails_cleanly_under_never_policy() {
+        let dir = tmpdir("never-enospc");
+        // Append op 1 is the first frame (op 0 is the segment header).
+        let plan = FaultPlan::none().script(OpSel::NthOfKind(StorageOp::Append, 1), Fault::Enospc);
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let wal = Wal::open_with(
+            Arc::new(fault.clone()),
+            &dir,
+            FsyncPolicy::Never,
+            1 << 20,
+            1,
+            fast_retry(),
+        )
+        .unwrap();
+        let err = wal
+            .append(1, &render_wal_payload(&batch_payload(1)))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(
+                &err,
+                StorageError::Io {
+                    op: StorageOp::Append,
+                    ..
+                }
+            ) && msg.contains("wal-000001.log")
+                && msg.contains("persistent"),
+            "{msg}"
+        );
+        fault.heal();
+        append_all(&wal, &[batch_payload(2)]);
+        drop(wal);
+        let scan = scan_dir(&dir, false).unwrap();
+        assert_eq!(scan.payloads, vec![batch_payload(2)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -37,7 +37,9 @@ impl BatchSender {
     /// Enqueues a batch for the worker. Fails only if the worker has
     /// already shut down.
     pub fn submit(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
-        self.tx.send(batch).map_err(|_| ServiceError::WorkerGone)
+        self.tx
+            .send(batch)
+            .map_err(|_| ServiceError::WorkerGone(None))
     }
 }
 
@@ -59,11 +61,19 @@ impl ServiceWorker {
     /// Waits for the worker to drain and shut down (drop every
     /// [`BatchSender`] first, or this blocks forever). Returns the
     /// number of batches applied. A worker killed by a panicking batch
-    /// reports [`ServiceError::WorkerGone`] rather than re-panicking
-    /// the supervisor — the service itself recovers the poisoned lanes
-    /// on their next use (see [`crate::service`]).
+    /// reports [`ServiceError::WorkerGone`] — carrying the panic
+    /// message when the payload was a string, as `panic!` payloads
+    /// almost always are — rather than re-panicking the supervisor;
+    /// the service itself recovers the poisoned lanes on their next
+    /// use (see [`crate::service`]).
     pub fn join(self) -> Result<usize, ServiceError> {
-        self.handle.join().unwrap_or(Err(ServiceError::WorkerGone))
+        self.handle.join().unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()));
+            Err(ServiceError::WorkerGone(msg))
+        })
     }
 }
 

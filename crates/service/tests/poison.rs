@@ -263,7 +263,15 @@ fn worker_killed_by_panicking_batch_reports_instead_of_repanicking() {
     tx.submit(UpdateBatch::deleting(vec![point("b0", 1)]))
         .expect("submit");
     drop(tx);
-    assert!(matches!(worker.join(), Err(ServiceError::WorkerGone)));
+    let err = worker.join().unwrap_err();
+    let ServiceError::WorkerGone(payload) = err else {
+        panic!("expected WorkerGone, got {err}");
+    };
+    let payload = payload.expect("the panic payload message is carried through");
+    assert!(
+        payload.contains("injected worker-batch panic"),
+        "the hook's panic message survives the join: {payload:?}"
+    );
     svc.set_fault_hook(None);
     svc.apply(UpdateBatch::deleting(vec![point("b0", 1)]))
         .expect("lane recovers after the worker's panic");
