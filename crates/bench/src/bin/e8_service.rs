@@ -54,8 +54,8 @@ use mmv_core::batch::UpdateBatch;
 use mmv_core::tp::{fixpoint, FixpointConfig, Operator};
 use mmv_core::{ConstrainedAtom, ShardSpec, SupportMode};
 use mmv_service::{
-    Durability, Fault, FaultPlan, FaultVfs, FsyncPolicy, OpSel, ServiceError, ServiceHealth,
-    ServiceWorker, StdVfs, StorageOp, Vfs, ViewService,
+    validate_prometheus, Durability, Fault, FaultPlan, FaultVfs, FsyncPolicy, ObsOptions, OpSel,
+    ServiceError, ServiceHealth, ServiceWorker, Stage, StdVfs, StorageOp, Vfs, ViewService,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -796,6 +796,95 @@ fn main() {
     drop(service);
     let _ = std::fs::remove_dir_all(&fi_dir_base);
 
+    // ---- Part 7: observability — metrics overhead, per-stage profile -----
+    // The group-commit sweep again, once with the metrics registry and
+    // batch tracing on (the default) and once with observability
+    // disabled (no stage clocks, no traces, no batch counters). The
+    // instruments are relaxed atomics and a handful of `Instant::now`
+    // calls per batch, so the instrumented run must stay within a few
+    // percent of the dark one. The instrumented service then reports
+    // its per-stage latency profile straight from the registry's
+    // histograms, and `--prom <path>` dumps one Prometheus scrape of
+    // the full registry for external format validation.
+    println!();
+    let obs_dir_base = std::env::temp_dir().join(format!("mmv-e8-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&obs_dir_base);
+    let measure_obs = |stub: &str, opts: ObsOptions| -> (f64, Arc<ViewService>) {
+        let mut rates = Vec::with_capacity(DUR_ROUNDS);
+        let mut last = None;
+        for round in 0..DUR_ROUNDS {
+            let dir = obs_dir_base.join(format!("{stub}-{round}"));
+            let service = Arc::new(
+                dur_builder()
+                    .durability(Durability::durable(&dir).checkpoint_every(0))
+                    .observability(opts.clone())
+                    .build(sweep_db.clone())
+                    .expect("obs sweep service builds"),
+            );
+            let wall = run_writers(&service);
+            assert_eq!(service.epoch(), sweep_batches.len() as u64);
+            rates.push(sweep_batches.len() as f64 / wall.as_secs_f64());
+            last = Some(service);
+        }
+        rates.sort_by(|a, b| a.total_cmp(b));
+        (rates[rates.len() / 2], last.expect("DUR_ROUNDS > 0"))
+    };
+    let (instr_rate, instrumented) = measure_obs("on", ObsOptions::default());
+    let (dark_rate, _) = measure_obs("off", ObsOptions::disabled());
+    let overhead_fraction = 1.0 - instr_rate / dark_rate;
+    println!(
+        "metrics overhead: group-commit sweep {instr_rate:.0} batches/sec \
+         instrumented, {dark_rate:.0} disabled — overhead {:.1}%",
+        overhead_fraction * 100.0,
+    );
+    report.push(
+        JsonRow::new()
+            .str("section", "metrics_overhead")
+            .int("batches", sweep_batches.len() as i64)
+            .int("writer_threads", writer_threads as i64)
+            .int("rounds", DUR_ROUNDS as i64)
+            .float("instrumented_batches_per_sec", instr_rate)
+            .float("disabled_batches_per_sec", dark_rate)
+            .float("metrics_overhead_fraction", overhead_fraction),
+    );
+
+    // Per-stage latency profile of the last instrumented round, read
+    // from the same histograms a scraper sees.
+    let mut table = Table::new(&["stage", "batches", "p50", "p99", "max"]);
+    for stage in Stage::ALL {
+        let snap = instrumented.stage_timings(stage);
+        if snap.count() == 0 {
+            continue;
+        }
+        table.row(vec![
+            stage.name().to_string(),
+            snap.count().to_string(),
+            fmt_duration(Duration::from_nanos(snap.quantile(0.5))),
+            fmt_duration(Duration::from_nanos(snap.quantile(0.99))),
+            fmt_duration(Duration::from_nanos(snap.max)),
+        ]);
+        report.push(
+            JsonRow::new()
+                .str("section", "stage_profile")
+                .str("stage", stage.name())
+                .int("batches", snap.count() as i64)
+                .float("p50_micros", snap.quantile(0.5) as f64 / 1e3)
+                .float("p99_micros", snap.quantile(0.99) as f64 / 1e3)
+                .float("max_micros", snap.max as f64 / 1e3),
+        );
+    }
+    table.print();
+    let scrape = instrumented.metrics().render_prometheus();
+    validate_prometheus(&scrape).expect("instrumented scrape parses");
+    let traces = instrumented.recent_traces();
+    assert!(!traces.is_empty(), "instrumented sweep left traces");
+    if let Some(path) = prom_path_from_args() {
+        std::fs::write(&path, &scrape).expect("write --prom scrape");
+        println!("wrote prometheus scrape ({} bytes) to {path}", scrape.len());
+    }
+    drop(instrumented);
+    let _ = std::fs::remove_dir_all(&obs_dir_base);
+
     report.write_if(&json);
     println!();
     println!(
@@ -811,6 +900,18 @@ fn main() {
          writers; fsync-never tracks memory closely) while recovery \
          replays the full log back to the exact served state."
     );
+}
+
+/// `--prom <path>`: where to dump the instrumented sweep's Prometheus
+/// scrape (validated in CI by the `promcheck` binary).
+fn prom_path_from_args() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--prom" {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// The shard-sweep batch list: mostly single-component 2-point

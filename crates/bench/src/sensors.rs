@@ -9,7 +9,7 @@
 use mmv_constraints::{Value, ValueSet};
 use mmv_domains::Domain;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The `sensors` domain: `sensors:read(i)` returns the current readings
 /// of sensor `i` (a small set of integers).
@@ -27,9 +27,35 @@ impl SensorDomain {
         }
     }
 
+    /// Reads the sensor table. A panic while a writer held the lock
+    /// poisons it, but every write is a whole-`Vec<i64>` slot swap that
+    /// a panic can interrupt, not tear — so the poison is cleared and
+    /// the guard recovered rather than propagating the panic into
+    /// every later reader.
+    fn read_readings(&self) -> RwLockReadGuard<'_, Vec<Vec<i64>>> {
+        match self.readings.read() {
+            Ok(g) => g,
+            Err(p) => {
+                self.readings.clear_poison();
+                p.into_inner()
+            }
+        }
+    }
+
+    /// Write side of [`SensorDomain::read_readings`], same recovery.
+    fn write_readings(&self) -> RwLockWriteGuard<'_, Vec<Vec<i64>>> {
+        match self.readings.write() {
+            Ok(g) => g,
+            Err(p) => {
+                self.readings.clear_poison();
+                p.into_inner()
+            }
+        }
+    }
+
     /// Number of sensors.
     pub fn len(&self) -> usize {
-        self.readings.read().expect("sensor lock").len()
+        self.read_readings().len()
     }
 
     /// Whether there are no sensors.
@@ -39,7 +65,7 @@ impl SensorDomain {
 
     /// Overwrites sensor `i`'s readings (an external update).
     pub fn set(&self, i: usize, values: Vec<i64>) {
-        let mut r = self.readings.write().expect("sensor lock");
+        let mut r = self.write_readings();
         if let Some(slot) = r.get_mut(i) {
             *slot = values;
             self.version.fetch_add(1, Ordering::Relaxed);
@@ -58,7 +84,7 @@ impl Domain for SensorDomain {
                 let Some(i) = args.first().and_then(|v| v.as_int()) else {
                     return ValueSet::Empty;
                 };
-                let r = self.readings.read().expect("sensor lock");
+                let r = self.read_readings();
                 match usize::try_from(i).ok().and_then(|i| r.get(i)) {
                     Some(vals) => ValueSet::finite(vals.iter().map(|&v| Value::Int(v))),
                     None => ValueSet::Empty,
@@ -119,6 +145,26 @@ mod tests {
         assert_eq!(
             s.call("read", &[Value::int(1)]),
             ValueSet::finite([Value::int(100), Value::int(200)])
+        );
+    }
+
+    #[test]
+    fn poisoned_sensor_lock_recovers() {
+        let s = Arc::new(SensorDomain::new(2));
+        let s2 = s.clone();
+        // Poison the RwLock by panicking while holding the write guard.
+        let _ = std::thread::spawn(move || {
+            let _g = s2.write_readings();
+            panic!("poison the sensor lock");
+        })
+        .join();
+        // Reads and writes keep working: the poison is cleared, not
+        // propagated.
+        assert_eq!(s.len(), 2);
+        s.set(0, vec![42]);
+        assert_eq!(
+            s.call("read", &[Value::int(0)]),
+            ValueSet::finite([Value::int(42)])
         );
     }
 

@@ -66,6 +66,7 @@ pub mod delete_stdel;
 pub mod external;
 pub mod insert;
 pub mod normalize;
+pub mod obs;
 pub mod parser;
 pub mod program;
 pub mod semantics;

@@ -1,0 +1,236 @@
+//! Observability hooks for the core maintenance algorithms.
+//!
+//! [`CoreMetrics`] owns detached `mmv-obs` counters for the fixpoint,
+//! Extended DRed, StDel, insertion, and copy-on-write store statistics.
+//! The algorithms themselves stay metric-free — they keep returning their
+//! plain stats structs ([`FixpointStats`], [`ExtDredStats`], ...) and a
+//! caller (the view service) feeds those into a `CoreMetrics` after each
+//! batch via [`CoreMetrics::record_batch`]. Recording is a handful of
+//! relaxed atomic adds; registration into a
+//! [`mmv_obs::MetricsRegistry`] happens once at service build time.
+
+use crate::batch::{BatchStats, DeleteStats};
+use crate::delete_dred::ExtDredStats;
+use crate::tp::FixpointStats;
+use mmv_obs::{Counter, MetricsRegistry};
+
+/// Detached counters for every statistic the core algorithms report.
+#[derive(Clone, Debug, Default)]
+pub struct CoreMetrics {
+    /// Semi-naive fixpoint rounds executed.
+    pub fixpoint_iterations: Counter,
+    /// Derivations constructed before dedup/solvability filtering.
+    pub fixpoint_derivations: Counter,
+    /// Derivations discarded by the `T_P` solvability check.
+    pub fixpoint_pruned_unsolvable: Counter,
+    /// Derivations discarded as syntactically false.
+    pub fixpoint_pruned_syntactic: Counter,
+    /// Join-position lookups answered by the constant-argument index.
+    pub index_probes: Counter,
+    /// Candidate entries scanned across all join-position lookups.
+    pub candidates_scanned: Counter,
+    /// Entries weakened by Extended DRed's over-deletion step.
+    pub dred_weakened: Counter,
+    /// Entries added back by Extended DRed rederivation.
+    pub dred_rederived: Counter,
+    /// Entries removed by either deletion algorithm.
+    pub delete_removed: Counter,
+    /// Satisfiability tests performed by the deletion algorithms.
+    pub delete_solver_calls: Counter,
+    /// Entries replaced by StDel (direct + support propagation).
+    pub stdel_replacements: Counter,
+    /// Base entries materialized by batched insertion.
+    pub insert_added: Counter,
+    /// Entries derived by upward insertion propagation.
+    pub insert_propagated: Counter,
+    /// Entry-slab pages copied because they were shared with a snapshot.
+    pub store_entry_pages_copied: Counter,
+    /// Predicate indexes copied because they were shared with a snapshot.
+    pub store_pred_indexes_copied: Counter,
+}
+
+impl CoreMetrics {
+    /// Creates a fresh set of zeroed, unregistered counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one batch's statistics into the counters.
+    pub fn record_batch(&self, stats: &BatchStats) {
+        stats.inserts.fixpoint.record_into(self);
+        self.insert_added.add(stats.inserts.added as u64);
+        self.insert_propagated.add(stats.inserts.propagated as u64);
+        match &stats.deletes {
+            DeleteStats::None => {}
+            DeleteStats::Dred(d) => d.record_into(self),
+            DeleteStats::StDel(s) => {
+                self.stdel_replacements
+                    .add((s.direct_replacements + s.propagated_replacements) as u64);
+                self.delete_removed.add(s.removed as u64);
+                self.delete_solver_calls.add(s.solver_calls as u64);
+            }
+        }
+    }
+
+    /// Records copy-on-write page/index copies (a delta, not a total).
+    pub fn record_copies(&self, entry_pages: u64, pred_indexes: u64) {
+        self.store_entry_pages_copied.add(entry_pages);
+        self.store_pred_indexes_copied.add(pred_indexes);
+    }
+
+    /// Registers every counter into `registry` under its `mmv_` name.
+    pub fn register_into(&self, registry: &MetricsRegistry) {
+        let c = |name, help, handle: &Counter| {
+            registry.register_counter(name, help, &[], handle);
+        };
+        c(
+            "mmv_fixpoint_iterations_total",
+            "Semi-naive fixpoint rounds executed",
+            &self.fixpoint_iterations,
+        );
+        c(
+            "mmv_fixpoint_derivations_total",
+            "Derivations constructed before filtering",
+            &self.fixpoint_derivations,
+        );
+        c(
+            "mmv_fixpoint_pruned_unsolvable_total",
+            "Derivations discarded by the T_P solvability check",
+            &self.fixpoint_pruned_unsolvable,
+        );
+        c(
+            "mmv_fixpoint_pruned_syntactic_total",
+            "Derivations discarded as syntactically false",
+            &self.fixpoint_pruned_syntactic,
+        );
+        c(
+            "mmv_fixpoint_index_probes_total",
+            "Join lookups answered by the constant-argument index",
+            &self.index_probes,
+        );
+        c(
+            "mmv_fixpoint_candidates_scanned_total",
+            "Candidate entries scanned across join lookups",
+            &self.candidates_scanned,
+        );
+        c(
+            "mmv_dred_weakened_total",
+            "Entries weakened by Extended DRed over-deletion",
+            &self.dred_weakened,
+        );
+        c(
+            "mmv_dred_rederived_total",
+            "Entries rederived by Extended DRed",
+            &self.dred_rederived,
+        );
+        c(
+            "mmv_delete_removed_total",
+            "Entries removed by the deletion algorithms",
+            &self.delete_removed,
+        );
+        c(
+            "mmv_delete_solver_calls_total",
+            "Satisfiability tests performed during deletion",
+            &self.delete_solver_calls,
+        );
+        c(
+            "mmv_stdel_replacements_total",
+            "Entries replaced by StDel",
+            &self.stdel_replacements,
+        );
+        c(
+            "mmv_insert_added_total",
+            "Base entries materialized by insertion",
+            &self.insert_added,
+        );
+        c(
+            "mmv_insert_propagated_total",
+            "Entries derived by insertion propagation",
+            &self.insert_propagated,
+        );
+        c(
+            "mmv_store_entry_pages_copied_total",
+            "CoW entry-slab pages copied for snapshot isolation",
+            &self.store_entry_pages_copied,
+        );
+        c(
+            "mmv_store_pred_indexes_copied_total",
+            "CoW predicate indexes copied for snapshot isolation",
+            &self.store_pred_indexes_copied,
+        );
+    }
+}
+
+impl FixpointStats {
+    /// Feeds this run's counters into a [`CoreMetrics`].
+    pub fn record_into(&self, m: &CoreMetrics) {
+        m.fixpoint_iterations.add(self.iterations as u64);
+        m.fixpoint_derivations.add(self.derivations_tried as u64);
+        m.fixpoint_pruned_unsolvable
+            .add(self.pruned_unsolvable as u64);
+        m.fixpoint_pruned_syntactic
+            .add(self.pruned_syntactic as u64);
+        m.index_probes.add(self.index_probes as u64);
+        m.candidates_scanned.add(self.candidates_scanned as u64);
+    }
+}
+
+impl ExtDredStats {
+    /// Feeds this run's counters into a [`CoreMetrics`].
+    pub fn record_into(&self, m: &CoreMetrics) {
+        m.dred_weakened.add(self.weakened as u64);
+        m.dred_rederived.add(self.rederived as u64);
+        m.delete_removed.add(self.removed as u64);
+        m.delete_solver_calls.add(self.solver_calls as u64);
+        m.index_probes.add(self.index_probes as u64);
+        m.candidates_scanned.add(self.candidates_scanned as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::InsertBatchStats;
+
+    #[test]
+    fn batch_stats_feed_counters() {
+        let m = CoreMetrics::new();
+        let stats = BatchStats {
+            deletes: DeleteStats::Dred(ExtDredStats {
+                weakened: 2,
+                rederived: 1,
+                removed: 3,
+                solver_calls: 7,
+                index_probes: 5,
+                candidates_scanned: 11,
+                ..ExtDredStats::default()
+            }),
+            inserts: InsertBatchStats {
+                added: 4,
+                propagated: 6,
+                fixpoint: FixpointStats {
+                    iterations: 2,
+                    derivations_tried: 9,
+                    index_probes: 8,
+                    ..FixpointStats::default()
+                },
+            },
+            view_entries: 100,
+        };
+        m.record_batch(&stats);
+        assert_eq!(m.fixpoint_iterations.get(), 2);
+        assert_eq!(m.fixpoint_derivations.get(), 9);
+        assert_eq!(m.index_probes.get(), 8 + 5);
+        assert_eq!(m.candidates_scanned.get(), 11);
+        assert_eq!(m.dred_weakened.get(), 2);
+        assert_eq!(m.delete_removed.get(), 3);
+        assert_eq!(m.insert_added.get(), 4);
+        assert_eq!(m.insert_propagated.get(), 6);
+
+        let reg = MetricsRegistry::new();
+        m.register_into(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("mmv_fixpoint_iterations_total 2"), "{text}");
+        mmv_obs::validate_prometheus(&text).unwrap();
+    }
+}

@@ -204,6 +204,19 @@ pub struct ShareStats {
     pub pred_indexes_copied: u64,
 }
 
+impl ShareStats {
+    /// Copy-counter delta `(entry_pages_copied, pred_indexes_copied)`
+    /// since `before`. The cumulative counters never decrease on one
+    /// handle, so a caller diffing across a batch gets the copies that
+    /// batch caused.
+    pub fn copied_since(&self, before: &ShareStats) -> (u64, u64) {
+        (
+            self.entry_pages_copied - before.entry_pages_copied,
+            self.pred_indexes_copied - before.pred_indexes_copied,
+        )
+    }
+}
+
 /// A materialized mediated view: a cheaply-clonable handle onto a
 /// persistent, structurally-shared store (see the module docs).
 #[derive(Debug, Clone)]

@@ -1,0 +1,341 @@
+//! Validation of the Prometheus text exposition format.
+//!
+//! [`validate_prometheus`] is the checker behind the `promcheck` binary and
+//! the scrape-vs-write tests: it verifies the structural rules a scraper
+//! relies on (declared families, well-formed samples, cumulative histogram
+//! buckets, `+Inf` agreeing with `_count`) without needing a real
+//! Prometheus install.
+
+use std::collections::HashMap;
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().next().is_some_and(|b| !b.is_ascii_digit())
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().next().is_some_and(|b| !b.is_ascii_digit())
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    le: Option<String>,
+    /// Label set minus `le`, in source order, used to group histogram series.
+    series_key: String,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: {line:?}");
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or_else(|| err("unclosed label block"))?;
+            if close < brace {
+                return Err(err("unclosed label block"));
+            }
+            (
+                &line[..brace],
+                Some((&line[brace + 1..close], &line[close + 1..])),
+            )
+        }
+        None => (line.split_whitespace().next().unwrap_or(""), None),
+    };
+    if !valid_metric_name(name_part) {
+        return Err(err("invalid metric name"));
+    }
+    let (labels_raw, value_raw) = match rest {
+        Some((labels, tail)) => (labels, tail.trim()),
+        None => ("", line[name_part.len()..].trim()),
+    };
+    let mut le = None;
+    let mut series = Vec::new();
+    if !labels_raw.is_empty() {
+        for pair in split_label_pairs(labels_raw).map_err(|m| err(&m))? {
+            let (k, v) = pair;
+            if !valid_label_name(&k) {
+                return Err(err("invalid label name"));
+            }
+            if k == "le" {
+                le = Some(v);
+            } else {
+                series.push(format!("{k}={v}"));
+            }
+        }
+    }
+    if value_raw.is_empty() {
+        return Err(err("missing sample value"));
+    }
+    let value = match value_raw {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| err("unparseable sample value"))?,
+    };
+    Ok(Sample {
+        name: name_part.to_string(),
+        le,
+        series_key: series.join(","),
+        value,
+    })
+}
+
+/// Splits `k="v",k2="v2"` respecting escapes inside quoted values.
+fn split_label_pairs(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut chars = raw.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value not quoted"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some(other) => value.push(other),
+                    None => return Err("dangling escape in label value".into()),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label {key}"));
+        }
+        pairs.push((key, value));
+        match chars.next() {
+            None => return Ok(pairs),
+            Some(',') => continue,
+            Some(other) => return Err(format!("unexpected {other:?} after label value")),
+        }
+    }
+}
+
+/// Checks `text` against the Prometheus text exposition format.
+///
+/// Enforced rules:
+/// - every non-comment line parses as `name[{labels}] value`;
+/// - every sample belongs to a family declared by a `# TYPE` line
+///   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
+/// - at most one `# TYPE` per family, with a known type;
+/// - per histogram series: bucket counts are cumulative (non-decreasing in
+///   `le` order), a `+Inf` bucket exists, and it equals the `_count` sample.
+///
+/// Returns `Ok(())` on success or a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // (family, series_key) -> buckets seen, in order.
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    let mut samples: Vec<(usize, Sample)> = Vec::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+                    let ty = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without a type"))?;
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown metric type {ty:?}"));
+                    }
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: invalid metric name {name:?}"));
+                    }
+                    if types.insert(name.to_string(), ty.to_string()).is_some() {
+                        return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                    }
+                }
+                Some("HELP") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: HELP without a metric name"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: invalid metric name {name:?}"));
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        samples.push((lineno, parse_sample(line, lineno)?));
+    }
+
+    for (lineno, s) in &samples {
+        let family = histogram_family(&s.name, &types);
+        let Some(family) = family else {
+            return Err(format!(
+                "line {lineno}: sample {} has no # TYPE declaration",
+                s.name
+            ));
+        };
+        let ty = types.get(&family).map(String::as_str).unwrap_or("untyped");
+        if ty == "histogram" {
+            let key = (family.clone(), s.series_key.clone());
+            if s.name.ends_with("_bucket") {
+                let le =
+                    s.le.as_deref()
+                        .ok_or_else(|| format!("line {lineno}: histogram bucket without le"))?;
+                let bound = match le {
+                    "+Inf" => f64::INFINITY,
+                    v => v
+                        .parse::<f64>()
+                        .map_err(|_| format!("line {lineno}: unparseable le value {v:?}"))?,
+                };
+                buckets.entry(key).or_default().push((bound, s.value));
+            } else if s.name.ends_with("_count") {
+                counts.insert(key, s.value);
+            }
+        } else if s.le.is_some() {
+            return Err(format!(
+                "line {lineno}: le label on non-histogram metric {}",
+                s.name
+            ));
+        }
+    }
+
+    for ((family, series), seq) in &buckets {
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_count = -1.0f64;
+        let mut inf = None;
+        for (bound, count) in seq {
+            if *bound <= prev_bound {
+                return Err(format!(
+                    "histogram {family}{{{series}}}: le bounds not increasing"
+                ));
+            }
+            if *count < prev_count {
+                return Err(format!(
+                    "histogram {family}{{{series}}}: bucket counts not cumulative"
+                ));
+            }
+            prev_bound = *bound;
+            prev_count = *count;
+            if bound.is_infinite() {
+                inf = Some(*count);
+            }
+        }
+        let inf =
+            inf.ok_or_else(|| format!("histogram {family}{{{series}}}: missing +Inf bucket"))?;
+        if let Some(total) = counts.get(&(family.clone(), series.clone())) {
+            if (total - inf).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram {family}{{{series}}}: +Inf bucket {inf} != _count {total}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram {family}{{{series}}}: missing _count"));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a sample name to its declared family, peeling histogram
+/// suffixes when the base name is a declared histogram.
+fn histogram_family(name: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        let text = "\
+# HELP a_total things\n\
+# TYPE a_total counter\n\
+a_total 3\n\
+# TYPE lat histogram\n\
+lat_bucket{le=\"0.001\"} 1\n\
+lat_bucket{le=\"+Inf\"} 2\n\
+lat_sum 0.5\n\
+lat_count 2\n";
+        validate_prometheus(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_sample() {
+        let err = validate_prometheus("mystery_total 1\n").unwrap_err();
+        assert!(err.contains("no # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = "\
+# TYPE lat histogram\n\
+lat_bucket{le=\"1\"} 5\n\
+lat_bucket{le=\"+Inf\"} 3\n\
+lat_sum 1\n\
+lat_count 3\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "\
+# TYPE lat histogram\n\
+lat_bucket{le=\"+Inf\"} 3\n\
+lat_sum 1\n\
+lat_count 4\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let text = "# TYPE a counter\na{not closed 1\n";
+        assert!(validate_prometheus(text).is_err());
+    }
+
+    #[test]
+    fn labels_with_escapes_parse() {
+        let text = "# TYPE a counter\na{k=\"v \\\"q\\\" w\"} 1\n";
+        validate_prometheus(text).unwrap();
+    }
+}

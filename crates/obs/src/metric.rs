@@ -1,0 +1,287 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and [`Histogram`].
+//!
+//! Every handle is a cheap clone around an `Arc`'d atomic, so components can
+//! own their instruments *detached* from any registry and hot paths never
+//! take a lock. A [`crate::MetricsRegistry`] later binds the same handles to
+//! static names for exposition; scrapes read the atomics directly, so writers
+//! and scrapers never coordinate.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotonically increasing `u64` counter.
+///
+/// All updates are `Relaxed` atomic adds; reads may lag concurrent writers
+/// but are never torn and never decrease.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge for instantaneous values (queue depths, current state).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i >= 1` counts raw values in
+/// `[2^(i-1), 2^i)`; bucket `0` counts zeros; the last bucket absorbs
+/// everything at or above `2^62`.
+pub const HIST_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+pub(crate) struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Fixed-bucket log2-scale histogram over `u64` observations.
+///
+/// Recording is three relaxed atomic ops (bucket add, sum add, max
+/// fetch-max) — no locks, no allocation. Quantiles (p50/p90/p99) and the
+/// max are derived from a [`HistogramSnapshot`] taken at read time; a
+/// snapshot copies each bucket once, so the counts it reports are
+/// internally consistent (`count` is the sum of the buckets it returns).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Index of the bucket that holds `v`: zero maps to bucket 0, otherwise the
+/// bit length of `v`, clamped into the last bucket.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`); the last bucket is
+/// unbounded and reports `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole nanoseconds.
+    pub fn observe_nanos(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copies the buckets, sum, and max into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed)),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]'s state.
+///
+/// All derived figures (`count`, quantiles) are computed from the same
+/// copied bucket array, so a snapshot can never report a count that
+/// disagrees with its own buckets even while writers keep recording.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all raw observations.
+    pub sum: u64,
+    /// Largest observation recorded so far.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations in this snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in raw units.
+    ///
+    /// Walks the cumulative buckets to the one containing the rank and
+    /// returns that bucket's upper bound, capped by the recorded max so the
+    /// open-ended last bucket still yields a finite value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_indices() {
+        for i in 1..HIST_BUCKETS - 1 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), 6);
+        g.set_max(4);
+        assert_eq!(g.get(), 6);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_quantiles_from_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 100, 100, 100, 100, 100, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.sum, 5602);
+        assert_eq!(s.max, 5000);
+        // p50 rank 5 lands in the [64,128) bucket -> upper bound 127.
+        assert_eq!(s.quantile(0.5), 127);
+        // p99 rank 10 lands in the bucket holding 5000, capped by max.
+        assert_eq!(s.quantile(0.99), 5000);
+        assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+}

@@ -60,10 +60,11 @@ use crate::wal::{crc32, prune_segments_with, StorageError, Wal};
 use mmv_core::parser::{parse_entry, render_entry, render_wal_payload, ParsedEntry, WalPayload};
 use mmv_core::tp::Operator;
 use mmv_core::SupportMode;
+use mmv_obs::{Counter, Gauge, Histogram, Unit};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -90,6 +91,88 @@ pub struct CheckpointStats {
     pub failed: u64,
 }
 
+/// The detached `mmv-obs` instruments behind [`CheckpointStats`].
+///
+/// The checkpointer bumps these lock-free from its thread;
+/// [`Checkpointer::stats`] is a view over them and the service registers
+/// the same handles into its metrics registry.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CheckpointMetrics {
+    pub checkpoints: Counter,
+    pub failed: Counter,
+    pub skipped_busy: Counter,
+    pub segments_pruned: Counter,
+    pub total_micros: Counter,
+    pub last_epoch: Gauge,
+    pub last_micros: Gauge,
+    pub last_entries: Gauge,
+    /// Checkpoint write wall-clock in nanoseconds (serialize + fsync +
+    /// rename), registered with `Unit::Seconds`.
+    pub duration: Histogram,
+}
+
+impl CheckpointMetrics {
+    fn snapshot(&self) -> CheckpointStats {
+        CheckpointStats {
+            checkpoints: self.checkpoints.get(),
+            last_epoch: self.last_epoch.get() as u64,
+            last_micros: self.last_micros.get() as u64,
+            total_micros: self.total_micros.get(),
+            last_entries: self.last_entries.get() as u64,
+            segments_pruned: self.segments_pruned.get(),
+            skipped_busy: self.skipped_busy.get(),
+            failed: self.failed.get(),
+        }
+    }
+
+    /// Registers every instrument under its `mmv_checkpoint_` name.
+    pub(crate) fn register_into(&self, registry: &mmv_obs::MetricsRegistry) {
+        registry.register_counter(
+            "mmv_checkpoints_total",
+            "Checkpoints durably written",
+            &[],
+            &self.checkpoints,
+        );
+        registry.register_counter(
+            "mmv_checkpoint_failed_total",
+            "Checkpoint attempts that failed with an I/O error",
+            &[],
+            &self.failed,
+        );
+        registry.register_counter(
+            "mmv_checkpoint_skipped_busy_total",
+            "Checkpoint requests dropped because one was in flight",
+            &[],
+            &self.skipped_busy,
+        );
+        registry.register_counter(
+            "mmv_checkpoint_segments_pruned_total",
+            "WAL segments deleted by checkpoint pruning",
+            &[],
+            &self.segments_pruned,
+        );
+        registry.register_gauge(
+            "mmv_checkpoint_last_epoch",
+            "Global epoch of the newest durable checkpoint",
+            &[],
+            &self.last_epoch,
+        );
+        registry.register_gauge(
+            "mmv_checkpoint_last_entries",
+            "Entries serialized by the last checkpoint",
+            &[],
+            &self.last_entries,
+        );
+        registry.register_histogram(
+            "mmv_checkpoint_seconds",
+            "Checkpoint write wall-clock (serialize + fsync + rename)",
+            Unit::Seconds,
+            &[],
+            &self.duration,
+        );
+    }
+}
+
 struct Job {
     snapshot: Arc<ServiceSnapshot>,
     tickets: u64,
@@ -100,7 +183,7 @@ struct Job {
 pub struct Checkpointer {
     tx: Option<SyncSender<Job>>,
     handle: Option<JoinHandle<()>>,
-    stats: Arc<Mutex<CheckpointStats>>,
+    metrics: CheckpointMetrics,
 }
 
 impl std::fmt::Debug for Checkpointer {
@@ -141,8 +224,8 @@ impl Checkpointer {
         health: Arc<Health>,
         retry_interval: Duration,
     ) -> Checkpointer {
-        let stats = Arc::new(Mutex::new(CheckpointStats::default()));
-        let thread_stats = stats.clone();
+        let metrics = CheckpointMetrics::default();
+        let thread_metrics = metrics.clone();
         let (tx, rx) = sync_channel::<Job>(1);
         let handle = std::thread::Builder::new()
             .name("mmv-checkpointer".into())
@@ -156,14 +239,14 @@ impl Checkpointer {
                     retry,
                     &health,
                     retry_interval,
-                    &thread_stats,
+                    &thread_metrics,
                 );
             })
             .expect("spawn checkpointer");
         Checkpointer {
             tx: Some(tx),
             handle: Some(handle),
-            stats,
+            metrics,
         }
     }
 
@@ -175,7 +258,7 @@ impl Checkpointer {
         match tx.try_send(Job { snapshot, tickets }) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                lock(&self.stats).skipped_busy += 1;
+                self.metrics.skipped_busy.inc();
                 false
             }
         }
@@ -183,7 +266,12 @@ impl Checkpointer {
 
     /// A snapshot of the cumulative counters.
     pub fn stats(&self) -> CheckpointStats {
-        *lock(&self.stats)
+        self.metrics.snapshot()
+    }
+
+    /// The detached instrument handles, for registry registration.
+    pub(crate) fn metrics(&self) -> CheckpointMetrics {
+        self.metrics.clone()
     }
 
     /// Drains the queue and waits for any in-flight checkpoint — the
@@ -204,16 +292,6 @@ impl Drop for Checkpointer {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(p) => {
-            m.clear_poison();
-            p.into_inner()
-        }
-    }
-}
-
 /// The checkpoint thread body: receive a frozen snapshot, write it
 /// (whole-write retry on transient faults), and on a persistent
 /// failure hold the job — degraded, re-attempting on a timer, replaced
@@ -228,7 +306,7 @@ fn checkpoint_loop(
     retry: RetryPolicy,
     health: &Health,
     retry_interval: Duration,
-    stats: &Mutex<CheckpointStats>,
+    metrics: &CheckpointMetrics,
 ) {
     let mut held: Option<Job> = None;
     let mut disconnected = false;
@@ -261,17 +339,18 @@ fn checkpoint_loop(
                 );
                 let pruned = prune_segments_with(vfs, dir, epoch).unwrap_or(0);
                 let _ = prune_checkpoints_with(vfs, dir, epoch);
-                let micros = start.elapsed().as_micros() as u64;
-                let mut s = lock(stats);
-                s.checkpoints += 1;
-                s.last_epoch = epoch;
-                s.last_micros = micros;
-                s.total_micros += micros;
-                s.last_entries = entries;
-                s.segments_pruned += pruned;
+                let took = start.elapsed();
+                let micros = took.as_micros() as u64;
+                metrics.checkpoints.inc();
+                metrics.last_epoch.set_max(epoch as i64);
+                metrics.last_micros.set(micros as i64);
+                metrics.total_micros.add(micros);
+                metrics.last_entries.set(entries as i64);
+                metrics.segments_pruned.add(pruned);
+                metrics.duration.observe_nanos(took);
             }
             Err(e) => {
-                lock(stats).failed += 1;
+                metrics.failed.inc();
                 health.checkpoint_failed(&format!("checkpoint at epoch {epoch}: {e}"));
                 if disconnected {
                     // Shutdown already requested: this was the final

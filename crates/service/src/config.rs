@@ -149,6 +149,54 @@ impl Durability {
     }
 }
 
+/// Observability knobs: whether the service records metrics and
+/// per-batch stage traces, and how many recent traces it retains.
+///
+/// Metrics live in a lock-free
+/// [`MetricsRegistry`][mmv_obs::MetricsRegistry] and cost a handful of
+/// relaxed atomic adds per batch; tracing adds a few `Instant::now`
+/// calls per pipeline stage. Both are on by default. Disabling
+/// observability ([`ObsOptions::disabled`]) skips the stage clocks and
+/// trace ring entirely — the registry still exists (so scraping is
+/// always safe) but batch-lifecycle instruments stay at zero.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ObsOptions {
+    /// Record per-batch stage timings, traces, and batch counters
+    /// (default: `true`).
+    pub enabled: bool,
+    /// How many recent [`BatchTrace`][mmv_obs::BatchTrace]s the
+    /// service retains for [`recent_traces`][crate::ViewService::recent_traces]
+    /// (default: 64; 0 disables the ring).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            enabled: true,
+            trace_capacity: 64,
+        }
+    }
+}
+
+impl ObsOptions {
+    /// Observability off: no stage clocks, no traces, batch-lifecycle
+    /// instruments stay at zero. Scraping still works.
+    pub fn disabled() -> Self {
+        ObsOptions {
+            enabled: false,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Sets the retained-trace capacity (0 disables the ring).
+    pub fn trace_capacity(mut self, cap: usize) -> Self {
+        self.trace_capacity = cap;
+        self
+    }
+}
+
 /// Everything that shapes a [`ViewService`], with defaults for all of
 /// it. `#[non_exhaustive]`: start from [`ServiceConfig::default`] (or
 /// [`ViewService::builder`]) and override fields.
@@ -172,6 +220,8 @@ pub struct ServiceConfig {
     /// fsync, and checkpoint write retries under this policy before
     /// the failure surfaces.
     pub retry: RetryPolicy,
+    /// Metrics and batch-lifecycle tracing knobs.
+    pub observability: ObsOptions,
 }
 
 impl Default for ServiceConfig {
@@ -184,6 +234,7 @@ impl Default for ServiceConfig {
             shards: ShardSpec::auto(),
             durability: Durability::InMemory,
             retry: RetryPolicy::default(),
+            observability: ObsOptions::default(),
         }
     }
 }
@@ -197,6 +248,7 @@ impl fmt::Debug for ServiceConfig {
             .field("shards", &self.shards)
             .field("durability", &self.durability)
             .field("retry", &self.retry)
+            .field("observability", &self.observability)
             .finish_non_exhaustive()
     }
 }
@@ -265,6 +317,13 @@ impl ViewServiceBuilder {
     /// [`RetryPolicy::default`] — 4 retries, exponential backoff).
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.config.retry = retry;
+        self
+    }
+
+    /// Sets the observability knobs (default: [`ObsOptions::default`]
+    /// — metrics and tracing on, 64 retained traces).
+    pub fn observability(mut self, obs: ObsOptions) -> Self {
+        self.config.observability = obs;
         self
     }
 

@@ -25,11 +25,19 @@
 //! epoch it happened at and a human-readable reason — the audit trail
 //! the README's operations section points at.
 
+use mmv_obs::{Counter, Gauge};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Maximum transitions retained by the journal; a flapping disk keeps
+/// producing transitions forever, so the journal is a ring — the newest
+/// `HEALTH_TRANSITION_CAP` survive and
+/// `crate::ViewService::health_transitions_total` keeps the full count.
+pub const HEALTH_TRANSITION_CAP: usize = 256;
 
 /// Bounded exponential backoff for transient storage faults, carried
 /// by [`crate::ServiceConfig::retry`] into the WAL flusher and the
@@ -155,7 +163,8 @@ pub struct HealthTransition {
 struct HealthInner {
     wal_down: bool,
     checkpoint_down: bool,
-    transitions: Vec<HealthTransition>,
+    /// Ring of the newest [`HEALTH_TRANSITION_CAP`] transitions.
+    transitions: VecDeque<HealthTransition>,
 }
 
 impl HealthInner {
@@ -177,6 +186,11 @@ impl HealthInner {
 pub(crate) struct Health {
     inner: Mutex<HealthInner>,
     epoch: AtomicU64,
+    /// Detached instruments: every transition ever recorded (the ring
+    /// above only keeps the newest), and the current state as a gauge
+    /// (0 healthy, 1 degraded, 2 read-only).
+    transitions_total: Counter,
+    state_gauge: Gauge,
 }
 
 impl Health {
@@ -195,11 +209,20 @@ impl Health {
         set(guard);
         let to = guard.state();
         if from != to {
-            guard.transitions.push(HealthTransition {
+            if guard.transitions.len() == HEALTH_TRANSITION_CAP {
+                guard.transitions.pop_front();
+            }
+            guard.transitions.push_back(HealthTransition {
                 from,
                 to,
                 epoch: self.epoch.load(Ordering::Relaxed),
                 reason: reason.to_string(),
+            });
+            self.transitions_total.inc();
+            self.state_gauge.set(match to {
+                ServiceHealth::Healthy => 0,
+                ServiceHealth::Degraded => 1,
+                ServiceHealth::ReadOnly => 2,
             });
         }
     }
@@ -209,9 +232,31 @@ impl Health {
         self.lock().state()
     }
 
-    /// A copy of the transition journal.
+    /// A copy of the transition journal (the newest
+    /// [`HEALTH_TRANSITION_CAP`] transitions, oldest first).
     pub(crate) fn transitions(&self) -> Vec<HealthTransition> {
-        self.lock().transitions.clone()
+        self.lock().transitions.iter().cloned().collect()
+    }
+
+    /// Every transition ever recorded, including ones the ring evicted.
+    pub(crate) fn transitions_total(&self) -> u64 {
+        self.transitions_total.get()
+    }
+
+    /// Registers the health instruments into `registry`.
+    pub(crate) fn register_into(&self, registry: &mmv_obs::MetricsRegistry) {
+        registry.register_counter(
+            "mmv_health_transitions_total",
+            "Health transitions recorded (including ring-evicted ones)",
+            &[],
+            &self.transitions_total,
+        );
+        registry.register_gauge(
+            "mmv_health_state",
+            "Current service health (0 healthy, 1 degraded, 2 read-only)",
+            &[],
+            &self.state_gauge,
+        );
     }
 
     /// Records the last published epoch (stamped onto transitions).
@@ -415,5 +460,31 @@ mod tests {
             "no-op flag changes journal nothing"
         );
         assert!(t[1].reason.contains("ENOSPC"));
+        assert_eq!(h.transitions_total(), 3);
+    }
+
+    #[test]
+    fn transition_journal_is_a_ring() {
+        let h = Health::default();
+        // A flapping WAL: each flap is two transitions.
+        let flaps = HEALTH_TRANSITION_CAP; // 2 * CAP transitions total
+        for i in 0..flaps {
+            h.note_epoch(i as u64);
+            h.wal_failed("flap down");
+            h.wal_restored("flap up");
+        }
+        let t = h.transitions();
+        assert_eq!(t.len(), HEALTH_TRANSITION_CAP, "journal stays bounded");
+        assert_eq!(
+            h.transitions_total(),
+            2 * flaps as u64,
+            "counter keeps the full tally"
+        );
+        // The survivors are the newest transitions, oldest first.
+        assert_eq!(t.last().unwrap().epoch, (flaps - 1) as u64);
+        assert_eq!(
+            t.first().unwrap().epoch,
+            (flaps - HEALTH_TRANSITION_CAP / 2) as u64
+        );
     }
 }

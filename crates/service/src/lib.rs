@@ -36,6 +36,12 @@
 //!   ([`checkpoint`]); and [`ViewService::recover`] rebuilds the
 //!   service after a crash from the newest valid checkpoint plus the
 //!   WAL tail, tolerating a torn final frame.
+//! * **Observability** — every subsystem registers its counters into
+//!   one lock-free [`MetricsRegistry`] ([`ViewService::metrics`]),
+//!   scrapeable as Prometheus text or JSON concurrently with writers
+//!   at zero coordination cost; each applied batch leaves a
+//!   per-stage wall-clock [`BatchTrace`]
+//!   ([`ViewService::recent_traces`]). Gated by [`ObsOptions`].
 //! * **Fault tolerance** — all storage I/O goes through a [`Vfs`]
 //!   (swappable for the deterministic, seed-driven [`FaultVfs`] in
 //!   tests); transient faults are absorbed by bounded-backoff retry
@@ -77,6 +83,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod health;
 pub mod log;
+mod obs;
 pub mod service;
 pub mod snapshot;
 pub mod vfs;
@@ -84,8 +91,8 @@ pub mod wal;
 pub mod worker;
 
 pub use checkpoint::CheckpointStats;
-pub use config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
-pub use health::{HealthTransition, RetryPolicy, ServiceHealth};
+pub use config::{Durability, ObsOptions, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+pub use health::{HealthTransition, RetryPolicy, ServiceHealth, HEALTH_TRANSITION_CAP};
 pub use log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
 pub use service::{Applied, FaultHook, LogRead, ServiceError, SharedResolver, ViewService};
 pub use snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
@@ -99,6 +106,13 @@ pub use worker::{BatchSender, ServiceWorker};
 // depend on mmv-core directly for the common path.
 pub use mmv_core::batch::{BatchError, BatchStats, DeleteStats, UpdateBatch};
 pub use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
+
+// Re-export the observability vocabulary the service's own API speaks
+// ([`ViewService::metrics`], [`ViewService::recent_traces`]) so
+// scraping a service needs no direct mmv-obs dependency.
+pub use mmv_obs::{
+    validate_prometheus, BatchTrace, HistogramSnapshot, MetricsRegistry, Stage, TraceRing,
+};
 
 /// Send/Sync audit: the service shares these across reader and writer
 /// threads, so a regression (an `Rc`, a `RefCell`, a raw pointer
@@ -130,4 +144,12 @@ const _SEND_SYNC_AUDIT: () = {
     assert_send_sync::<mmv_core::SharedMap<u64, Vec<mmv_core::EntryId>>>();
     assert_send_sync::<mmv_core::ShareStats>();
     assert_send_sync::<PublishStats>();
+    // Observability: scrapers render and writers bump from arbitrary
+    // threads, so the registry and its handles must stay Send + Sync.
+    assert_send_sync::<MetricsRegistry>();
+    assert_send_sync::<TraceRing>();
+    assert_send_sync::<BatchTrace>();
+    assert_send_sync::<mmv_obs::Counter>();
+    assert_send_sync::<mmv_obs::Gauge>();
+    assert_send_sync::<mmv_obs::Histogram>();
 };

@@ -108,6 +108,19 @@ pub trait LogSink: Send {
     /// in-memory sink returns `None`.
     fn append(&mut self, record: LogRecord, ticket_base: u64) -> Result<Option<u64>, StorageError>;
 
+    /// [`LogSink::append`] with batch-lifecycle tracing: a durable sink
+    /// records the WAL-render and WAL-append stage times into `trace`;
+    /// the in-memory sink just delegates (its append has no WAL stages).
+    fn append_traced(
+        &mut self,
+        record: LogRecord,
+        ticket_base: u64,
+        trace: &mut mmv_obs::BatchTrace,
+    ) -> Result<Option<u64>, StorageError> {
+        let _ = &trace;
+        self.append(record, ticket_base)
+    }
+
     /// Removes the record appended at `epoch` again: the deferred
     /// group-commit durability wait failed after the record was
     /// already mirrored, and the batch is being rolled back. (The WAL
@@ -196,6 +209,22 @@ impl LogSink for DurableLog {
     fn append(&mut self, record: LogRecord, ticket_base: u64) -> Result<Option<u64>, StorageError> {
         let frame = render_wal_batch(record.epoch, ticket_base, &record.batch);
         let lsn = self.wal.append(record.epoch, &frame)?;
+        self.mem.append(record);
+        Ok(Some(lsn))
+    }
+
+    fn append_traced(
+        &mut self,
+        record: LogRecord,
+        ticket_base: u64,
+        trace: &mut mmv_obs::BatchTrace,
+    ) -> Result<Option<u64>, StorageError> {
+        let t0 = std::time::Instant::now();
+        let frame = render_wal_batch(record.epoch, ticket_base, &record.batch);
+        let t1 = std::time::Instant::now();
+        trace.record(mmv_obs::Stage::WalRender, t1 - t0);
+        let lsn = self.wal.append(record.epoch, &frame)?;
+        trace.record(mmv_obs::Stage::WalAppend, t1.elapsed());
         self.mem.append(record);
         Ok(Some(lsn))
     }

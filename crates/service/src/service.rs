@@ -83,9 +83,10 @@
 //! that.)
 
 use crate::checkpoint::{self, CheckpointStats, Checkpointer};
-use crate::config::{Durability, RecoveryReport, ServiceConfig, ViewServiceBuilder};
+use crate::config::{Durability, ObsOptions, RecoveryReport, ServiceConfig, ViewServiceBuilder};
 use crate::health::{Health, HealthProbe, HealthTransition, ServiceHealth};
 use crate::log::{DurableLog, LogRecord, LogSink, Recovery, ReplayError, UpdateLog};
+use crate::obs::{ServiceObs, StageClock};
 use crate::snapshot::{Epoch, PublishStats, ServiceSnapshot, ViewSnapshot};
 use crate::vfs::{StdVfs, StorageOp, Vfs};
 use crate::wal::{self, FsyncPolicy, StorageError, Wal, WalStats};
@@ -97,6 +98,7 @@ use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
 use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
 use mmv_core::view::ShareStats;
 use mmv_core::{ConstrainedDatabase, InstanceError, MaterializedView, SupportMode};
+use mmv_obs::{BatchTrace, HistogramSnapshot, MetricsRegistry, Stage};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
@@ -352,6 +354,9 @@ pub struct ViewService {
     /// outside of tests.
     fault_armed: AtomicBool,
     fault: Mutex<Option<FaultHook>>,
+    /// Unified metrics registry + batch-lifecycle trace ring; every
+    /// subsystem's detached counters are registered here.
+    pub(crate) obs: ServiceObs,
 }
 
 impl fmt::Debug for ViewService {
@@ -391,6 +396,7 @@ impl ViewService {
             shards: spec,
             durability,
             retry,
+            observability,
             ..
         } = config;
         let (view, _) =
@@ -408,6 +414,7 @@ impl ViewService {
             lane_epochs,
             epoch: 0,
             tickets: 0,
+            obs: observability,
         });
         if let Durability::Durable {
             dir,
@@ -421,6 +428,8 @@ impl ViewService {
             Self::require_fresh_dir(&dir)?;
             let wal = Wal::open_with(vfs.clone(), &dir, fsync, segment_bytes, 1, retry)
                 .map_err(ServiceError::Storage)?;
+            vfs.register_metrics(&svc.obs.registry);
+            wal.metrics().register_into(&svc.obs.registry);
             let checkpointer = Checkpointer::spawn_with(
                 vfs,
                 dir,
@@ -430,6 +439,7 @@ impl ViewService {
                 svc.health.clone(),
                 probe_interval,
             );
+            checkpointer.metrics().register_into(&svc.obs.registry);
             let probe = HealthProbe::spawn(svc.health.clone(), wal.clone(), probe_interval);
             svc.log = Mutex::new(Box::new(DurableLog::new(wal.clone())));
             svc.durable = Some(DurableState {
@@ -468,6 +478,7 @@ impl ViewService {
             shards: spec,
             durability,
             retry,
+            observability,
             ..
         } = config;
         let (fsync, checkpoint_every, segment_bytes, vfs, probe_interval) = match durability {
@@ -573,6 +584,7 @@ impl ViewService {
             lane_epochs,
             epoch: base_epoch,
             tickets: base_tickets,
+            obs: observability,
         });
         let mut replayed = 0u64;
         let mut recoveries: Vec<Recovery> = Vec::new();
@@ -609,6 +621,8 @@ impl ViewService {
         let recovered_epoch = svc.read_published().epoch;
         let wal = Wal::open_with(vfs.clone(), dir, fsync, segment_bytes, scan.next_seq, retry)
             .map_err(ServiceError::Storage)?;
+        vfs.register_metrics(&svc.obs.registry);
+        wal.metrics().register_into(&svc.obs.registry);
         let checkpointer = Checkpointer::spawn_with(
             vfs,
             dir.to_path_buf(),
@@ -618,6 +632,7 @@ impl ViewService {
             svc.health.clone(),
             probe_interval,
         );
+        checkpointer.metrics().register_into(&svc.obs.registry);
         let probe = HealthProbe::spawn(svc.health.clone(), wal.clone(), probe_interval);
         {
             let mut sink = lock_clean(&svc.log);
@@ -718,6 +733,7 @@ impl ViewService {
             lane_epochs,
             epoch,
             tickets,
+            obs: obs_opts,
         } = parts;
         let lane_dbs: Vec<ConstrainedDatabase> = (0..shards.num_shards())
             .map(|s| shards.restrict_db(&db, s))
@@ -741,6 +757,9 @@ impl ViewService {
         ));
         let health = Arc::new(Health::default());
         health.note_epoch(epoch);
+        let obs = ServiceObs::new(&obs_opts, shards.num_shards());
+        health.register_into(&obs.registry);
+        obs.publish_epoch_hint(epoch);
         ViewService {
             db,
             resolver,
@@ -762,6 +781,7 @@ impl ViewService {
             durable: None,
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
+            obs,
         }
     }
 
@@ -837,8 +857,45 @@ impl ViewService {
     /// The journal of health transitions, oldest first: every flip
     /// between `Healthy`, `Degraded`, and `ReadOnly`, with the epoch it
     /// happened at and the storage error (or probe success) behind it.
+    /// The journal is a bounded ring (the newest
+    /// [`HEALTH_TRANSITION_CAP`][crate::health::HEALTH_TRANSITION_CAP]
+    /// entries); [`ViewService::health_transitions_total`] counts every
+    /// transition ever, including evicted ones.
     pub fn health_transitions(&self) -> Vec<HealthTransition> {
         self.health.transitions()
+    }
+
+    /// Total health transitions since construction — monotone even
+    /// after the bounded journal starts evicting old entries.
+    pub fn health_transitions_total(&self) -> u64 {
+        self.health.transitions_total()
+    }
+
+    /// The service's unified metrics registry: writer-lane, WAL,
+    /// checkpoint, health, storage-fault, and core maintenance
+    /// counters, all behind lock-free handles. Scrape with
+    /// [`MetricsRegistry::render_prometheus`] or
+    /// [`MetricsRegistry::render_json`] from any thread, concurrently
+    /// with writers — rendering never takes a lock the write path
+    /// takes.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs.registry
+    }
+
+    /// The most recent completed batch traces, oldest first: per-stage
+    /// wall-clock through split → lock wait → apply → WAL render →
+    /// append → fsync wait → publish → checkpoint staging. Bounded by
+    /// [`ObsOptions::trace_capacity`][crate::config::ObsOptions];
+    /// empty when observability is disabled.
+    pub fn recent_traces(&self) -> Vec<BatchTrace> {
+        self.obs.traces.recent()
+    }
+
+    /// A snapshot of one pipeline stage's cumulative latency histogram
+    /// (nanosecond buckets; derive p50/p99 with
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn stage_timings(&self, stage: Stage) -> HistogramSnapshot {
+        self.obs.stage_histogram(stage).snapshot()
     }
 
     /// Hands the current composite snapshot to the background
@@ -942,7 +999,11 @@ impl ViewService {
     /// fail fast with [`ServiceError::ReadOnly`] until the background
     /// probe restores storage (see [`ViewService::health`]).
     pub fn apply(&self, batch: UpdateBatch) -> Result<Applied, ServiceError> {
-        self.apply_inner(batch, None)
+        let result = self.apply_inner(batch, None);
+        if result.is_err() && self.obs.enabled {
+            self.obs.batches_failed.inc();
+        }
+        result
     }
 
     fn apply_inner(
@@ -957,6 +1018,10 @@ impl ViewService {
         if replay.is_none() && self.health.current() == ServiceHealth::ReadOnly {
             return Err(ServiceError::ReadOnly);
         }
+        // The per-batch stage stopwatch. Disabled (or during replay,
+        // whose WAL stages never run), it is inert: no clock reads on
+        // the uninstrumented path.
+        let mut clock = StageClock::new(self.obs.enabled && replay.is_none());
         // Route the batch. The common case — every request in one
         // shard (always true single-lane) — borrows the batch as-is;
         // only genuinely cross-shard batches pay the split's per-atom
@@ -983,6 +1048,7 @@ impl ViewService {
                 .map(|p| (p.shard, &p.batch, p.insert_positions.as_slice()))
                 .collect()
         };
+        clock.lap(Stage::Split);
         // Reserve the batch's external-insertion tickets: one per
         // request, globally ordered, so shard-split insertion supports
         // match the single-lane (and log-replay) numbering. The RAII
@@ -999,10 +1065,22 @@ impl ViewService {
         };
         // Lock the touched lanes in ascending shard order (parts are
         // sorted) — the canonical order that makes deadlock impossible.
+        // The waiters gauge brackets each acquisition so scrapers see
+        // per-lane queueing while it happens.
         let mut guards: Vec<(ShardId, MutexGuard<'_, LaneState>)> = parts
             .iter()
-            .map(|&(s, _, _)| (s, self.lock_lane(s)))
+            .map(|&(s, _, _)| {
+                if self.obs.enabled {
+                    self.obs.lane_waiters[s].inc();
+                }
+                let g = self.lock_lane(s);
+                if self.obs.enabled {
+                    self.obs.lane_waiters[s].dec();
+                }
+                (s, g)
+            })
             .collect();
+        clock.lap(Stage::LockWait);
         let befores: Vec<ShareStats> = guards.iter().map(|(_, g)| g.view.share_stats()).collect();
 
         let start = Instant::now();
@@ -1046,6 +1124,7 @@ impl ViewService {
             }
         }
         let latency = start.elapsed();
+        clock.lap(Stage::Apply);
         let shards_touched = parts.len();
         drop(parts); // releases the borrow of `batch` for the log record
 
@@ -1130,7 +1209,14 @@ impl ViewService {
                 publish,
                 shards_touched,
             };
-            let lsn = match sink.append(record, ticket_base) {
+            // WAL render and append time themselves inside the traced
+            // sink; the plain path skips even that bookkeeping.
+            let appended = if clock.enabled() {
+                sink.append_traced(record, ticket_base, &mut clock.trace)
+            } else {
+                sink.append(record, ticket_base)
+            };
+            let lsn = match appended {
                 Ok(lsn) => lsn,
                 Err(e) => {
                     // The WAL rejected the frame: the batch must not
@@ -1151,6 +1237,7 @@ impl ViewService {
                 self.write_published().deferred_inflight += 1;
                 (epoch, lsn)
             } else {
+                clock.mark();
                 checkpoint_snapshot = self.publish_frozen(
                     epoch,
                     frozen.take().expect("not yet consumed"),
@@ -1158,6 +1245,7 @@ impl ViewService {
                     replay.is_none(),
                     false,
                 );
+                clock.lap(Stage::Publish);
                 (epoch, None)
             }
         };
@@ -1170,8 +1258,10 @@ impl ViewService {
                 .durable
                 .as_ref()
                 .expect("deferred publication implies a durable service");
+            clock.mark();
             match d.wal.wait_durable(lsn) {
                 Ok(()) => {
+                    clock.lap(Stage::FsyncWait);
                     checkpoint_snapshot = self.publish_frozen(
                         epoch,
                         frozen.take().expect("not yet consumed"),
@@ -1179,6 +1269,7 @@ impl ViewService {
                         true,
                         true,
                     );
+                    clock.lap(Stage::Publish);
                 }
                 Err(e) => {
                     // The flusher gave up on this frame: it never
@@ -1203,10 +1294,23 @@ impl ViewService {
             *t = (*t).max(ctx.ticket_base + n_inserts);
         }
         if let Some(snap) = checkpoint_snapshot {
+            clock.mark();
             let tickets = *lock_clean(&self.tickets);
             if let Some(d) = &self.durable {
                 d.checkpointer.request(snap, tickets);
             }
+            clock.lap(Stage::Checkpoint);
+        }
+        if let Some(mut trace) = clock.finish() {
+            trace.epoch = epoch;
+            trace.shards_touched = shards_touched as u32;
+            self.obs.record_applied(
+                trace,
+                touched.iter().copied(),
+                &stats,
+                publish.entry_pages_copied,
+                publish.pred_indexes_copied,
+            );
         }
         Ok(Applied {
             epoch,
@@ -1328,6 +1432,7 @@ struct AssembleParts {
     lane_epochs: Vec<Epoch>,
     epoch: Epoch,
     tickets: u64,
+    obs: ObsOptions,
 }
 
 #[cfg(test)]

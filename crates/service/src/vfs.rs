@@ -101,6 +101,13 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     fn remove_file(&self, path: &Path) -> io::Result<()>;
     /// fsyncs the directory itself, making entry changes durable.
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Registers any counters this Vfs keeps into `registry`. The
+    /// production [`StdVfs`] keeps none (default no-op); [`FaultVfs`]
+    /// exposes its operation and injected-fault counters, so a durable
+    /// service built over fault injection reports them in every scrape.
+    fn register_metrics(&self, registry: &mmv_obs::MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -308,6 +315,10 @@ pub struct FaultStats {
 struct FaultState {
     rng: u64,
     ops: u64,
+    /// Detached mirrors of `ops` / `injected.len()` for the metrics
+    /// registry (readable without this mutex).
+    m_ops: mmv_obs::Counter,
+    m_injected: mmv_obs::Counter,
     kind_ops: [u64; 9],
     transient_left: u32,
     persistent: Option<Fault>,
@@ -389,6 +400,8 @@ impl FaultVfs {
             state: Mutex::new(FaultState {
                 rng: plan.seed ^ 0xA076_1D64_78BD_642F,
                 ops: 0,
+                m_ops: mmv_obs::Counter::new(),
+                m_injected: mmv_obs::Counter::new(),
                 kind_ops: [0; 9],
                 transient_left: 0,
                 persistent: None,
@@ -441,6 +454,7 @@ impl FaultVfs {
 
     fn apply_fault(s: &mut FaultState, idx: u64, fault: Fault, is_write: bool) -> Verdict {
         s.injected.push(idx);
+        s.m_injected.inc();
         match fault {
             Fault::Transient { run } => {
                 s.transient_left = run.saturating_sub(1);
@@ -473,6 +487,7 @@ impl FaultVfs {
         let s = &mut *self.lock();
         let idx = s.ops;
         s.ops += 1;
+        s.m_ops.inc();
         let kidx = op_index(op);
         let kop = s.kind_ops[kidx];
         s.kind_ops[kidx] += 1;
@@ -502,6 +517,7 @@ impl FaultVfs {
             // script entry itself persists until heal(), so it must
             // not poison the global sticky state.
             s.injected.push(idx);
+            s.m_injected.inc();
             return match fault {
                 Fault::Enospc => Verdict::Fail(enospc()),
                 Fault::Transient { .. } => Verdict::Fail(transient_err()),
@@ -655,6 +671,23 @@ impl Vfs for Arc<FaultVfs> {
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         self.gate(StorageOp::SyncDir, dir)?;
         self.inner.sync_dir(dir)
+    }
+
+    fn register_metrics(&self, registry: &mmv_obs::MetricsRegistry) {
+        let s = self.lock();
+        registry.register_counter(
+            "mmv_vfs_fault_ops_total",
+            "Fault-eligible storage operations seen by the FaultVfs",
+            &[],
+            &s.m_ops,
+        );
+        registry.register_counter(
+            "mmv_vfs_faults_injected_total",
+            "Storage faults the FaultVfs injected",
+            &[],
+            &s.m_injected,
+        );
+        self.inner.register_metrics(registry);
     }
 }
 

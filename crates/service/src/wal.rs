@@ -87,6 +87,7 @@
 use crate::health::RetryPolicy;
 use crate::vfs::{StdVfs, StorageOp, Vfs, VfsFile};
 use mmv_core::parser::{parse_wal_payload, render_wal_payload, WalPayload};
+use mmv_obs::Counter;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -130,6 +131,75 @@ pub struct WalStats {
     pub segments_created: u64,
     /// Transient IO failures absorbed by in-place retry.
     pub retries: u64,
+}
+
+/// The detached `mmv-obs` counters behind [`WalStats`].
+///
+/// The WAL owns these from birth and bumps them lock-free on the hot
+/// path; [`Wal::stats`] is a view over them, and the service registers
+/// the same handles into its metrics registry, so there is no parallel
+/// bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WalMetrics {
+    pub records: Counter,
+    pub bytes_written: Counter,
+    pub fsync_batches: Counter,
+    pub fsyncs: Counter,
+    pub segments_created: Counter,
+    pub retries: Counter,
+}
+
+impl WalMetrics {
+    fn snapshot(&self) -> WalStats {
+        WalStats {
+            records: self.records.get(),
+            bytes_written: self.bytes_written.get(),
+            fsync_batches: self.fsync_batches.get(),
+            fsyncs: self.fsyncs.get(),
+            segments_created: self.segments_created.get(),
+            retries: self.retries.get(),
+        }
+    }
+
+    /// Registers every counter under its `mmv_wal_` name.
+    pub(crate) fn register_into(&self, registry: &mmv_obs::MetricsRegistry) {
+        registry.register_counter(
+            "mmv_wal_records_total",
+            "WAL frames appended",
+            &[],
+            &self.records,
+        );
+        registry.register_counter(
+            "mmv_wal_bytes_written_total",
+            "WAL bytes written (headers + frames)",
+            &[],
+            &self.bytes_written,
+        );
+        registry.register_counter(
+            "mmv_wal_fsync_batches_total",
+            "Group-commit rounds (or inline flushes) made durable",
+            &[],
+            &self.fsync_batches,
+        );
+        registry.register_counter(
+            "mmv_wal_fsyncs_total",
+            "Individual fdatasync calls",
+            &[],
+            &self.fsyncs,
+        );
+        registry.register_counter(
+            "mmv_wal_segments_created_total",
+            "WAL segment files created",
+            &[],
+            &self.segments_created,
+        );
+        registry.register_counter(
+            "mmv_wal_retries_total",
+            "Transient IO failures absorbed by in-place retry",
+            &[],
+            &self.retries,
+        );
+    }
 }
 
 /// A durable-storage failure.
@@ -308,13 +378,15 @@ struct SyncShared {
     /// Sticky flusher failure: once set, appends and waits fail fast.
     error: Option<StickyError>,
     shutdown: bool,
-    stats: WalStats,
 }
 
 struct WalShared {
     sync: Mutex<SyncShared>,
     appended_cv: Condvar,
     durable_cv: Condvar,
+    /// Lock-free I/O counters — bumped by appender and flusher alike,
+    /// read by [`Wal::stats`] and metric scrapes without the mutex.
+    metrics: WalMetrics,
 }
 
 /// The appender's exclusive state.
@@ -400,10 +472,10 @@ impl Wal {
                 truncated_current: None,
                 error: None,
                 shutdown: false,
-                stats: WalStats::default(),
             }),
             appended_cv: Condvar::new(),
             durable_cv: Condvar::new(),
+            metrics: WalMetrics::default(),
         });
         let flusher = match policy {
             FsyncPolicy::GroupCommit(window) => {
@@ -443,7 +515,12 @@ impl Wal {
 
     /// A snapshot of the cumulative I/O counters.
     pub fn stats(&self) -> WalStats {
-        lock_clean(&self.shared.sync).stats
+        self.shared.metrics.snapshot()
+    }
+
+    /// The detached counter handles, for registry registration.
+    pub(crate) fn metrics(&self) -> WalMetrics {
+        self.shared.metrics.clone()
     }
 
     /// Requests that the next append open a fresh segment — called
@@ -513,8 +590,8 @@ impl Wal {
             FsyncPolicy::Never => {
                 s.appended += 1;
                 s.durable = s.appended;
-                s.stats.records += 1;
-                s.stats.bytes_written += flen;
+                self.shared.metrics.records.inc();
+                self.shared.metrics.bytes_written.add(flen);
                 Ok(s.appended)
             }
             FsyncPolicy::Always => {
@@ -522,7 +599,7 @@ impl Wal {
                 let mut synced = 0u64;
                 let mut failed: Option<StorageError> = None;
                 for f in pending.iter().chain(std::iter::once(&h)) {
-                    match self.run_retry_counted(&mut s.stats, || f.file.sync_data()) {
+                    match self.run_retry_counted(|| f.file.sync_data()) {
                         Ok(()) => synced += 1,
                         Err(e) => {
                             failed = Some(StorageError::io(StorageOp::Fsync, f.path.clone(), e));
@@ -535,10 +612,10 @@ impl Wal {
                         s.pending.clear();
                         s.appended += 1;
                         s.durable = s.appended;
-                        s.stats.records += 1;
-                        s.stats.bytes_written += flen;
-                        s.stats.fsyncs += synced;
-                        s.stats.fsync_batches += 1;
+                        self.shared.metrics.records.inc();
+                        self.shared.metrics.bytes_written.add(flen);
+                        self.shared.metrics.fsyncs.add(synced);
+                        self.shared.metrics.fsync_batches.inc();
                         Ok(s.appended)
                     }
                     Some(e) => {
@@ -559,8 +636,8 @@ impl Wal {
             FsyncPolicy::GroupCommit(_) => {
                 s.appended += 1;
                 let lsn = s.appended;
-                s.stats.records += 1;
-                s.stats.bytes_written += flen;
+                self.shared.metrics.records.inc();
+                self.shared.metrics.bytes_written.add(flen);
                 s.frames.push(FrameSpan {
                     lsn,
                     path: h.path.clone(),
@@ -640,19 +717,15 @@ impl Wal {
         self.retry.run(op, is_transient_io)
     }
 
-    /// [`Wal::run_retry`], counting absorbed retries into `stats`.
-    fn run_retry_counted(
-        &self,
-        stats: &mut WalStats,
-        mut op: impl FnMut() -> io::Result<()>,
-    ) -> io::Result<()> {
+    /// [`Wal::run_retry`], counting absorbed retries into the metrics.
+    fn run_retry_counted(&self, mut op: impl FnMut() -> io::Result<()>) -> io::Result<()> {
         let mut attempt = 0u32;
         loop {
             match op() {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt < self.retry.max_retries && is_transient_io(&e) => {
                     attempt += 1;
-                    stats.retries += 1;
+                    self.shared.metrics.retries.inc();
                     let pause = self.retry.backoff(attempt);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
@@ -683,7 +756,7 @@ impl Wal {
         let pause_or_fail = |attempt: &mut u32, e: &io::Error| {
             if *attempt < self.retry.max_retries && is_transient_io(e) {
                 *attempt += 1;
-                lock_clean(&self.shared.sync).stats.retries += 1;
+                self.shared.metrics.retries.inc();
                 let pause = self.retry.backoff(*attempt);
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
@@ -777,8 +850,8 @@ impl Wal {
             s.pending.push(old);
         }
         s.current = Some(handle);
-        s.stats.segments_created += 1;
-        s.stats.bytes_written += header.len() as u64;
+        self.shared.metrics.segments_created.inc();
+        self.shared.metrics.bytes_written.add(header.len() as u64);
         Ok(())
     }
 }
@@ -848,14 +921,14 @@ fn flusher_loop(shared: &WalShared, window: Duration, retry: RetryPolicy) {
             }
         }
         s = lock_clean(&shared.sync);
-        s.stats.retries += retried;
+        shared.metrics.retries.add(retried);
         match failed {
             None => {
                 s.durable = s.durable.max(target);
                 let target = s.durable;
                 s.frames.retain(|f| f.lsn > target);
-                s.stats.fsync_batches += 1;
-                s.stats.fsyncs += files.len() as u64;
+                shared.metrics.fsync_batches.inc();
+                shared.metrics.fsyncs.add(files.len() as u64);
             }
             Some((path, e)) => give_up(&mut s, &files, &path, &e),
         }

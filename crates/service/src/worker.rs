@@ -31,15 +31,20 @@ pub struct ServiceWorker {
 #[derive(Clone)]
 pub struct BatchSender {
     tx: mpsc::Sender<UpdateBatch>,
+    /// The service's `mmv_worker_queue_depth` gauge: up on submit,
+    /// down when the worker picks the batch up.
+    depth: mmv_obs::Gauge,
 }
 
 impl BatchSender {
     /// Enqueues a batch for the worker. Fails only if the worker has
     /// already shut down.
     pub fn submit(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
-        self.tx
-            .send(batch)
-            .map_err(|_| ServiceError::WorkerGone(None))
+        self.depth.inc();
+        self.tx.send(batch).map_err(|_| {
+            self.depth.dec();
+            ServiceError::WorkerGone(None)
+        })
     }
 }
 
@@ -47,15 +52,18 @@ impl ServiceWorker {
     /// Spawns the writer thread for `service`.
     pub fn spawn(service: Arc<ViewService>) -> (BatchSender, ServiceWorker) {
         let (tx, rx) = mpsc::channel::<UpdateBatch>();
+        let depth = service.obs.queue_depth.clone();
+        let worker_depth = depth.clone();
         let handle = std::thread::spawn(move || {
             let mut applied = 0usize;
             for batch in rx {
+                worker_depth.dec();
                 service.apply(batch)?;
                 applied += 1;
             }
             Ok(applied)
         });
-        (BatchSender { tx }, ServiceWorker { handle })
+        (BatchSender { tx, depth }, ServiceWorker { handle })
     }
 
     /// Waits for the worker to drain and shut down (drop every

@@ -18,6 +18,9 @@
 //! * [`service`] (`mmv-service`) — the concurrent view service: batched
 //!   update transactions, epoch-tagged snapshot reads, and a replayable
 //!   update log over the core maintenance algorithms.
+//! * [`obs`] (`mmv-obs`) — dependency-free observability: the lock-free
+//!   metrics registry, batch-lifecycle traces, and Prometheus/JSON
+//!   exposition the service reports through.
 //! * [`storage`] (`mmv-storage`) — the relational engine backing the
 //!   simulated PARADOX/DBASE databases.
 //! * [`datalog`] (`mmv-datalog`) — ground Datalog baselines (semi-naive,
@@ -33,5 +36,6 @@ pub use mmv_constraints as constraints;
 pub use mmv_core as core;
 pub use mmv_datalog as datalog;
 pub use mmv_domains as domains;
+pub use mmv_obs as obs;
 pub use mmv_service as service;
 pub use mmv_storage as storage;
