@@ -68,6 +68,7 @@ pub mod insert;
 pub mod normalize;
 pub mod obs;
 pub mod parser;
+pub mod pool;
 pub mod program;
 pub mod semantics;
 pub mod shard;
@@ -88,6 +89,7 @@ pub use parser::{
     parse_atom, parse_atom_exact, parse_entry, parse_program, parse_wal_payload, render_entry,
     render_wal_payload, ParseError, Parsed, ParsedEntry, WalPayload,
 };
+pub use pool::{panic_message, PoolFaultHook, PoolMetrics, WorkerPool};
 pub use program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase, ValidationIssue};
 pub use semantics::{
     batch_oracle, deletion_oracle, insertion_oracle, recompute_instances, OracleError,
@@ -95,5 +97,8 @@ pub use semantics::{
 pub use shard::{ShardId, ShardMap, ShardPart, ShardSpec};
 pub use store::{SharedMap, SharedVec};
 pub use support::{Producer, Support};
-pub use tp::{fixpoint, fixpoint_seeded, FixpointConfig, FixpointError, FixpointStats, Operator};
+pub use tp::{
+    fixpoint, fixpoint_seeded, FixpointConfig, FixpointError, FixpointStats, Operator,
+    ParallelFixpoint,
+};
 pub use view::{EntryId, GroundFact, InstanceError, MaterializedView, ShareStats, SupportMode};

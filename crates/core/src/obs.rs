@@ -47,6 +47,12 @@ pub struct CoreMetrics {
     pub store_entry_pages_copied: Counter,
     /// Predicate indexes copied because they were shared with a snapshot.
     pub store_pred_indexes_copied: Counter,
+    /// `by_const` key/value pairs physically cloned while un-sharing
+    /// trie leaves (the sub-page CoW cost; compare against whole-index
+    /// key counts to see the saving).
+    pub store_by_const_keys_copied: Counter,
+    /// Live-slot pairs cloned while un-sharing trie leaves.
+    pub store_slot_keys_copied: Counter,
 }
 
 impl CoreMetrics {
@@ -76,6 +82,13 @@ impl CoreMetrics {
     pub fn record_copies(&self, entry_pages: u64, pred_indexes: u64) {
         self.store_entry_pages_copied.add(entry_pages);
         self.store_pred_indexes_copied.add(pred_indexes);
+    }
+
+    /// Records sub-page key-level copies (a delta, not a total): the
+    /// `by_const` and slot pairs cloned by trie-leaf un-sharing.
+    pub fn record_key_copies(&self, by_const_keys: u64, slot_keys: u64) {
+        self.store_by_const_keys_copied.add(by_const_keys);
+        self.store_slot_keys_copied.add(slot_keys);
     }
 
     /// Registers every counter into `registry` under its `mmv_` name.
@@ -157,6 +170,16 @@ impl CoreMetrics {
             "mmv_store_pred_indexes_copied_total",
             "CoW predicate indexes copied for snapshot isolation",
             &self.store_pred_indexes_copied,
+        );
+        c(
+            "mmv_store_by_const_keys_copied_total",
+            "Sub-page CoW: by_const key/value pairs cloned by trie-leaf un-sharing",
+            &self.store_by_const_keys_copied,
+        );
+        c(
+            "mmv_store_slot_keys_copied_total",
+            "Sub-page CoW: live-slot pairs cloned by trie-leaf un-sharing",
+            &self.store_slot_keys_copied,
         );
     }
 }

@@ -13,14 +13,20 @@
 //!   page it lands on (and the page *table*, once), and only when that
 //!   page is still shared with an older clone — classic copy-on-write,
 //!   paid once per touched page per epoch.
-//! * [`SharedMap<K, V>`] — an insert-only persistent hash trie (a HAMT
-//!   over the key's 64-bit hash, 6 bits per level). `clone` is O(1);
-//!   `insert` walks O(log n) nodes, un-shares (copies) only those an
-//!   older clone still holds, and mutates nodes it owns in place — so
-//!   sharing costs nothing between snapshots and a path copy at most
-//!   once per touched node per epoch. The view's global dedup indexes
-//!   (support → entry, canonical-hash → entries) never delete keys, so
-//!   removal is deliberately not offered.
+//! * [`SharedMap<K, V>`] — a persistent hash trie (a HAMT over the
+//!   key's 64-bit hash, 6 bits per level). `clone` is O(1); `insert`,
+//!   `update` and `remove` walk O(log n) nodes, un-share (copy) only
+//!   those an older clone still holds, and mutate nodes the handle owns
+//!   in place — so sharing costs nothing between snapshots and a path
+//!   copy is paid at most once per touched node per epoch. The view's
+//!   global dedup indexes (support → entry, canonical-hash → entries)
+//!   are insert-only; the per-predicate discrimination indexes
+//!   (`by_const`, the `slots` live-set) additionally delete keys via
+//!   [`SharedMap::remove`]. [`SharedMap::copied_keys`] counts the
+//!   key/value pairs physically re-cloned by leaf un-shares — the
+//!   *key-level* CoW traffic: touching one key of a shared index costs
+//!   O(that key's bucket), never O(all keys), and the counter is what
+//!   proves it (`share_stats()` aggregates it per view).
 //!
 //! Neither structure uses interior mutability or unsafe code: a clone is
 //! an independent *value* that merely shares heap nodes, so concurrent
@@ -173,18 +179,25 @@ enum Node<K, V> {
     Leaf { hash: u64, pairs: Vec<(K, V)> },
 }
 
-/// An insert-only persistent hash map (HAMT): O(1) `clone`, lookups and
-/// inserts walk ≤ 11 levels, and an insert copies only the nodes on its
-/// path — everything else stays shared with older clones.
+/// A persistent hash map (HAMT): O(1) `clone`, lookups, inserts and
+/// removals walk ≤ 11 levels, and a mutation copies only the nodes on
+/// its path — everything else stays shared with older clones.
 #[derive(Clone)]
 pub struct SharedMap<K, V> {
     root: Option<Arc<Node<K, V>>>,
     len: usize,
+    /// Key/value pairs physically cloned by leaf un-shares (cumulative;
+    /// clones inherit the count, so callers diff across epochs).
+    copied: u64,
 }
 
 impl<K, V> Default for SharedMap<K, V> {
     fn default() -> Self {
-        SharedMap { root: None, len: 0 }
+        SharedMap {
+            root: None,
+            len: 0,
+            copied: 0,
+        }
     }
 }
 
@@ -246,6 +259,16 @@ impl<K: Hash + Eq + Clone, V: Clone> SharedMap<K, V> {
         self.get(k).is_some()
     }
 
+    /// Key/value pairs this handle's mutations physically re-cloned
+    /// while un-sharing leaf buckets (cumulative; a clone inherits the
+    /// count, so callers diff across epochs). This is the *key-level*
+    /// copy cost of the structure: mutating one key of a map shared
+    /// with an older snapshot bumps this by that key's bucket size
+    /// (almost always 1), never by the whole key count.
+    pub fn copied_keys(&self) -> u64 {
+        self.copied
+    }
+
     /// Inserts `k → v`, returning the previous value if the key was
     /// already present. Nodes still shared with an older clone are
     /// copied on the way down (path copy); nodes this handle already
@@ -262,7 +285,7 @@ impl<K: Hash + Eq + Clone, V: Clone> SharedMap<K, V> {
                 }));
                 None
             }
-            Some(root) => insert_rec(root, 0, hash, k, v),
+            Some(root) => insert_rec(root, 0, hash, k, v, &mut self.copied),
         };
         if old.is_none() {
             self.len += 1;
@@ -288,11 +311,31 @@ impl<K: Hash + Eq + Clone, V: Clone> SharedMap<K, V> {
                 }));
                 true
             }
-            Some(root) => update_rec(root, 0, hash, k, default, f),
+            Some(root) => update_rec(root, 0, hash, k, default, f, &mut self.copied),
         };
         if fresh {
             self.len += 1;
         }
+    }
+
+    /// Removes `k`, returning its value if it was present. Like the
+    /// other mutations, only path nodes an older clone still holds are
+    /// copied; a leaf bucket left empty is unlinked from its branch
+    /// (and the branch's slot bit cleared), so lookups never traverse
+    /// tombstones.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        // Probe first: a miss must not un-share anything.
+        if !self.contains_key(k) {
+            return None;
+        }
+        let hash = hash_key(k);
+        let root = self.root.as_mut().expect("key present, so non-empty");
+        let (v, now_empty) = remove_rec(root, 0, hash, k, &mut self.copied);
+        if now_empty {
+            self.root = None;
+        }
+        self.len -= 1;
+        Some(v)
     }
 }
 
@@ -339,12 +382,27 @@ impl<K: Clone, V: Clone> Node<K, V> {
     }
 }
 
+/// Un-shares a trie node for mutation, charging `copied` with the
+/// key/value pairs cloned when the node is a leaf bucket (branch
+/// un-shares copy child `Arc`s, not keys). No-op on nodes this handle
+/// already owns — the uniqueness test and the clone are one decision,
+/// like [`unshare_counted`].
+fn unshare_node<K: Clone, V: Clone>(node: &mut Arc<Node<K, V>>, copied: &mut u64) {
+    if Arc::get_mut(node).is_none() {
+        if let Node::Leaf { pairs, .. } = node.as_ref() {
+            *copied += pairs.len() as u64;
+        }
+        *node = Arc::new(node.unshare());
+    }
+}
+
 fn insert_rec<K: Hash + Eq + Clone, V: Clone>(
     node: &mut Arc<Node<K, V>>,
     depth: u32,
     hash: u64,
     k: K,
     v: V,
+    copied: &mut u64,
 ) -> Option<V> {
     // A leaf with a different hash splits into a branch over both; the
     // old leaf is shared into the new subtree as-is, so no un-sharing.
@@ -361,9 +419,7 @@ fn insert_rec<K: Hash + Eq + Clone, V: Clone>(
     }
     // Otherwise this node is edited: un-share it first if an older
     // clone still holds it, then mutate in place.
-    if Arc::get_mut(node).is_none() {
-        *node = Arc::new(node.unshare());
-    }
+    unshare_node(node, copied);
     match Arc::get_mut(node).expect("node just un-shared") {
         Node::Leaf { pairs, .. } => match pairs.iter_mut().find(|(pk, _)| *pk == k) {
             Some(pair) => Some(std::mem::replace(&mut pair.1, v)),
@@ -387,7 +443,7 @@ fn insert_rec<K: Hash + Eq + Clone, V: Clone>(
                 *bitmap |= bit;
                 None
             } else {
-                insert_rec(&mut children[idx], depth + 1, hash, k, v)
+                insert_rec(&mut children[idx], depth + 1, hash, k, v, copied)
             }
         }
     }
@@ -404,6 +460,7 @@ fn update_rec<K: Hash + Eq + Clone, V: Clone>(
     k: K,
     default: V,
     f: impl FnOnce(&mut V),
+    copied: &mut u64,
 ) -> bool {
     if let Node::Leaf { hash: lh, .. } = node.as_ref() {
         if *lh != hash {
@@ -418,9 +475,7 @@ fn update_rec<K: Hash + Eq + Clone, V: Clone>(
             return true;
         }
     }
-    if Arc::get_mut(node).is_none() {
-        *node = Arc::new(node.unshare());
-    }
+    unshare_node(node, copied);
     match Arc::get_mut(node).expect("node just un-shared") {
         Node::Leaf { pairs, .. } => match pairs.iter_mut().find(|(pk, _)| *pk == k) {
             Some(pair) => {
@@ -451,8 +506,46 @@ fn update_rec<K: Hash + Eq + Clone, V: Clone>(
                 *bitmap |= bit;
                 true
             } else {
-                update_rec(&mut children[idx], depth + 1, hash, k, default, f)
+                update_rec(&mut children[idx], depth + 1, hash, k, default, f, copied)
             }
+        }
+    }
+}
+
+/// [`insert_rec`]'s removal sibling. Callers have already proven `k` is
+/// present, so every node on the path is edited: un-share it (charging
+/// leaf-pair copies), remove the pair from its leaf bucket, and unlink
+/// emptied children on the way back up (clearing the branch's slot
+/// bit). Returns the removed value and whether `node` itself is now
+/// empty and should be unlinked by *its* parent.
+fn remove_rec<K: Hash + Eq + Clone, V: Clone>(
+    node: &mut Arc<Node<K, V>>,
+    depth: u32,
+    hash: u64,
+    k: &K,
+    copied: &mut u64,
+) -> (V, bool) {
+    unshare_node(node, copied);
+    match Arc::get_mut(node).expect("node just un-shared") {
+        Node::Leaf { pairs, .. } => {
+            let idx = pairs
+                .iter()
+                .position(|(pk, _)| pk == k)
+                .expect("caller proved the key is present");
+            let (_, v) = pairs.remove(idx);
+            (v, pairs.is_empty())
+        }
+        Node::Branch { bitmap, children } => {
+            let s = slot(hash, depth);
+            let bit = 1u64 << s;
+            debug_assert!(*bitmap & bit != 0, "caller proved the key is present");
+            let idx = (*bitmap & (bit - 1)).count_ones() as usize;
+            let (v, child_empty) = remove_rec(&mut children[idx], depth + 1, hash, k, copied);
+            if child_empty {
+                children.remove(idx);
+                *bitmap &= !bit;
+            }
+            (v, children.is_empty())
         }
     }
 }
@@ -596,6 +689,67 @@ mod tests {
     }
 
     #[test]
+    fn shared_map_remove_matches_std_hashmap() {
+        let mut m: SharedMap<u64, u64> = SharedMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut k = 13u64;
+        for i in 0..3000u64 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = k % 256;
+            if k % 3 == 0 {
+                assert_eq!(m.remove(&key), reference.remove(&key), "key {key}");
+            } else {
+                assert_eq!(m.insert(key, i), reference.insert(key, i), "key {key}");
+            }
+            assert_eq!(m.len(), reference.len());
+        }
+        for key in 0..256u64 {
+            assert_eq!(m.get(&key), reference.get(&key), "key {key}");
+        }
+        // Drain to empty: the root must unlink cleanly.
+        let keys: Vec<u64> = reference.keys().copied().collect();
+        for key in keys {
+            assert!(m.remove(&key).is_some());
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.insert(1, 1);
+        assert_eq!(m.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn shared_map_remove_isolates_clones_and_counts_key_copies() {
+        let mut m: SharedMap<u64, u64> = SharedMap::new();
+        for i in 0..512u64 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.copied_keys(), 0, "unshared mutations clone no pairs");
+        let snapshot = m.clone();
+        let before = m.copied_keys();
+        m.remove(&3);
+        m.insert(7, 700);
+        m.update(9, 0, |v| *v += 1);
+        // The snapshot never moves...
+        assert_eq!(snapshot.get(&3), Some(&3));
+        assert_eq!(snapshot.get(&7), Some(&7));
+        assert_eq!(snapshot.get(&9), Some(&9));
+        assert_eq!(snapshot.len(), 512);
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.len(), 511);
+        // ...and the three touched keys cost key-level copies, not a
+        // whole-map copy: each path clones one shared leaf bucket
+        // (bucket size ~1), never the other ~509 keys.
+        let copied = m.copied_keys() - before;
+        assert!(copied >= 3, "three shared leaves were edited: {copied}");
+        assert!(copied < 64, "key copies must stay ≪ map size: {copied}");
+        // Re-touching now-owned paths copies nothing further.
+        let owned = m.copied_keys();
+        m.insert(7, 701);
+        m.update(9, 0, |v| *v += 1);
+        assert_eq!(m.copied_keys(), owned);
+    }
+
+    #[test]
     fn shared_map_handles_full_hash_collisions() {
         let mut m: SharedMap<Colliding, u32> = SharedMap::new();
         for i in 0..20 {
@@ -608,6 +762,15 @@ mod tests {
         assert_eq!(m.insert(Colliding(7), 700), Some(7));
         assert_eq!(m.get(&Colliding(7)), Some(&700));
         assert_eq!(m.len(), 20);
+        // Removal inside the shared bucket, down to empty.
+        assert_eq!(m.remove(&Colliding(7)), Some(700));
+        assert_eq!(m.remove(&Colliding(7)), None);
+        assert_eq!(m.get(&Colliding(7)), None);
+        assert_eq!(m.len(), 19);
+        for i in (0..20).filter(|&i| i != 7) {
+            assert_eq!(m.remove(&Colliding(i)), Some(i));
+        }
+        assert!(m.is_empty());
     }
 
     #[test]

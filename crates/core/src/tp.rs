@@ -46,10 +46,24 @@
 //! entries ("all") — so every combination involving at least one delta
 //! entry is enumerated exactly once per round, without building
 //! per-round `HashSet`s or rescanning the view.
+//!
+//! # Intra-round parallelism
+//!
+//! The splits of one round are mutually independent — each enumerates
+//! against the frozen round-start state, and a round only inserts — so
+//! with [`FixpointConfig::parallel`] set they run as [`WorkerPool`]
+//! tasks over a frozen (`Arc`-bump) clone of the view, each with a
+//! private variable generator, and the caller thread merges the
+//! candidate derivations back *in submission order*: the inserted
+//! entries, their ids, supports, and the next round's delta are
+//! syntactically identical to the sequential engine's (pinned by the
+//! `engine_equivalence` proptest at several pool widths). See
+//! `round_parallel` for the full argument.
 
 use crate::atom::ConstrainedAtom;
 use crate::normalize::normalize;
-use crate::program::{BodyAtom, Clause, ConstrainedDatabase};
+use crate::pool::WorkerPool;
+use crate::program::{BodyAtom, Clause, ClauseId, ConstrainedDatabase};
 use crate::support::{Producer, Support};
 use crate::view::{EntryId, MaterializedView, SupportMode};
 use mmv_constraints::fxhash::FxHashMap;
@@ -80,6 +94,13 @@ pub struct FixpointConfig {
     pub max_iterations: usize,
     /// Maximum live view entries before giving up.
     pub max_entries: usize,
+    /// Intra-round parallelism: when set (and the pool has more than
+    /// one thread), each round's independent `(clause, delta-position)`
+    /// splits run as pool tasks over a frozen round-start view, with a
+    /// deterministic submission-order merge — see
+    /// [the module docs][self#intra-round-parallelism]. `None` (the
+    /// default) is the plain sequential engine.
+    pub parallel: Option<ParallelFixpoint>,
 }
 
 impl Default for FixpointConfig {
@@ -88,7 +109,32 @@ impl Default for FixpointConfig {
             solver: SolverConfig::default(),
             max_iterations: 512,
             max_entries: 1_000_000,
+            parallel: None,
         }
+    }
+}
+
+/// Intra-round parallel execution: a shared [`WorkerPool`] plus an
+/// owned, thread-safe handle to the *same* domain resolver the fixpoint
+/// is driven with — pool tasks run the `T_P` admission test themselves,
+/// so they need a `Send + Sync` resolver they can hold across threads.
+/// Callers must pass the resolver this handle wraps as the borrowed
+/// resolver argument of [`fixpoint`]/`propagate`; the view service
+/// guarantees that by construction.
+#[derive(Clone)]
+pub struct ParallelFixpoint {
+    /// The pool the round's splits are submitted to (shared across
+    /// writer lanes).
+    pub pool: Arc<WorkerPool>,
+    /// The resolver tasks admit derivations against.
+    pub resolver: Arc<dyn DomainResolver + Send + Sync>,
+}
+
+impl fmt::Debug for ParallelFixpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelFixpoint")
+            .field("threads", &self.pool.threads())
+            .finish_non_exhaustive()
     }
 }
 
@@ -106,6 +152,16 @@ pub enum FixpointError {
         /// Entries materialized.
         entries: usize,
     },
+    /// A work-stealing pool task panicked mid-round. The round's merge
+    /// never ran, so the view holds exactly the pre-round state; the
+    /// pool's workers survive for the next batch. Surfacing this as an
+    /// error (instead of re-panicking on the submitting thread) keeps
+    /// the caller's locks unpoisoned — the service's normal
+    /// rollback-on-error path restores every touched lane.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for FixpointError {
@@ -119,6 +175,9 @@ impl fmt::Display for FixpointError {
             }
             FixpointError::EntryBudget { entries } => {
                 write!(f, "fixpoint entry budget exhausted at {entries} entries")
+            }
+            FixpointError::WorkerPanic { message } => {
+                write!(f, "pool worker panicked mid-round: {message}")
             }
         }
     }
@@ -275,16 +334,21 @@ pub fn fixpoint_seeded(
 /// stamped with `token` form the round's delta. Stamps persist across
 /// rounds; a fresh token per round makes stale stamps inert, so no
 /// per-round set is built and no full rescan happens.
-pub(crate) struct RoundScope<'a> {
+///
+/// The scope owns its stamp vector behind an `Arc` (cheaply cloned, no
+/// borrow of the [`RoundState`]), so a parallel round can hand one copy
+/// to every pool task.
+#[derive(Clone)]
+pub(crate) struct RoundScope {
     /// Per-slot round stamps (slots beyond the vector count as 0).
-    pub stamps: &'a [u64],
+    stamps: Arc<Vec<u64>>,
     /// The current round's token.
     pub token: u64,
     /// Entry-slot watermark taken at round start.
     pub watermark: usize,
 }
 
-impl RoundScope<'_> {
+impl RoundScope {
     fn in_delta(&self, id: EntryId) -> bool {
         self.stamps.get(id).copied() == Some(self.token)
     }
@@ -295,30 +359,32 @@ impl RoundScope<'_> {
 /// counter behind [`RoundScope`], so the freeze mechanics live in one
 /// place.
 pub(crate) struct RoundState {
-    stamps: Vec<u64>,
+    stamps: Arc<Vec<u64>>,
     token: u64,
 }
 
 impl RoundState {
     pub fn new() -> Self {
         RoundState {
-            stamps: Vec::new(),
+            stamps: Arc::new(Vec::new()),
             token: 0,
         }
     }
 
     /// Starts a round: freezes the view's slot watermark and stamps the
-    /// delta with a fresh token. The returned scope is valid until the
-    /// next `begin`.
-    pub fn begin(&mut self, view: &MaterializedView, delta: &[EntryId]) -> RoundScope<'_> {
+    /// delta with a fresh token. (`Arc::make_mut` copies the stamp
+    /// vector only if a previous round's tasks still hold it — they
+    /// never do: every task completes before its round's merge.)
+    pub fn begin(&mut self, view: &MaterializedView, delta: &[EntryId]) -> RoundScope {
         self.token += 1;
         let watermark = view.entry_slots();
-        self.stamps.resize(watermark, 0);
+        let stamps = Arc::make_mut(&mut self.stamps);
+        stamps.resize(watermark, 0);
         for &id in delta {
-            self.stamps[id] = self.token;
+            stamps[id] = self.token;
         }
         RoundScope {
-            stamps: &self.stamps,
+            stamps: Arc::clone(&self.stamps),
             token: self.token,
             watermark,
         }
@@ -365,7 +431,7 @@ struct ComboCtx<'a> {
     /// entries ("all") — see [`delta_plan`].
     older: &'a [usize],
     delta: &'a DeltaSource<'a>,
-    scope: Option<&'a RoundScope<'a>>,
+    scope: Option<&'a RoundScope>,
     /// Visit order of body positions: the delta position first (it is
     /// the most selective source and its bindings prune every other
     /// position), then the rest by ascending estimated probe
@@ -562,7 +628,7 @@ pub(crate) fn collect_combos(
     dpos: usize,
     older: &[usize],
     delta: &DeltaSource<'_>,
-    scope: Option<&RoundScope<'_>>,
+    scope: Option<&RoundScope>,
     stats: &mut FixpointStats,
     out: &mut Vec<EntryId>,
 ) {
@@ -656,10 +722,14 @@ fn propagate_rounds(
     mut delta: Vec<EntryId>,
     stats: &mut FixpointStats,
 ) -> Result<(), FixpointError> {
-    let mode = view.mode();
     let mut rounds = RoundState::new();
     let mut combos: Vec<EntryId> = Vec::new();
     let mut plan: Vec<usize> = Vec::new();
+    let parallel = ctx
+        .config
+        .parallel
+        .as_ref()
+        .filter(|p| p.pool.threads() > 1);
     // Semi-naive rounds.
     while !delta.is_empty() {
         stats.iterations += 1;
@@ -671,44 +741,237 @@ fn propagate_rounds(
         let scope = rounds.begin(view, &delta);
         let delta_by_pred = group_by_pred(view, &delta);
         let mut next_delta: Vec<EntryId> = Vec::new();
+        match parallel {
+            Some(par) => round_parallel(
+                ctx,
+                par,
+                view,
+                gen,
+                &scope,
+                &delta_by_pred,
+                stats,
+                &mut next_delta,
+                &mut plan,
+            )?,
+            None => round_sequential(
+                ctx,
+                view,
+                gen,
+                &scope,
+                &delta_by_pred,
+                stats,
+                &mut next_delta,
+                &mut plan,
+                &mut combos,
+            )?,
+        }
+        delta = next_delta;
+    }
+    Ok(())
+}
 
-        for (cid, clause) in ctx.db.clauses() {
-            let n = clause.body.len();
-            if n == 0 {
-                continue;
+/// One sequential semi-naive round: every `(clause, delta-position)`
+/// split of the plan, enumerated, derived and inserted in order.
+#[allow(clippy::too_many_arguments)]
+fn round_sequential(
+    ctx: &EngineCtx<'_>,
+    view: &mut MaterializedView,
+    gen: &mut VarGen,
+    scope: &RoundScope,
+    delta_by_pred: &FxHashMap<Arc<str>, Vec<EntryId>>,
+    stats: &mut FixpointStats,
+    next_delta: &mut Vec<EntryId>,
+    plan: &mut Vec<usize>,
+    combos: &mut Vec<EntryId>,
+) -> Result<(), FixpointError> {
+    let mode = view.mode();
+    for (cid, clause) in ctx.db.clauses() {
+        let n = clause.body.len();
+        if n == 0 {
+            continue;
+        }
+        delta_plan(&clause.body, delta_by_pred, plan);
+        for (k, &dpos) in plan.iter().enumerate() {
+            let dlist = delta_by_pred
+                .get(&clause.body[dpos].pred)
+                .expect("planned positions carry delta");
+            combos.clear();
+            collect_combos(
+                view,
+                &clause.body,
+                dpos,
+                &plan[..k],
+                &DeltaSource::Entries(dlist),
+                Some(scope),
+                stats,
+                combos,
+            );
+            for chunk in combos.chunks_exact(n) {
+                stats.derivations_tried += 1;
+                // Support-level dedup before paying for construction;
+                // the support is assembled once, from Arc-shared
+                // child supports, and reused for the insert.
+                let support = if mode == SupportMode::WithSupports {
+                    let s = Support::node(
+                        Producer::Clause(cid),
+                        chunk
+                            .iter()
+                            .map(|&id| view.entry(id).support.clone().expect("WithSupports entry"))
+                            .collect(),
+                    );
+                    if view.entry_by_support(&s).is_some() {
+                        continue;
+                    }
+                    Some(s)
+                } else {
+                    None
+                };
+                let derived = {
+                    let children: Vec<&ConstrainedAtom> =
+                        chunk.iter().map(|&id| &view.entry(id).atom).collect();
+                    derive(clause, &children, gen)
+                };
+                let Some(d) = derived else {
+                    stats.pruned_syntactic += 1;
+                    continue;
+                };
+                if !admit(ctx.op, &d.atom.constraint, ctx.resolver, ctx.config, stats) {
+                    continue;
+                }
+                if let Some(id) = view.insert(d.atom, support, d.children_args) {
+                    next_delta.push(id);
+                    if view.len() > ctx.config.max_entries {
+                        return Err(FixpointError::EntryBudget {
+                            entries: view.len(),
+                        });
+                    }
+                }
             }
-            delta_plan(&clause.body, &delta_by_pred, &mut plan);
-            for (k, &dpos) in plan.iter().enumerate() {
-                let dlist = delta_by_pred
-                    .get(&clause.body[dpos].pred)
-                    .expect("planned positions carry delta");
-                combos.clear();
+        }
+    }
+    Ok(())
+}
+
+/// What one pool task hands back to the round's merge: its candidate
+/// derivations in enumeration order, its private stats, and the high
+/// mark of the variable generator it renamed with.
+struct TaskOutput {
+    candidates: Vec<(Option<Support>, Derivation)>,
+    stats: FixpointStats,
+    gen_high: u32,
+}
+
+/// One parallel semi-naive round. The decomposition mirrors the
+/// sequential round exactly: one pool task per `(clause,
+/// delta-position)` split, submitted in the sequential iteration order.
+///
+/// Why a task may run against a *frozen clone* of the round-start view:
+/// a propagation round only inserts (never removes or rewrites), and
+/// the round scope's watermark filter already excludes every entry
+/// inserted during the round from enumeration — so the live view and
+/// the frozen clone enumerate byte-identical combination sets, and
+/// entries (immutable once inserted) referenced by id resolve
+/// identically in both. The clone itself is a handful of `Arc` bumps
+/// under the persistent store.
+///
+/// Why the merge is deterministic: task results come back in submission
+/// order, candidates within a task in enumeration order, so the merge
+/// loop below inserts exactly the entries the sequential round inserts,
+/// in the same order — ids, supports and the delta for the next round
+/// are identical. The one divergence is bookkeeping: a duplicate
+/// produced by an *earlier split of the same round* is skipped before
+/// `derive` sequentially but detected only at the merge here, so the
+/// `derivations_tried`/`pruned_*` counters can differ slightly from the
+/// sequential run's. They are still deterministic for any thread count
+/// (every task dedups against the same frozen view).
+///
+/// Variable hygiene: each task renames with a private generator started
+/// at the live generator's watermark, so task output never collides
+/// with the view; two tasks may reuse the same fresh numbers, which is
+/// harmless because `derive` renames every child per derivation and all
+/// equality in the system (canonicalization, support dedup) is
+/// renaming-insensitive. The merge bumps the live generator past every
+/// task's high mark.
+///
+/// A task panic surfaces here, on the submitting thread, in submission
+/// order, as [`FixpointError::WorkerPanic`] — an *error*, not a
+/// re-panic, so the submitting lane's mutex is never poisoned and the
+/// service's ordinary rollback-on-error path restores every touched
+/// lane. The merge never runs for a panicked round, so the view holds
+/// exactly the pre-round state, and the pool's workers survive.
+#[allow(clippy::too_many_arguments)]
+fn round_parallel(
+    ctx: &EngineCtx<'_>,
+    par: &ParallelFixpoint,
+    view: &mut MaterializedView,
+    gen: &mut VarGen,
+    scope: &RoundScope,
+    delta_by_pred: &FxHashMap<Arc<str>, Vec<EntryId>>,
+    stats: &mut FixpointStats,
+    next_delta: &mut Vec<EntryId>,
+    plan: &mut Vec<usize>,
+) -> Result<(), FixpointError> {
+    let mode = view.mode();
+    // The round's splits, in sequential iteration order.
+    let mut splits: Vec<(ClauseId, &Clause, usize, Vec<usize>)> = Vec::new();
+    for (cid, clause) in ctx.db.clauses() {
+        if clause.body.is_empty() {
+            continue;
+        }
+        delta_plan(&clause.body, delta_by_pred, plan);
+        for (k, &dpos) in plan.iter().enumerate() {
+            splits.push((cid, clause, dpos, plan[..k].to_vec()));
+        }
+    }
+    let frozen = Arc::new(view.clone());
+    let base_watermark = gen.watermark();
+    let config = Arc::new(ctx.config.clone());
+    let op = ctx.op;
+    let tasks: Vec<_> = splits
+        .into_iter()
+        .map(|(cid, clause, dpos, older)| {
+            let frozen = Arc::clone(&frozen);
+            let scope = scope.clone();
+            let clause = clause.clone();
+            let dlist = delta_by_pred
+                .get(&clause.body[dpos].pred)
+                .expect("planned positions carry delta")
+                .clone();
+            let resolver = Arc::clone(&par.resolver);
+            let config = Arc::clone(&config);
+            move || {
+                let mut stats = FixpointStats::default();
+                let mut gen = VarGen::starting_at(base_watermark);
+                let mut combos: Vec<EntryId> = Vec::new();
                 collect_combos(
-                    view,
+                    &frozen,
                     &clause.body,
                     dpos,
-                    &plan[..k],
-                    &DeltaSource::Entries(dlist),
+                    &older,
+                    &DeltaSource::Entries(&dlist),
                     Some(&scope),
-                    stats,
+                    &mut stats,
                     &mut combos,
                 );
+                let n = clause.body.len();
+                let mut candidates = Vec::new();
                 for chunk in combos.chunks_exact(n) {
                     stats.derivations_tried += 1;
-                    // Support-level dedup before paying for construction;
-                    // the support is assembled once, from Arc-shared
-                    // child supports, and reused for the insert.
                     let support = if mode == SupportMode::WithSupports {
                         let s = Support::node(
                             Producer::Clause(cid),
                             chunk
                                 .iter()
                                 .map(|&id| {
-                                    view.entry(id).support.clone().expect("WithSupports entry")
+                                    frozen
+                                        .entry(id)
+                                        .support
+                                        .clone()
+                                        .expect("WithSupports entry")
                                 })
                                 .collect(),
                         );
-                        if view.entry_by_support(&s).is_some() {
+                        if frozen.entry_by_support(&s).is_some() {
                             continue;
                         }
                         Some(s)
@@ -717,29 +980,70 @@ fn propagate_rounds(
                     };
                     let derived = {
                         let children: Vec<&ConstrainedAtom> =
-                            chunk.iter().map(|&id| &view.entry(id).atom).collect();
-                        derive(clause, &children, gen)
+                            chunk.iter().map(|&id| &frozen.entry(id).atom).collect();
+                        derive(&clause, &children, &mut gen)
                     };
                     let Some(d) = derived else {
                         stats.pruned_syntactic += 1;
                         continue;
                     };
-                    if !admit(ctx.op, &d.atom.constraint, ctx.resolver, ctx.config, stats) {
+                    if !admit(
+                        op,
+                        &d.atom.constraint,
+                        resolver.as_ref(),
+                        &config,
+                        &mut stats,
+                    ) {
                         continue;
                     }
-                    if let Some(id) = view.insert(d.atom, support, d.children_args) {
-                        next_delta.push(id);
-                        if view.len() > ctx.config.max_entries {
-                            return Err(FixpointError::EntryBudget {
-                                entries: view.len(),
-                            });
-                        }
-                    }
+                    candidates.push((support, d));
+                }
+                TaskOutput {
+                    candidates,
+                    stats,
+                    gen_high: gen.watermark(),
+                }
+            }
+        })
+        .collect();
+    let results = par.pool.run(tasks);
+    let mut outputs = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(o) => outputs.push(o),
+            Err(payload) => {
+                return Err(FixpointError::WorkerPanic {
+                    message: crate::pool::panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+    // Deterministic merge, on the caller thread, in submission order.
+    // The live-view dedup re-check catches duplicates across splits of
+    // this round (the frozen view could not see them); plain mode's
+    // `insert` dedups internally.
+    let mut gen_high = base_watermark;
+    for out in outputs {
+        stats.absorb(&out.stats);
+        gen_high = gen_high.max(out.gen_high);
+        for (support, d) in out.candidates {
+            if let Some(s) = &support {
+                if view.entry_by_support(s).is_some() {
+                    continue;
+                }
+            }
+            if let Some(id) = view.insert(d.atom, support, d.children_args) {
+                next_delta.push(id);
+                if view.len() > ctx.config.max_entries {
+                    gen.reserve_below(gen_high);
+                    return Err(FixpointError::EntryBudget {
+                        entries: view.len(),
+                    });
                 }
             }
         }
-        delta = next_delta;
     }
+    gen.reserve_below(gen_high);
     Ok(())
 }
 
@@ -1347,6 +1651,24 @@ mod engine_equivalence {
             })
     }
 
+    /// Shared pools for the thread sweep: 1, 2, and N (honoring
+    /// `MMV_POOL_THREADS`, at least 4) worker threads, built once.
+    fn sweep_pools() -> &'static [Arc<WorkerPool>] {
+        use std::sync::OnceLock;
+        static POOLS: OnceLock<Vec<Arc<WorkerPool>>> = OnceLock::new();
+        POOLS.get_or_init(|| {
+            let n = std::env::var("MMV_POOL_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+                .max(4);
+            [1, 2, n]
+                .into_iter()
+                .map(|t| Arc::new(WorkerPool::new(t)))
+                .collect()
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig {
             cases: std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(32),
@@ -1365,9 +1687,9 @@ mod engine_equivalence {
                 for mode in [SupportMode::Plain, SupportMode::WithSupports] {
                     let naive = naive_fixpoint(&db, &NoDomains, op, mode, &cfg);
                     let indexed = fixpoint(&db, &NoDomains, op, mode, &cfg);
-                    match (naive, indexed) {
+                    match (&naive, &indexed) {
                         (Ok(nv), Ok((iv, _))) => prop_assert!(
-                            nv.syntactically_equal(&iv),
+                            nv.syntactically_equal(iv),
                             "{op:?}/{mode:?} diverged on\n{db}\nnaive:\n{nv}\nindexed:\n{iv}"
                         ),
                         // Budget exhaustion (runaway recursion) must hit
@@ -1379,6 +1701,36 @@ mod engine_equivalence {
                             n.is_ok(),
                             i.is_ok()
                         ),
+                    }
+                    // Pool sweep: the parallel engine must be
+                    // syntactically identical to sequential at every
+                    // pool width (supports included).
+                    for pool in sweep_pools() {
+                        let pcfg = FixpointConfig {
+                            parallel: Some(ParallelFixpoint {
+                                pool: Arc::clone(pool),
+                                resolver: Arc::new(NoDomains),
+                            }),
+                            ..cfg.clone()
+                        };
+                        let parallel = fixpoint(&db, &NoDomains, op, mode, &pcfg);
+                        match (&indexed, &parallel) {
+                            (Ok((sv, _)), Ok((pv, _))) => prop_assert!(
+                                sv.syntactically_equal(pv),
+                                "{op:?}/{mode:?} parallel({}) diverged on\n{db}\n\
+                                 sequential:\n{sv}\nparallel:\n{pv}",
+                                pool.threads()
+                            ),
+                            (Err(_), Err(_)) => {}
+                            (s, p) => prop_assert!(
+                                false,
+                                "asymmetric outcome at {} threads on\n{db}\n\
+                                 sequential ok: {}, parallel ok: {}",
+                                pool.threads(),
+                                s.is_ok(),
+                                p.is_ok()
+                            ),
+                        }
                     }
                 }
             }

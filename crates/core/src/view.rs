@@ -26,7 +26,13 @@
 //!   (live list, live-slot map, constant-argument discrimination maps)
 //!   sits behind its own `Arc` and is copied lazily on the first
 //!   mutation after a clone (`Arc::make_mut`); predicates a batch never
-//!   touches stay physically shared across every published epoch.
+//!   touches stay physically shared across every published epoch. The
+//!   copy itself is *sub-page*: the live-slot map and the per-position
+//!   constant discrimination maps are persistent tries ([`SharedMap`]),
+//!   so un-sharing a touched predicate clones only two plain id vectors
+//!   (a memcpy) plus O(log n) trie nodes per *touched key* — a batch
+//!   that hits one constant of a 1024-entry index copies a handful of
+//!   key/value pairs, not the whole index.
 //! * **Global dedup indexes** — the support → entry and
 //!   canonical-hash → entries maps are insert-only persistent tries
 //!   ([`SharedMap`]): an insert path-copies O(log n) nodes, and clones
@@ -99,20 +105,25 @@ pub struct Entry {
 ///
 /// Each `PredIndex` is one copy-on-write "page": the view holds it
 /// behind an `Arc` and copies it on the first mutation after a clone.
+/// The expensive members — `slots` and `by_const` — are themselves
+/// persistent tries, so that page copy clones trie *roots* (Arc bumps)
+/// and later key mutations un-share O(log n) nodes per touched key;
+/// `live`/`nonconst` stay plain vectors (their clone is a memcpy, and
+/// probes borrow them as slices).
 #[derive(Debug, Clone, Default)]
 struct PredIndex {
     live: Vec<EntryId>,
     /// Live entry → its slot in `live` (O(1) removal); membership here
     /// *is* liveness.
-    slots: FxHashMap<EntryId, usize>,
-    by_const: Vec<FxHashMap<Value, Vec<EntryId>>>,
+    slots: SharedMap<EntryId, usize>,
+    by_const: Vec<SharedMap<Value, Vec<EntryId>>>,
     nonconst: Vec<Vec<EntryId>>,
 }
 
 impl PredIndex {
     fn ensure_arity(&mut self, n: usize) {
         if self.by_const.len() < n {
-            self.by_const.resize_with(n, FxHashMap::default);
+            self.by_const.resize_with(n, SharedMap::new);
             self.nonconst.resize_with(n, Vec::new);
         }
     }
@@ -202,6 +213,18 @@ pub struct ShareStats {
     /// Predicate indexes this handle's mutations copied because they
     /// were still shared with an older clone.
     pub pred_indexes_copied: u64,
+    /// Constant-discrimination keys currently held across all predicate
+    /// indexes (sum of `by_const` map sizes over predicates and
+    /// argument positions).
+    pub by_const_keys: usize,
+    /// `by_const` key/value pairs this handle's mutations physically
+    /// cloned while un-sharing trie leaves — the sub-page CoW cost, to
+    /// be compared against `by_const_keys` (the whole-index cost the
+    /// old page-granular copy would have paid).
+    pub by_const_keys_copied: u64,
+    /// Live-slot-map pairs cloned while un-sharing trie leaves (the
+    /// `slots` half of the sub-page copy cost).
+    pub slot_keys_copied: u64,
 }
 
 impl ShareStats {
@@ -213,6 +236,16 @@ impl ShareStats {
         (
             self.entry_pages_copied - before.entry_pages_copied,
             self.pred_indexes_copied - before.pred_indexes_copied,
+        )
+    }
+
+    /// Key-level copy delta `(by_const_keys_copied, slot_keys_copied)`
+    /// since `before` — the sub-page analogue of
+    /// [`ShareStats::copied_since`].
+    pub fn key_copies_since(&self, before: &ShareStats) -> (u64, u64) {
+        (
+            self.by_const_keys_copied - before.by_const_keys_copied,
+            self.slot_keys_copied - before.slot_keys_copied,
         )
     }
 }
@@ -334,7 +367,7 @@ impl MaterializedView {
         idx.slots.insert(id, slot);
         for (p, t) in atom.args.iter().enumerate() {
             match t {
-                Term::Const(v) => idx.by_const[p].entry(v.clone()).or_default().push(id),
+                Term::Const(v) => idx.by_const[p].update(v.clone(), Vec::new(), |ids| ids.push(id)),
                 _ => idx.nonconst[p].push(id),
             }
         }
@@ -366,7 +399,7 @@ impl MaterializedView {
     /// Crate-internal: one predicate's liveness set (live id → slot),
     /// resolved once so hot loops can test membership per id without
     /// re-hashing the predicate name.
-    pub(crate) fn live_set(&self, pred: &str) -> Option<&FxHashMap<EntryId, usize>> {
+    pub(crate) fn live_set(&self, pred: &str) -> Option<&SharedMap<EntryId, usize>> {
         self.preds.get(pred).map(|ix| &ix.slots)
     }
 
@@ -402,11 +435,24 @@ impl MaterializedView {
     /// Structural-sharing statistics of this handle (copied vs total
     /// pages; see [`ShareStats`]).
     pub fn share_stats(&self) -> ShareStats {
+        let mut by_const_keys = 0usize;
+        let mut by_const_keys_copied = 0u64;
+        let mut slot_keys_copied = 0u64;
+        for ix in self.preds.values() {
+            slot_keys_copied += ix.slots.copied_keys();
+            for m in &ix.by_const {
+                by_const_keys += m.len();
+                by_const_keys_copied += m.copied_keys();
+            }
+        }
         ShareStats {
             entry_pages: self.store.page_count(),
             entry_pages_copied: self.store.copied_pages(),
             pred_indexes: self.preds.len(),
             pred_indexes_copied: self.pred_copies,
+            by_const_keys,
+            by_const_keys_copied,
+            slot_keys_copied,
         }
     }
 
@@ -503,11 +549,18 @@ impl MaterializedView {
         for (p, key) in keys.iter().enumerate() {
             match key {
                 Some(v) => {
-                    if let Some(ids) = idx.by_const[p].get_mut(v) {
-                        ids.retain(|&x| x != id);
-                        if ids.is_empty() {
+                    // Drop the key outright when this was its last id —
+                    // `update` would un-share the leaf only to leave an
+                    // empty list behind.
+                    match idx.by_const[p].get(v) {
+                        Some(ids) if ids.iter().all(|&x| x == id) => {
                             idx.by_const[p].remove(v);
                         }
+                        Some(_) => {
+                            idx.by_const[p]
+                                .update(v.clone(), Vec::new(), |ids| ids.retain(|&x| x != id));
+                        }
+                        None => {}
                     }
                 }
                 None => idx.nonconst[p].retain(|&x| x != id),
@@ -883,5 +936,47 @@ mod tests {
         assert_eq!(after.pred_indexes_copied, 1, "only q's index copied");
         // The snapshot handle itself never copied anything.
         assert_eq!(snapshot.share_stats().entry_pages_copied, 0);
+        assert_eq!(snapshot.share_stats().by_const_keys_copied, 0);
+        assert_eq!(snapshot.share_stats().slot_keys_copied, 0);
+    }
+
+    #[test]
+    fn sub_page_index_copies_only_touched_keys() {
+        // 1024 entries of one predicate, each with a distinct constant:
+        // the old page-granular copy would clone all 1024 discrimination
+        // keys on the first post-snapshot touch. Sub-page CoW must clone
+        // only the trie leaves on the touched key's path.
+        let mut v = MaterializedView::new(SupportMode::Plain, VarGen::starting_at(100));
+        let ids: Vec<EntryId> = (0..1024)
+            .map(|i| {
+                v.insert(
+                    ConstrainedAtom::fact("e", vec![Value::int(i), Value::int(i % 7)]),
+                    None,
+                    vec![],
+                )
+                .unwrap()
+            })
+            .collect();
+        let before = v.share_stats();
+        assert_eq!(before.by_const_keys, 1024 + 7);
+        assert_eq!(before.by_const_keys_copied, 0, "unshared writes are free");
+
+        let snapshot = v.clone();
+        assert!(v.remove(ids[500]));
+        let (by_const_copied, slot_copied) = v.share_stats().key_copies_since(&before);
+        assert!(
+            by_const_copied > 0 && by_const_copied < 64,
+            "one touched key must copy O(leaf) pairs, not O(index): {by_const_copied}"
+        );
+        assert!(
+            slot_copied > 0 && slot_copied < 64,
+            "slot map copies are key-granular too: {slot_copied}"
+        );
+        // The snapshot still sees the removed entry and every key.
+        assert!(snapshot.is_live(ids[500]));
+        assert_eq!(snapshot.share_stats().by_const_keys, 1024 + 7);
+        let v500 = Value::int(500);
+        assert_eq!(snapshot.probe("e", &[Some(&v500), None]).len(), 1);
+        assert!(v.probe("e", &[Some(&v500), None]).is_empty());
     }
 }

@@ -22,9 +22,11 @@ use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Var};
 use mmv_core::{
     apply_batch, batch_oracle, dred_delete, dred_delete_batch, fixpoint, insert_atom, insert_batch,
     stdel_delete, stdel_delete_batch, BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase,
-    FixpointConfig, MaterializedView, Operator, SupportMode, UpdateBatch,
+    FixpointConfig, MaterializedView, Operator, ParallelFixpoint, SupportMode, UpdateBatch,
+    WorkerPool,
 };
 use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 fn x() -> Term {
     Term::var(Var(0))
@@ -212,6 +214,23 @@ fn cases() -> u32 {
         .unwrap_or(48)
 }
 
+/// Shared pools for the thread sweep: 1, 2, and N (honoring
+/// `MMV_POOL_THREADS`, at least 4) workers, built once per process.
+fn sweep_pools() -> &'static [Arc<WorkerPool>] {
+    static POOLS: OnceLock<Vec<Arc<WorkerPool>>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        let n = std::env::var("MMV_POOL_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+            .max(4);
+        [1, 2, n]
+            .into_iter()
+            .map(|t| Arc::new(WorkerPool::new(t)))
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: cases(),
@@ -236,6 +255,26 @@ proptest! {
             "DRed diverged on\n{}\nbatched:\n{batched}\nsequential:\n{sequential}",
             w.db
         );
+        // The batched path again, under the work-stealing pool at each
+        // sweep width: parallel output must stay syntactically identical.
+        for pool in sweep_pools() {
+            let par = FixpointConfig {
+                parallel: Some(ParallelFixpoint {
+                    pool: Arc::clone(pool),
+                    resolver: Arc::new(NoDomains),
+                }),
+                ..cfg.clone()
+            };
+            let mut parallel = build(&w.db, SupportMode::Plain);
+            dred_delete_batch(&w.db, &mut parallel, &w.deletes, &NoDomains, &par)
+                .expect("parallel batch");
+            prop_assert!(
+                parallel.syntactically_equal(&sequential),
+                "DRed/pool={} diverged on\n{}\nparallel:\n{parallel}\nsequential:\n{sequential}",
+                pool.threads(),
+                w.db
+            );
+        }
     }
 
     /// Batched StDel ≡ one-at-a-time StDel on unique-derivation
@@ -277,6 +316,25 @@ proptest! {
                 "insert/{mode:?} diverged on\n{}\nbatched:\n{batched}\nsequential:\n{sequential}",
                 w.db
             );
+            for pool in sweep_pools() {
+                let par = FixpointConfig {
+                    parallel: Some(ParallelFixpoint {
+                        pool: Arc::clone(pool),
+                        resolver: Arc::new(NoDomains),
+                    }),
+                    ..cfg.clone()
+                };
+                let mut parallel = build(&w.db, mode);
+                insert_batch(&w.db, &mut parallel, &w.inserts, &NoDomains, Operator::Tp, &par)
+                    .expect("parallel batch");
+                prop_assert!(
+                    parallel.syntactically_equal(&sequential),
+                    "insert/{mode:?}/pool={} diverged on\n{}\n\
+                     parallel:\n{parallel}\nsequential:\n{sequential}",
+                    pool.threads(),
+                    w.db
+                );
+            }
         }
     }
 
@@ -324,6 +382,25 @@ proptest! {
                 mode,
                 w.db
             );
+            for pool in sweep_pools() {
+                let par = FixpointConfig {
+                    parallel: Some(ParallelFixpoint {
+                        pool: Arc::clone(pool),
+                        resolver: Arc::new(NoDomains),
+                    }),
+                    ..cfg.clone()
+                };
+                let mut parallel = build(&w.db, mode);
+                apply_batch(&w.db, &mut parallel, &batch, &NoDomains, Operator::Tp, &par)
+                    .expect("parallel batch");
+                prop_assert!(
+                    parallel.syntactically_equal(&batched),
+                    "apply_batch/{mode:?}/pool={} diverged on\n{}\n\
+                     parallel:\n{parallel}\nbatched:\n{batched}",
+                    pool.threads(),
+                    w.db
+                );
+            }
         }
     }
 

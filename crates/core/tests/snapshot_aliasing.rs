@@ -19,7 +19,7 @@
 //!    (what used to be) shared pages.
 
 use mmv_constraints::solver::SolverConfig;
-use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Var};
+use mmv_constraints::{CmpOp, Constraint, NoDomains, Term, Value, Var};
 use mmv_core::view::{canonicalize, GroundFact};
 use mmv_core::{
     apply_batch, fixpoint, BodyAtom, Clause, ConstrainedAtom, ConstrainedDatabase, FixpointConfig,
@@ -149,6 +149,33 @@ fn render(v: &MaterializedView) -> Vec<String> {
     out
 }
 
+/// The view as seen through constant-discriminated probes: for each
+/// predicate in the workload and a spread of probe values covering the
+/// delete and insert ranges, the canonicalized atoms the `by_const`
+/// index surfaces (plus whether the probe was discriminated at all).
+/// This is the sub-page-CoW-sensitive read path — a corrupted shared
+/// trie leaf shows up here before anywhere else.
+fn probe_render(v: &MaterializedView) -> Vec<String> {
+    let mut out = Vec::new();
+    for pred in ["b0", "b1", "q0_0", "q0_1", "q1_0", "q1_1"] {
+        for val in [0i64, 7, 20, 41, 55, 1000, 1003] {
+            let value = Value::int(val);
+            let probe = v.probe(pred, &[Some(&value)]);
+            let mut hits: Vec<String> = probe
+                .iter()
+                .map(|id| canonicalize(&v.entry(id).atom).to_string())
+                .collect();
+            hits.sort();
+            out.push(format!(
+                "{pred}({val}) disc={} -> [{}]",
+                probe.discriminated(),
+                hits.join(", ")
+            ));
+        }
+    }
+    out
+}
+
 fn instances(v: &MaterializedView) -> BTreeSet<GroundFact> {
     v.instances(&NoDomains, &SolverConfig::default())
         .expect("bounded workload instances")
@@ -215,6 +242,64 @@ proptest! {
                     &instances(snap),
                     insts,
                     "{:?} snapshot {} changed instances under later batches on\n{}",
+                    mode,
+                    i,
+                    w.db
+                );
+            }
+        }
+    }
+
+    /// The sub-page `by_const` CoW discipline, pinned from the outside:
+    /// snapshots taken before each batch keep returning byte-identical
+    /// results through the constant-probe read path while the writer
+    /// keeps un-sharing trie leaves underneath them, and each batch's
+    /// key-level copy bill never exceeds the whole-page bill the old
+    /// O(index) copy would have paid (every `by_const` key, every live
+    /// slot, of the indexes as they stood at snapshot time).
+    #[test]
+    fn sub_page_by_const_cow_isolates_snapshots_and_bounds_key_copies(w in workload()) {
+        let cfg = FixpointConfig::default();
+        for mode in [SupportMode::Plain, SupportMode::WithSupports] {
+            let (base, _) = fixpoint(&w.db, &NoDomains, Operator::Tp, mode, &cfg)
+                .expect("base fixpoint");
+            let mut maintained = base.clone();
+            let mut held: Vec<(MaterializedView, Vec<String>)> = Vec::new();
+            for batch in &w.batches {
+                let snap = maintained.clone();
+                let probes = probe_render(&snap);
+                let before = maintained.share_stats();
+                apply_batch(&w.db, &mut maintained, batch, &NoDomains, Operator::Tp, &cfg)
+                    .expect("batch applies");
+                let after = maintained.share_stats();
+                let (bc_copied, slot_copied) = after.key_copies_since(&before);
+                // Un-sharing only ever clones pairs that existed in a
+                // shared leaf at snapshot time, so the key-level bill is
+                // bounded by the whole-index key count at the snapshot.
+                prop_assert!(
+                    bc_copied <= before.by_const_keys as u64,
+                    "{:?}: batch copied {} by_const keys, more than the {} \
+                     whole-page copying would have paid, on\n{}",
+                    mode,
+                    bc_copied,
+                    before.by_const_keys,
+                    w.db
+                );
+                prop_assert!(
+                    slot_copied <= snap.len() as u64,
+                    "{:?}: batch copied {} slot pairs against {} live entries on\n{}",
+                    mode,
+                    slot_copied,
+                    snap.len(),
+                    w.db
+                );
+                held.push((snap, probes));
+            }
+            for (i, (snap, probes)) in held.iter().enumerate() {
+                prop_assert_eq!(
+                    &probe_render(snap),
+                    probes,
+                    "{:?} snapshot {} changed under constant probes after later batches on\n{}",
                     mode,
                     i,
                     w.db

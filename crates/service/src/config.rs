@@ -222,6 +222,12 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Metrics and batch-lifecycle tracing knobs.
     pub observability: ObsOptions,
+    /// Worker threads in the shared intra-lane work-stealing pool
+    /// (`None`: the `MMV_POOL_THREADS` environment variable if set,
+    /// otherwise [`std::thread::available_parallelism`]). A resolved
+    /// width of 1 disables intra-lane parallelism entirely — batches
+    /// run the sequential fixpoint paths.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -235,6 +241,7 @@ impl Default for ServiceConfig {
             durability: Durability::InMemory,
             retry: RetryPolicy::default(),
             observability: ObsOptions::default(),
+            pool_threads: None,
         }
     }
 }
@@ -249,6 +256,7 @@ impl fmt::Debug for ServiceConfig {
             .field("durability", &self.durability)
             .field("retry", &self.retry)
             .field("observability", &self.observability)
+            .field("pool_threads", &self.pool_threads)
             .finish_non_exhaustive()
     }
 }
@@ -324,6 +332,15 @@ impl ViewServiceBuilder {
     /// — metrics and tracing on, 64 retained traces).
     pub fn observability(mut self, obs: ObsOptions) -> Self {
         self.config.observability = obs;
+        self
+    }
+
+    /// Sets the shared work-stealing pool width (default: the
+    /// `MMV_POOL_THREADS` environment variable if set, otherwise
+    /// [`std::thread::available_parallelism`]). Width 1 disables
+    /// intra-lane parallelism.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool_threads = Some(threads);
         self
     }
 

@@ -264,6 +264,26 @@ impl Health {
         self.epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
+    /// A writer-lane recovery that did not change the coarse state —
+    /// e.g. a pool worker panic whose batch was rolled back with the
+    /// service still healthy. Journaled (with `from == to`) and counted
+    /// in `mmv_health_transitions_total` so operators see the event in
+    /// the same audit trail as storage flips.
+    pub(crate) fn lane_event(&self, reason: &str) {
+        let mut guard = self.lock();
+        let state = guard.state();
+        if guard.transitions.len() == HEALTH_TRANSITION_CAP {
+            guard.transitions.pop_front();
+        }
+        guard.transitions.push_back(HealthTransition {
+            from: state,
+            to: state,
+            epoch: self.epoch.load(Ordering::Relaxed),
+            reason: reason.to_string(),
+        });
+        self.transitions_total.inc();
+    }
+
     /// A persistent WAL failure: → ReadOnly.
     pub(crate) fn wal_failed(&self, reason: &str) {
         let mut g = self.lock();

@@ -153,6 +153,7 @@ impl ServiceObs {
     /// histograms, skipping stages that did not run), the batch and
     /// per-lane counters, the epoch/view-size gauges, and the core
     /// maintenance counters. Only called when `enabled`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_applied(
         &self,
         trace: BatchTrace,
@@ -160,6 +161,8 @@ impl ServiceObs {
         stats: &BatchStats,
         copied_pages: u64,
         copied_indexes: u64,
+        copied_by_const_keys: u64,
+        copied_slot_keys: u64,
     ) {
         self.batches_applied.inc();
         for i in 0..STAGE_COUNT {
@@ -175,6 +178,8 @@ impl ServiceObs {
         self.view_entries.set(stats.view_entries as i64);
         self.core.record_batch(stats);
         self.core.record_copies(copied_pages, copied_indexes);
+        self.core
+            .record_key_copies(copied_by_const_keys, copied_slot_keys);
         self.traces.push(trace);
     }
 }
@@ -257,7 +262,7 @@ mod tests {
         };
         trace.record(Stage::Apply, std::time::Duration::from_micros(10));
         let stats = BatchStats::empty();
-        obs.record_applied(trace, [1usize].into_iter(), &stats, 3, 1);
+        obs.record_applied(trace, [1usize].into_iter(), &stats, 3, 1, 5, 2);
         assert_eq!(obs.traces.recent().len(), 1);
         assert_eq!(obs.stage_histogram(Stage::Apply).snapshot().count(), 1);
         assert_eq!(obs.stage_histogram(Stage::Split).snapshot().count(), 0);

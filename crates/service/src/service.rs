@@ -93,9 +93,11 @@ use crate::wal::{self, FsyncPolicy, StorageError, Wal, WalStats};
 use mmv_constraints::solver::SolverConfig;
 use mmv_constraints::{DomainResolver, Value};
 use mmv_core::batch::{apply_batch_ticketed, BatchError, BatchStats, UpdateBatch};
+use mmv_core::delete_dred::DredError;
 use mmv_core::parser::WalPayload;
+use mmv_core::pool::WorkerPool;
 use mmv_core::shard::{ShardId, ShardMap, ShardSpec};
-use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator};
+use mmv_core::tp::{fixpoint, FixpointConfig, FixpointError, Operator, ParallelFixpoint};
 use mmv_core::view::ShareStats;
 use mmv_core::{ConstrainedDatabase, InstanceError, MaterializedView, SupportMode};
 use mmv_obs::{BatchTrace, HistogramSnapshot, MetricsRegistry, Stage};
@@ -326,6 +328,11 @@ pub struct ViewService {
     resolver: SharedResolver,
     op: Operator,
     config: FixpointConfig,
+    /// The shared intra-lane work-stealing pool, `None` when the
+    /// resolved width is 1 (parallelism disabled — batches run the
+    /// sequential fixpoint paths). When present, `config.parallel`
+    /// routes every lane's hot loops through it.
+    pool: Option<Arc<WorkerPool>>,
     shards: Arc<ShardMap>,
     /// Per lane: the sub-database of the shard's clauses.
     lane_dbs: Vec<ConstrainedDatabase>,
@@ -397,6 +404,7 @@ impl ViewService {
             durability,
             retry,
             observability,
+            pool_threads,
             ..
         } = config;
         let (view, _) =
@@ -415,6 +423,7 @@ impl ViewService {
             epoch: 0,
             tickets: 0,
             obs: observability,
+            pool_threads,
         });
         if let Durability::Durable {
             dir,
@@ -479,6 +488,7 @@ impl ViewService {
             durability,
             retry,
             observability,
+            pool_threads,
             ..
         } = config;
         let (fsync, checkpoint_every, segment_bytes, vfs, probe_interval) = match durability {
@@ -585,6 +595,7 @@ impl ViewService {
             epoch: base_epoch,
             tickets: base_tickets,
             obs: observability,
+            pool_threads,
         });
         let mut replayed = 0u64;
         let mut recoveries: Vec<Recovery> = Vec::new();
@@ -727,13 +738,14 @@ impl ViewService {
             db,
             resolver,
             op,
-            config,
+            mut config,
             shards,
             lane_views,
             lane_epochs,
             epoch,
             tickets,
             obs: obs_opts,
+            pool_threads,
         } = parts;
         let lane_dbs: Vec<ConstrainedDatabase> = (0..shards.num_shards())
             .map(|s| shards.restrict_db(&db, s))
@@ -760,11 +772,30 @@ impl ViewService {
         let obs = ServiceObs::new(&obs_opts, shards.num_shards());
         health.register_into(&obs.registry);
         obs.publish_epoch_hint(epoch);
+        // The shared work-stealing pool: builder override, then the
+        // MMV_POOL_THREADS environment variable, then the host's
+        // available parallelism. Width 1 means no pool at all — every
+        // lane runs the sequential fixpoint paths. An explicitly
+        // pre-wired `config.parallel` (a caller-owned pool) is
+        // respected as-is.
+        let threads = Self::resolve_pool_threads(pool_threads);
+        let pool = if threads > 1 && config.parallel.is_none() {
+            let pool = Arc::new(WorkerPool::new(threads));
+            pool.metrics().register_into(&obs.registry);
+            config.parallel = Some(ParallelFixpoint {
+                pool: Arc::clone(&pool),
+                resolver: resolver.clone(),
+            });
+            Some(pool)
+        } else {
+            None
+        };
         ViewService {
             db,
             resolver,
             op,
             config,
+            pool,
             shards,
             lane_dbs,
             lanes,
@@ -828,6 +859,36 @@ impl ViewService {
     /// The fixpoint configuration batches are applied under.
     pub fn config(&self) -> &FixpointConfig {
         &self.config
+    }
+
+    /// The shared intra-lane work-stealing pool, `None` when the
+    /// resolved width is 1 (parallelism disabled). All lanes submit
+    /// their hot-loop tasks here; its instruments
+    /// (`mmv_pool_tasks_total`, `mmv_pool_steals_total`,
+    /// `mmv_pool_workers_busy`) are registered in
+    /// [`ViewService::metrics`].
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The pool width to use: the builder's override, else the
+    /// `MMV_POOL_THREADS` environment variable, else the host's
+    /// available parallelism (0 and unparsable values fall through to
+    /// the next source).
+    fn resolve_pool_threads(requested: Option<usize>) -> usize {
+        requested
+            .filter(|&n| n > 0)
+            .or_else(|| {
+                std::env::var("MMV_POOL_THREADS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
     }
 
     /// The predicate → writer-lane partition.
@@ -1117,6 +1178,15 @@ impl ViewService {
                             g.view = p.shards[*s].view().clone();
                         }
                     }
+                    // A contained pool-worker panic arrives here as an
+                    // ordinary batch error — the lane mutex was never
+                    // poisoned — and the rollback above *is* the lane
+                    // recovery. Journal it in the health audit trail.
+                    if let Some(msg) = worker_panic(&e) {
+                        self.health.lane_event(&format!(
+                            "writer lane {shard} recovered after pool worker panic: {msg}"
+                        ));
+                    }
                     // `reservation` drops here, un-reserving the
                     // tickets (exact under sequential use).
                     return Err(ServiceError::Batch(e));
@@ -1141,6 +1211,10 @@ impl ViewService {
             publish.entry_pages_total += after.entry_pages;
             publish.pred_indexes_copied += after.pred_indexes_copied - before.pred_indexes_copied;
             publish.pred_indexes_total += after.pred_indexes;
+            let (by_const_copied, slot_copied) = after.key_copies_since(before);
+            publish.by_const_keys_copied += by_const_copied;
+            publish.by_const_keys_total += after.by_const_keys;
+            publish.slot_keys_copied += slot_copied;
             frozen.push((
                 *shard,
                 Arc::new(ViewSnapshot::new(guard.epoch, guard.view.clone())),
@@ -1310,6 +1384,8 @@ impl ViewService {
                 &stats,
                 publish.entry_pages_copied,
                 publish.pred_indexes_copied,
+                publish.by_const_keys_copied,
+                publish.slot_keys_copied,
             );
         }
         Ok(Applied {
@@ -1420,6 +1496,19 @@ impl ViewService {
     }
 }
 
+/// The panic message when a batch error is a contained pool-worker
+/// panic ([`FixpointError::WorkerPanic`]), whichever maintenance phase
+/// it escaped from.
+fn worker_panic(e: &BatchError) -> Option<&str> {
+    match e {
+        BatchError::Insert(FixpointError::WorkerPanic { message })
+        | BatchError::Dred(DredError::Budget(FixpointError::WorkerPanic { message })) => {
+            Some(message)
+        }
+        _ => None,
+    }
+}
+
 /// Prepared lanes for [`ViewService::assemble`], shared by fresh
 /// construction and recovery.
 struct AssembleParts {
@@ -1433,6 +1522,7 @@ struct AssembleParts {
     epoch: Epoch,
     tickets: u64,
     obs: ObsOptions,
+    pool_threads: Option<usize>,
 }
 
 #[cfg(test)]

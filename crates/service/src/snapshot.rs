@@ -54,6 +54,17 @@ pub struct PublishStats {
     pub pred_indexes_copied: u64,
     /// Per-predicate index pages currently allocated (touched shards).
     pub pred_indexes_total: usize,
+    /// Sub-page CoW: `by_const` key/value pairs the batch physically
+    /// cloned while un-sharing trie leaves — O(touched keys), to be
+    /// compared against `by_const_keys_total` (what whole-index copying
+    /// would have paid).
+    pub by_const_keys_copied: u64,
+    /// `by_const` keys currently held across the touched shards'
+    /// indexes.
+    pub by_const_keys_total: usize,
+    /// Sub-page CoW: live-slot pairs the batch cloned while un-sharing
+    /// trie leaves.
+    pub slot_keys_copied: u64,
 }
 
 /// A monotonically increasing snapshot version. Epoch 0 is the freshly

@@ -182,15 +182,29 @@ fn one_scrape_exposes_all_five_subsystems() {
         "mmv_fixpoint_iterations_total",
         "mmv_insert_added_total",
         "mmv_store_entry_pages_copied_total",
+        // Sub-page CoW key-copy counters.
+        "mmv_store_by_const_keys_copied_total",
+        "mmv_store_slot_keys_copied_total",
     ] {
         assert!(text.contains(family), "scrape is missing {family}:\n{text}");
     }
-    // The legacy stats structs are views over the same counters.
-    let wal = svc.wal_stats().unwrap();
-    assert_eq!(
-        sample_value(&text, "mmv_wal_records_total"),
-        Some(wal.records as f64)
-    );
+    // The legacy stats structs are views over the same counters. The
+    // second cadence checkpoint may still be landing (it appends its
+    // own WAL marker frame off the write path), so re-scrape until
+    // the two views agree instead of racing the checkpointer.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let wal = loop {
+        let wal = svc.wal_stats().unwrap();
+        let text = svc.metrics().render_prometheus();
+        if sample_value(&text, "mmv_wal_records_total") == Some(wal.records as f64) {
+            break wal;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "mmv_wal_records_total never converged with WalStats::records"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
     assert!(wal.records >= 8);
     let traces = svc.recent_traces();
     assert_eq!(traces.len(), 8, "one trace per applied batch");
@@ -205,6 +219,47 @@ fn one_scrape_exposes_all_five_subsystems() {
     assert!(last.stage(Stage::FsyncWait) > Duration::ZERO);
     drop(svc);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shared work-stealing pool registers its instruments like every
+/// other subsystem, they move once batches route hot-loop tasks
+/// through the pool, and width 1 disables the pool (and its families)
+/// entirely.
+#[test]
+fn pool_instruments_register_and_count_tasks() {
+    let svc = ViewService::builder()
+        .pool_threads(4)
+        .build(two_lane_db())
+        .unwrap();
+    assert_eq!(svc.pool().expect("pool enabled").threads(), 4);
+    for v in 0..6 {
+        svc.apply(UpdateBatch::inserting(vec![point("b", 1000 + v)]))
+            .expect("insert applies");
+    }
+    let text = svc.metrics().render_prometheus();
+    validate_prometheus(&text).expect("scrape parses");
+    for family in [
+        "mmv_pool_tasks_total",
+        "mmv_pool_steals_total",
+        "mmv_pool_workers_busy",
+    ] {
+        assert!(text.contains(family), "scrape is missing {family}:\n{text}");
+    }
+    let tasks = sample_value(&text, "mmv_pool_tasks_total").expect("tasks counter present");
+    assert!(
+        tasks > 0.0,
+        "insertion propagation should have routed tasks through the pool"
+    );
+
+    let seq = ViewService::builder()
+        .pool_threads(1)
+        .build(two_lane_db())
+        .unwrap();
+    assert!(seq.pool().is_none(), "width 1 disables the pool");
+    assert!(!seq
+        .metrics()
+        .render_prometheus()
+        .contains("mmv_pool_tasks_total"));
 }
 
 /// Traces ring: capacity bounds retention, oldest evicted first.

@@ -319,3 +319,76 @@ fn worker_surfaces_batch_errors_not_poison() {
     svc.apply(UpdateBatch::deleting(vec![point("b0", 1)]))
         .expect("lane healthy after rejected batch");
 }
+
+#[test]
+fn pool_worker_panic_does_not_poison_the_lane() {
+    // A panic inside a *pool worker* (mid-round, intra-lane
+    // parallelism) must NOT poison the writer lane: the round's merge
+    // never runs, the error propagates through the ordinary
+    // rollback-on-error path, and the next batch applies without any
+    // lane recovery being logged. The event is journaled in the health
+    // transition ring instead.
+    let svc = Arc::new(
+        ViewService::builder()
+            .pool_threads(2)
+            .build(two_chain_db())
+            .expect("service builds"),
+    );
+    let pool = Arc::clone(svc.pool().expect("pool enabled"));
+    let cfg = SolverConfig::default();
+
+    svc.apply(UpdateBatch::deleting(vec![point("b0", 0)]))
+        .expect("healthy batch");
+    assert_eq!(svc.epoch(), 1);
+    let transitions_before = svc.health_transitions_total();
+
+    // Every pool task panics: the first round of the next batch's
+    // propagation dies inside a worker thread.
+    pool.set_fault_hook(Some(Box::new(|_| panic!("injected pool-worker panic"))));
+    let interval = ConstrainedAtom::new(
+        "b0",
+        vec![x()],
+        Constraint::cmp(x(), CmpOp::Ge, Term::int(20)).and(Constraint::cmp(
+            x(),
+            CmpOp::Le,
+            Term::int(23),
+        )),
+    );
+    let err = svc
+        .apply(UpdateBatch::inserting(vec![interval.clone()]))
+        .expect_err("the worker panic surfaces as an error, not a re-panic");
+    assert!(
+        err.to_string().contains("pool worker panicked mid-round"),
+        "unexpected error: {err}"
+    );
+    pool.set_fault_hook(None);
+
+    // Nothing published, readers unharmed.
+    assert_eq!(svc.epoch(), 1);
+    assert!(!svc.ask("a0", &[Value::int(21)], &cfg).unwrap());
+
+    // The containment was journaled as a health event (from == to,
+    // state never left Healthy), and counted.
+    assert!(svc.health_transitions_total() > transitions_before);
+    let journal = svc.health_transitions();
+    let event = journal
+        .last()
+        .expect("the lane event is in the transition ring");
+    assert_eq!(event.from, event.to, "containment is not a state change");
+    assert!(
+        event.reason.contains("pool worker panic"),
+        "journal entry names the cause: {:?}",
+        event.reason
+    );
+
+    // The lane was never poisoned: the same batch applies cleanly with
+    // no lane recovery logged, and the pool's workers survived.
+    svc.apply(UpdateBatch::inserting(vec![interval]))
+        .expect("lane healthy, workers alive");
+    assert_eq!(svc.epoch(), 2);
+    assert!(svc.ask("a0", &[Value::int(21)], &cfg).unwrap());
+    assert!(
+        svc.log().recoveries().is_empty(),
+        "error-path rollback, not poison recovery"
+    );
+}

@@ -108,20 +108,6 @@ proptest! {
         let cfg = FixpointConfig::default();
         let scfg = SolverConfig::default();
         for mode in [SupportMode::Plain, SupportMode::WithSupports] {
-            let sharded = ViewService::builder()
-                .mode(mode)
-                .fixpoint(cfg.clone())
-                .build(db.clone())
-                .expect("sharded service builds");
-            prop_assert_eq!(sharded.shard_map().num_shards(), COMPONENTS);
-            let single = ViewService::builder()
-                .mode(mode)
-                .fixpoint(cfg.clone())
-                .shards(ShardSpec::single_lane())
-                .build(db.clone())
-                .expect("single-lane service builds");
-            prop_assert!(single.shard_map().is_single());
-
             // The declarative oracle for the first batch, taken from
             // the (shared) base state.
             let (base_view, _) = fixpoint(&db, &NoDomains, Operator::Tp, mode, &cfg)
@@ -129,6 +115,28 @@ proptest! {
             let first_oracle = batch_oracle(
                 &db, &base_view, &to_batch(&batches[0]), &NoDomains, &cfg,
             ).expect("oracle evaluates");
+
+            // The sharded service sweeps the intra-lane pool width
+            // (1 = sequential paths, 2 and 4 = parallel rounds); the
+            // single-lane reference always runs sequentially, so every
+            // width is checked against the same sequential state.
+            for pool_threads in [1usize, 2, 4] {
+            let sharded = ViewService::builder()
+                .mode(mode)
+                .fixpoint(cfg.clone())
+                .pool_threads(pool_threads)
+                .build(db.clone())
+                .expect("sharded service builds");
+            prop_assert_eq!(sharded.shard_map().num_shards(), COMPONENTS);
+            prop_assert_eq!(sharded.pool().is_some(), pool_threads > 1);
+            let single = ViewService::builder()
+                .mode(mode)
+                .fixpoint(cfg.clone())
+                .shards(ShardSpec::single_lane())
+                .pool_threads(1)
+                .build(db.clone())
+                .expect("single-lane service builds");
+            prop_assert!(single.shard_map().is_single());
 
             let mut last_shard_epochs = [0u64; COMPONENTS];
             for (i, ops) in batches.iter().enumerate() {
@@ -173,6 +181,7 @@ proptest! {
                 .replay(&db, &NoDomains, Operator::Tp, mode, &cfg)
                 .expect("replay");
             prop_assert!(replayed.syntactically_equal(&sharded.snapshot().merged_view()));
+            }
         }
     }
 }
