@@ -49,6 +49,7 @@
 //! Regenerate: `cargo run -p mmv-bench --release --bin e8_service`
 //! (add `--quick` for a reduced sweep, `--json <path>` for the
 //! machine-readable report committed as `BENCH_E8.json`).
+#![forbid(unsafe_code)]
 
 use mmv_bench::gen::constrained::{
     effective_deletion, fact_intervals, layered_program, pred_name, LayeredSpec,
@@ -134,6 +135,7 @@ fn main() {
                     snap.ask(&top, &[p], &NoDomains, &cfg)
                         .expect("snapshot read");
                     reads += 1;
+                    // order: stop flag only; readers re-check, no data is published through it
                     if stop.load(Ordering::Relaxed) && last_epoch >= final_epoch {
                         return (reads, last_epoch);
                     }
@@ -153,7 +155,7 @@ fn main() {
     drop(tx);
     let applied = worker.join().expect("worker drains");
     let write_elapsed = bench_start.elapsed();
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed); // order: stop flag only; the join below is the real synchronization
 
     let mut total_reads = 0u64;
     let mut min_final_epoch = u64::MAX;
@@ -410,6 +412,7 @@ fn main() {
                 std::thread::spawn(move || {
                     let cfg = SolverConfig::default();
                     let mut reads = 0u64;
+                    // order: stop flag only; readers re-check, no data is published through it
                     while !stop.load(Ordering::Relaxed) {
                         let snap = service.snapshot();
                         let p = Value::int((reads as i64 * 37 + r as i64 * 11) % space);
@@ -445,7 +448,7 @@ fn main() {
             w.join().expect("sweep writer");
         }
         let write_wall = sweep_start.elapsed();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // order: stop flag only; the joins below are the real synchronization
         let total_reads: u64 = reader_handles
             .into_iter()
             .map(|h| h.join().expect("sweep reader"))

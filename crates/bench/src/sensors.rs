@@ -68,7 +68,7 @@ impl SensorDomain {
         let mut r = self.write_readings();
         if let Some(slot) = r.get_mut(i) {
             *slot = values;
-            self.version.fetch_add(1, Ordering::Relaxed);
+            self.version.fetch_add(1, Ordering::Relaxed); // order: the RwLock write guard orders the data; the version only needs atomicity
         }
     }
 }
@@ -95,7 +95,7 @@ impl Domain for SensorDomain {
     }
 
     fn version(&self) -> u64 {
-        self.version.load(Ordering::Relaxed)
+        self.version.load(Ordering::Relaxed) // order: advisory staleness check; the RwLock orders the data it guards
     }
 
     fn functions(&self) -> Vec<&'static str> {

@@ -37,6 +37,13 @@
 //! - **No unsafe.** The crate forbids `unsafe`; workers are plain
 //!   long-lived `std::thread`s and tasks are `'static` boxed closures
 //!   that own (`Arc`-clone) everything they touch.
+//! - **Poison-proof.** The pool's own queue and lull mutexes recover
+//!   from poison instead of `expect`ing on it (see `lock_clean`'s
+//!   rationale): infrastructure that exists to contain panics must not
+//!   itself panic on the evidence of one. A `run` against a poisoned
+//!   pool degrades to the submitting thread draining the queues
+//!   sequentially — slower, never stuck, never unwinding into the
+//!   lane.
 //!
 //! The pool is metric-instrumented ([`PoolMetrics`]: tasks executed,
 //! steals, busy workers) and carries the same test-only fault hook
@@ -56,6 +63,27 @@ use std::time::Duration;
 /// A queued unit of work: owns everything it touches, reports through
 /// the channel it captured.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a pool mutex, recovering from poison instead of panicking.
+///
+/// The pool exists to *contain* panics, so its own locks must never
+/// re-raise one. Poison here can only mean a thread died while holding
+/// a queue or lull guard — and every critical section under those
+/// guards is a plain `VecDeque` push/pop or an empty wait slot, none
+/// of which can leave torn state. Clearing the poison and carrying on
+/// is therefore always sound; in the worst case (every worker somehow
+/// gone) the submitting thread's assist loop still drains the queues
+/// sequentially, so `run` completes degraded rather than panicking the
+/// lane that called it.
+fn lock_clean<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            m.clear_poison();
+            p.into_inner()
+        }
+    }
+}
 
 /// Test-only hook fired (under the containment boundary) before each
 /// task, with the task's submission index.
@@ -125,7 +153,7 @@ impl Inner {
         let n = self.queues.len();
         for i in 0..n {
             let q = (home + i) % n;
-            let job = self.queues[q].lock().expect("pool queue").pop_front();
+            let job = lock_clean(&self.queues[q]).pop_front();
             if let Some(job) = job {
                 if count_steals && q != home {
                     self.metrics.steals_total.inc();
@@ -140,6 +168,7 @@ impl Inner {
     /// runs under its mutex and is *expected* to panic in tests, so the
     /// lock recovers from poison instead of propagating it.
     fn fire_fault(&self, index: usize) {
+        // order: pairs with set_fault_hook's Release so the armed hook is visible
         if self.fault_armed.load(Ordering::Acquire) {
             let mut guard = match self.fault.lock() {
                 Ok(g) => g,
@@ -164,17 +193,21 @@ fn worker_loop(inner: Arc<Inner>, home: usize) {
             inner.metrics.workers_busy.dec();
             continue;
         }
+        // order: pairs with Drop's Release store; queue mutexes order the task handoffs
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
         // Timed wait: a notify can race the queue check, so never sleep
         // unbounded. 1ms keeps the idle pool cheap and the wake latency
         // invisible next to a fixpoint round.
-        let guard = inner.lull.lock().expect("pool lull");
+        let guard = lock_clean(&inner.lull);
         let _ = inner
             .signal
             .wait_timeout(guard, Duration::from_millis(1))
-            .expect("pool lull");
+            .unwrap_or_else(|p| {
+                inner.lull.clear_poison();
+                p.into_inner()
+            });
     }
 }
 
@@ -236,7 +269,7 @@ impl WorkerPool {
     pub fn set_fault_hook(&self, hook: Option<PoolFaultHook>) {
         self.inner
             .fault_armed
-            .store(hook.is_some(), Ordering::Release);
+            .store(hook.is_some(), Ordering::Release); // order: publishes the armed flag to workers' Acquire fast-path check
         let mut guard = match self.inner.fault.lock() {
             Ok(g) => g,
             Err(p) => {
@@ -273,11 +306,8 @@ impl WorkerPool {
         let (tx, rx) = channel::<(usize, std::thread::Result<T>)>();
         for (index, task) in tasks.into_iter().enumerate() {
             let job = self.package(index, task, tx.clone());
-            let slot = self.inner.next.fetch_add(1, Ordering::Relaxed) % self.inner.queues.len();
-            self.inner.queues[slot]
-                .lock()
-                .expect("pool queue")
-                .push_back(job);
+            let slot = self.inner.next.fetch_add(1, Ordering::Relaxed) % self.inner.queues.len(); // order: round-robin distribution counter; fairness only, nothing to order
+            lock_clean(&self.inner.queues[slot]).push_back(job);
         }
         drop(tx);
         self.inner.signal.notify_all();
@@ -351,7 +381,7 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.shutdown.store(true, Ordering::Release); // order: pairs with workers' Acquire shutdown check; joins do the final sync
         self.inner.signal.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -431,6 +461,35 @@ mod tests {
         pool.set_fault_hook(None);
         let clean = pool.run(vec![|| 7usize]);
         assert_eq!(clean[0].as_ref().copied().unwrap(), 7);
+    }
+
+    #[test]
+    fn poisoned_queue_and_lull_locks_degrade_to_draining() {
+        let pool = WorkerPool::new(2);
+        // Poison a queue mutex and the lull mutex by panicking while
+        // holding their guards — the only way these can ever poison,
+        // since no user code runs under them in production.
+        let inner = Arc::clone(&pool.inner);
+        let _ = std::thread::spawn(move || {
+            let _q = inner.queues[0].lock().unwrap();
+            let _l = inner.lull.try_lock();
+            panic!("poison the pool locks");
+        })
+        .join();
+        assert!(pool.inner.queues[0].is_poisoned());
+        // The pool still runs every task to completion: submission,
+        // worker pops, and the caller-assist drain all recover the
+        // locks instead of panicking the submitting lane.
+        let results = pool.run((0..32).map(|i| move || i * 3).collect::<Vec<_>>());
+        let values: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(!pool.inner.queues[0].is_poisoned(), "poison cleared");
+        // And panic containment still works on the recovered pool.
+        let mixed = pool.run(vec![
+            Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+            Box::new(|| panic!("still contained")),
+        ]);
+        assert!(mixed[0].is_ok() && mixed[1].is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! update".
 
 use crate::manager::Domain;
+use crate::sync::{read_clean, write_clean};
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::{Value, ValueSet};
 use std::sync::{Arc, RwLock};
@@ -63,7 +64,7 @@ impl FacePackage {
 
     /// Registers a person's mugshot.
     pub fn register_person(&self, name: &str, face: FaceId) {
-        let mut s = self.store.write().expect("face lock");
+        let mut s = write_clean(&self.store);
         s.mugshots.insert(name.to_string(), face);
         s.names.insert(face, name.to_string());
         s.version += 1;
@@ -71,7 +72,7 @@ impl FacePackage {
 
     /// Adds a surveillance photo containing the given faces.
     pub fn add_photo(&self, dataset: &str, photo_name: &str, faces: &[FaceId]) {
-        let mut s = self.store.write().expect("face lock");
+        let mut s = write_clean(&self.store);
         s.datasets
             .entry(dataset.to_string())
             .or_default()
@@ -85,7 +86,7 @@ impl FacePackage {
     /// Removes a photo by name; returns whether anything was removed.
     /// (Models e.g. "the photograph was a forgery".)
     pub fn remove_photo(&self, dataset: &str, photo_name: &str) -> bool {
-        let mut s = self.store.write().expect("face lock");
+        let mut s = write_clean(&self.store);
         let Some(photos) = s.datasets.get_mut(dataset) else {
             return false;
         };
@@ -100,9 +101,7 @@ impl FacePackage {
 
     /// Number of photos currently in a dataset.
     pub fn photo_count(&self, dataset: &str) -> usize {
-        self.store
-            .read()
-            .expect("face lock")
+        read_clean(&self.store)
             .datasets
             .get(dataset)
             .map_or(0, |p| p.len())
@@ -150,7 +149,7 @@ impl Domain for FaceExtractDomain {
     }
 
     fn call(&self, func: &str, args: &[Value]) -> ValueSet {
-        let s = self.package.store.read().expect("face lock");
+        let s = read_clean(&self.package.store);
         match func {
             // segmentface(dataset) -> {file, origin} records for every
             // face in every photo of the dataset.
@@ -187,7 +186,7 @@ impl Domain for FaceExtractDomain {
     }
 
     fn version(&self) -> u64 {
-        self.package.store.read().expect("face lock").version
+        read_clean(&self.package.store).version
     }
 
     fn functions(&self) -> Vec<&'static str> {
@@ -206,7 +205,7 @@ impl Domain for FaceDbDomain {
     }
 
     fn call(&self, func: &str, args: &[Value]) -> ValueSet {
-        let s = self.package.store.read().expect("face lock");
+        let s = read_clean(&self.package.store);
         match func {
             // findface(person) -> {face id} if the person has a mugshot.
             "findface" => {
@@ -233,7 +232,7 @@ impl Domain for FaceDbDomain {
     }
 
     fn version(&self) -> u64 {
-        self.package.store.read().expect("face lock").version
+        read_clean(&self.package.store).version
     }
 
     fn functions(&self) -> Vec<&'static str> {
@@ -309,5 +308,29 @@ mod tests {
         assert!(!p.remove_photo("surveillancedata", "img_002"));
         let s = d.call("segmentface", &[Value::str("surveillancedata")]);
         assert_eq!(s.finite_len(), Some(2));
+    }
+
+    #[test]
+    fn poisoned_face_lock_recovers() {
+        let p = setup();
+        let p2 = p.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = p2.store.write().unwrap();
+            panic!("poison the face lock");
+        })
+        .join();
+        assert!(p.store.is_poisoned());
+        // Both domain views and the mutation surface keep working.
+        let d = p.extract_domain();
+        let before = d.version();
+        p.add_photo("surveillancedata", "img_003", &[1]);
+        assert!(d.version() > before);
+        let s = d.call("segmentface", &[Value::str("surveillancedata")]);
+        assert_eq!(s.finite_len(), Some(4));
+        let db = p.db_domain();
+        assert_eq!(
+            db.call("findname", &[Value::int(1)]),
+            ValueSet::singleton(Value::str("don corleone"))
+        );
     }
 }

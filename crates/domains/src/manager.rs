@@ -11,6 +11,7 @@
 //! domain mutations change later resolutions, which is exactly the
 //! function-behaviour-over-time model (`d:f_t`) of Section 4.
 
+use crate::sync::lock_clean;
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::{DomainResolver, Value, ValueSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,48 +110,50 @@ impl DomainManager {
     /// Call-traffic counters since construction (or the last reset).
     pub fn stats(&self) -> CallStats {
         CallStats {
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            unknown_domain: self.unknown.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed), // order: traffic tally; cross-counter tearing is fine in a stats snapshot
+            misses: self.misses.load(Ordering::Relaxed), // order: traffic tally; cross-counter tearing is fine in a stats snapshot
+            unknown_domain: self.unknown.load(Ordering::Relaxed), // order: traffic tally; cross-counter tearing is fine in a stats snapshot
         }
     }
 
     /// Zeroes the call-traffic counters.
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.unknown.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed); // order: stats reset is advisory; no reader depends on cross-counter order
+        self.misses.store(0, Ordering::Relaxed); // order: stats reset is advisory; no reader depends on cross-counter order
+        self.unknown.store(0, Ordering::Relaxed); // order: stats reset is advisory; no reader depends on cross-counter order
     }
 
     /// Drops all memoized call results.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        lock_clean(&self.cache).clear();
     }
 }
 
 impl DomainResolver for DomainManager {
     fn resolve(&self, domain: &str, func: &str, args: &[Value]) -> ValueSet {
         let Some((dname, d)) = self.domains.get_key_value(domain) else {
-            self.unknown.fetch_add(1, Ordering::Relaxed);
+            self.unknown.fetch_add(1, Ordering::Relaxed); // order: monotonic traffic counter; no ordering with the lookup it counts
             return ValueSet::Empty;
         };
         let version = d.version();
         let key: CacheKey = (dname.clone(), Arc::from(func), args.to_vec());
+        // The memo cache recovers from poison like every domain lock
+        // (see [`crate::sync`]): each cache mutation is one `HashMap`
+        // operation, so a recovered cache is structurally sound — at
+        // worst it is missing an entry the panicked caller never
+        // finished inserting, and a miss just re-executes the call.
         {
-            let cache = self.cache.lock().expect("cache lock");
+            let cache = lock_clean(&self.cache);
             if let Some((v, set)) = cache.get(&key) {
                 if *v == version {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed); // order: monotonic traffic counter; the cache mutex orders the data
                     return set.clone();
                 }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // order: monotonic traffic counter; the cache mutex orders the data
         let set = d.call(func, args);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, (version, set.clone()));
+        lock_clean(&self.cache).insert(key, (version, set.clone()));
         set
     }
 }
@@ -219,5 +222,29 @@ mod tests {
         let mut m = DomainManager::new();
         m.register(fake);
         assert_eq!(m.clock(), 3);
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        let fake = Arc::new(Fake {
+            version: Counter::new(0),
+            calls: Counter::new(0),
+        });
+        let mut m = DomainManager::new();
+        m.register(fake);
+        let m = Arc::new(m);
+        let m2 = Arc::clone(&m);
+        // Poison the memo cache by panicking while holding its guard.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.cache.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join();
+        assert!(m.cache.is_poisoned());
+        // Resolution recovers the cache: misses execute, hits memoize.
+        assert_eq!(m.resolve("fake", "one", &[]), m.resolve("fake", "one", &[]));
+        assert_eq!(m.stats().cache_hits, 1);
+        m.clear_cache();
+        assert!(!m.cache.is_poisoned());
     }
 }

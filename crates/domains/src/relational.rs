@@ -4,6 +4,7 @@
 //! `in(A, paradox:select_eq('phonebook', "name", X))`.
 
 use crate::manager::Domain;
+use crate::sync::read_clean;
 use mmv_constraints::{Value, ValueSet};
 use mmv_storage::Catalog;
 use std::sync::{Arc, RwLock};
@@ -41,7 +42,7 @@ impl Domain for RelationalDomain {
     }
 
     fn call(&self, func: &str, args: &[Value]) -> ValueSet {
-        let catalog = self.catalog.read().expect("catalog lock");
+        let catalog = read_clean(&self.catalog);
         match func {
             // select_eq(table, column, key) -> the matching row records.
             "select_eq" => {
@@ -99,7 +100,7 @@ impl Domain for RelationalDomain {
     }
 
     fn version(&self) -> u64 {
-        self.catalog.read().expect("catalog lock").version()
+        read_clean(&self.catalog).version()
     }
 
     fn functions(&self) -> Vec<&'static str> {

@@ -8,6 +8,7 @@
 //! points) is preserved, and results are stable across runs and seeds.
 
 use crate::manager::Domain;
+use crate::sync::{read_clean, write_clean};
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::{Value, ValueSet};
 use std::hash::{Hash, Hasher};
@@ -71,7 +72,7 @@ impl SpatialDomain {
 
     /// Registers (or moves) a named landmark on a map; bumps the version.
     pub fn add_landmark(&self, map: &str, name: &str, x: i64, y: i64) {
-        let mut s = self.store.write().expect("map lock");
+        let mut s = write_clean(&self.store);
         s.maps
             .entry(map.to_string())
             .or_default()
@@ -130,7 +131,7 @@ impl Domain for SpatialDomain {
                 ) else {
                     return ValueSet::Empty;
                 };
-                let s = self.store.read().expect("map lock");
+                let s = read_clean(&self.store);
                 match s.maps.get(map).and_then(|m| m.get(lm)) {
                     Some(&(lx, ly)) if dist2(lx, ly, x, y) <= r * r => {
                         ValueSet::singleton(Value::Bool(true))
@@ -149,7 +150,7 @@ impl Domain for SpatialDomain {
                 ) else {
                     return ValueSet::Empty;
                 };
-                let s = self.store.read().expect("map lock");
+                let s = read_clean(&self.store);
                 let (Some(grid), Some(points)) = (s.grid.get(map), s.maps.get(map)) else {
                     return ValueSet::Empty;
                 };
@@ -188,7 +189,7 @@ impl Domain for SpatialDomain {
     }
 
     fn version(&self) -> u64 {
-        self.store.read().expect("map lock").version
+        read_clean(&self.store).version
     }
 
     fn functions(&self) -> Vec<&'static str> {
@@ -275,5 +276,35 @@ mod tests {
         let v0 = d.version();
         d.add_landmark("m", "a", 1, 1);
         assert!(d.version() > v0);
+    }
+
+    #[test]
+    fn poisoned_map_lock_recovers() {
+        use std::sync::Arc;
+        let d = Arc::new(SpatialDomain::new());
+        d.add_landmark("m", "a", 100, 100);
+        let d2 = d.clone();
+        // Poison the store by panicking while holding the write guard.
+        let _ = std::thread::spawn(move || {
+            let _g = d2.store.write().unwrap();
+            panic!("poison the map lock");
+        })
+        .join();
+        assert!(d.store.is_poisoned());
+        // Reads and writes keep working: the poison is cleared, not
+        // propagated into every later domain call.
+        let v0 = d.version();
+        d.add_landmark("m", "b", 120, 100);
+        assert!(d.version() > v0);
+        let s = d.call(
+            "near",
+            &[
+                Value::str("m"),
+                Value::int(110),
+                Value::int(100),
+                Value::int(30),
+            ],
+        );
+        assert!(s.contains(&Value::str("a")) && s.contains(&Value::str("b")));
     }
 }

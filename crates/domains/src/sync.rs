@@ -1,0 +1,87 @@
+//! Poison-recovering lock guards shared by every domain.
+//!
+//! A domain's store lock is poisoned when a thread panics while holding
+//! it — for these domains that means a panicking *caller* (a worker
+//! thread torn down mid-batch), not a torn store: every mutation here
+//! is apply-then-bump over plain maps and vectors, whose individual
+//! operations contain no user code that can unwind. Propagating the
+//! poison would turn one dead writer into a permanently bricked domain
+//! for every later reader — exactly the failure mode PR 5 removed from
+//! the service's writer lanes. These helpers clear the poison and hand
+//! back the guard instead, mirroring `mmv-service`'s per-lane recovery
+//! discipline (and the sensors fix in `mmv-bench`).
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks `lock`, clearing a poison flag left by a panicked writer.
+pub(crate) fn read_clean<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(p) => {
+            lock.clear_poison();
+            p.into_inner()
+        }
+    }
+}
+
+/// Write side of [`read_clean`], same recovery.
+pub(crate) fn write_clean<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(p) => {
+            lock.clear_poison();
+            p.into_inner()
+        }
+    }
+}
+
+/// [`read_clean`] for a `Mutex`.
+pub(crate) fn lock_clean<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            lock.clear_poison();
+            p.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    fn poison<T: Send + Sync + 'static>(lock: Arc<RwLock<T>>) {
+        let _ = std::thread::spawn(move || {
+            let _g = lock.write();
+            panic!("poison the lock");
+        })
+        .join();
+    }
+
+    #[test]
+    fn rwlock_guards_recover_from_poison() {
+        let lock = Arc::new(RwLock::new(7));
+        poison(Arc::clone(&lock));
+        assert!(lock.is_poisoned());
+        assert_eq!(*read_clean(&lock), 7);
+        assert!(!lock.is_poisoned());
+        *write_clean(&lock) = 8;
+        assert_eq!(*read_clean(&lock), 8);
+    }
+
+    #[test]
+    fn mutex_guard_recovers_from_poison() {
+        let lock = Arc::new(Mutex::new(vec![1, 2]));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(lock.is_poisoned());
+        lock_clean(&lock).push(3);
+        assert!(!lock.is_poisoned());
+        assert_eq!(*lock_clean(&lock), vec![1, 2, 3]);
+    }
+}

@@ -3,6 +3,7 @@
 //! domain exposes keyword search and membership predicates.
 
 use crate::manager::Domain;
+use crate::sync::{read_clean, write_clean};
 use mmv_constraints::fxhash::FxHashMap;
 use mmv_constraints::{Value, ValueSet};
 use std::sync::RwLock;
@@ -36,7 +37,7 @@ impl TextDomain {
 
     /// Registers (or replaces) a document and indexes its words.
     pub fn add_doc(&self, name: &str, content: &str) {
-        let mut s = self.store.write().expect("doc lock");
+        let mut s = write_clean(&self.store);
         if s.docs.contains_key(name) {
             // Drop stale index entries for a replaced document.
             for names in s.inverted.values_mut() {
@@ -65,7 +66,7 @@ impl Domain for TextDomain {
     }
 
     fn call(&self, func: &str, args: &[Value]) -> ValueSet {
-        let s = self.store.read().expect("doc lock");
+        let s = read_clean(&self.store);
         match func {
             // contains(doc, word) -> {true} iff the word occurs.
             "contains" => {
@@ -104,7 +105,7 @@ impl Domain for TextDomain {
     }
 
     fn version(&self) -> u64 {
-        self.store.read().expect("doc lock").version
+        read_clean(&self.store).version
     }
 
     fn functions(&self) -> Vec<&'static str> {
@@ -149,6 +150,25 @@ mod tests {
         d.add_doc("a", "alpha beta");
         d.add_doc("a", "gamma");
         assert!(d.call("docs_with", &[Value::str("alpha")]).is_empty());
+        assert!(!d.call("docs_with", &[Value::str("gamma")]).is_empty());
+    }
+
+    #[test]
+    fn poisoned_doc_lock_recovers() {
+        use std::sync::Arc;
+        let d = Arc::new(TextDomain::new());
+        d.add_doc("a", "alpha beta");
+        let d2 = d.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = d2.store.write().unwrap();
+            panic!("poison the doc lock");
+        })
+        .join();
+        assert!(d.store.is_poisoned());
+        let v0 = d.version();
+        d.add_doc("b", "gamma");
+        assert!(d.version() > v0);
+        assert!(!d.call("docs_with", &[Value::str("alpha")]).is_empty());
         assert!(!d.call("docs_with", &[Value::str("gamma")]).is_empty());
     }
 }

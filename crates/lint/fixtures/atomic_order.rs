@@ -1,0 +1,44 @@
+// mmv-lint-fixture: crates/demo/src/counters.rs
+//! Known-violation corpus for `atomic-order`: every atomic ordering
+//! choice carries an `// order:` justification, and SeqCst is banned
+//! outright (allow-only).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bad(a: &AtomicU64) {
+    a.store(1, Ordering::Relaxed); //~ atomic-order
+    let _ = a.load(Ordering::Acquire); //~ atomic-order
+    a.store(3, Ordering::SeqCst); //~ atomic-order
+    // order:
+    a.store(4, Ordering::Release); //~ atomic-order
+}
+
+fn justified(a: &AtomicU64) {
+    a.fetch_add(1, Ordering::Relaxed); // order: traffic tally, nothing to order
+    // order: publishes the init writes above to the Acquire load in bad()
+    a.store(2, Ordering::Release);
+}
+
+fn allowed(a: &AtomicU64) {
+    // mmv-lint: allow(atomic-order) fixture demonstrates a justified SeqCst escape hatch
+    a.store(5, Ordering::SeqCst);
+}
+
+fn not_atomics(x: u8, y: u8) -> std::cmp::Ordering {
+    // cmp::Ordering variants are not this rule's business.
+    if x < y {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Greater
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_need_no_justification() {
+        let a = AtomicU64::new(0);
+        a.store(9, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,8 @@
+// mmv-lint-fixture: crates/demo/src/lib.rs //~ forbid-unsafe
+//! Known-violation corpus for `forbid-unsafe`: a crate root (the
+//! virtual path is a `src/lib.rs`) without `#![forbid(unsafe_code)]`.
+//! The diagnostic lands on line 1. A `#![deny(unsafe_code)]` would
+//! not satisfy the rule either — deny is overridable downstream.
+#![deny(unsafe_code)]
+
+pub fn present_but_insufficient() {}

@@ -1,0 +1,48 @@
+// mmv-lint-fixture: crates/demo/src/lock_expect.rs
+//! Known-violation corpus for `lock-expect`: unwrap/expect chained
+//! onto lock acquisitions re-raises poison instead of recovering.
+use std::sync::{Mutex, RwLock};
+
+fn bad(m: &Mutex<u8>, r: &RwLock<u8>) {
+    let a = m.lock().unwrap(); //~ lock-expect
+    let b = r.read().expect("poisoned"); //~ lock-expect
+    let c = r
+        .write()
+        .unwrap(); //~ lock-expect
+    drop((a, b, c));
+}
+
+fn fine(m: &Mutex<u8>, v: Vec<u8>) {
+    // The sanctioned shape: recover instead of re-raising.
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => {
+            m.clear_poison();
+            p.into_inner()
+        }
+    };
+    drop(g);
+    // Unwraps on non-lock results are none of this rule's business.
+    let _ = v.first().unwrap();
+    let _ = "7".parse::<u8>().unwrap();
+    // Pattern text hidden in a string or comment must not fire:
+    let _ = "x.lock().unwrap()".len();
+    // like m.lock().unwrap() here
+}
+
+fn allowed(m: &Mutex<u8>) {
+    // mmv-lint: allow(lock-expect) local mutex never shared across threads; poison is unreachable
+    let g = m.lock().unwrap();
+    drop(g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let m = Mutex::new(1u8);
+        let _ = m.lock().unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+// mmv-lint-fixture: crates/demo/src/suppression.rs
+//! Known-violation corpus for the `suppression` meta-rule: allow
+//! pragmas with no reason, unknown rule ids, stale targets, and
+//! unrecognized directives are themselves diagnostics.
+use std::sync::Mutex;
+
+fn empty_reason(m: &Mutex<u8>) {
+    // mmv-lint: allow(lock-expect) //~ suppression
+    let _ = m.lock().unwrap();
+}
+
+fn unknown_rule(m: &Mutex<u8>) {
+    // mmv-lint: allow(lock-expct) typo in the rule id //~ suppression
+    let _ = m.lock().unwrap(); //~ lock-expect
+}
+
+fn stale(m: &Mutex<u8>) {
+    // mmv-lint: allow(lock-expect) the unwrap below was removed in a refactor //~ suppression
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    drop(g);
+}
+
+fn unrecognized_verb(m: &Mutex<u8>) {
+    // mmv-lint: deny(lock-expect) only allow(...) exists //~ suppression
+    let _ = m.lock().unwrap(); //~ lock-expect
+}
+
+fn proper(m: &Mutex<u8>) {
+    // mmv-lint: allow(lock-expect) fixture shows a well-formed suppression
+    let _ = m.lock().unwrap();
+}

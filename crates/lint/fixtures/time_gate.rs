@@ -1,0 +1,35 @@
+// mmv-lint-fixture: crates/core/src/tp.rs
+//! Known-violation corpus for `time-gate`: raw clock reads in a
+//! write-path module (the virtual path names one) must go through the
+//! obs-gated helpers.
+use std::time::{Instant, SystemTime};
+
+fn bad() {
+    let _t0 = Instant::now(); //~ time-gate
+    let _wall = SystemTime::now(); //~ time-gate
+    let _t1 = std::time::Instant::now(); //~ time-gate
+}
+
+fn fine(clock: &mut StageClockLike) {
+    // The sanctioned shape: the helper reads the clock only when
+    // observability is on.
+    clock.lap();
+    // `Instant::now` in a comment or "Instant::now()" in a string is
+    // not a clock read.
+    let _ = "Instant::now()".len();
+}
+
+struct StageClockLike;
+impl StageClockLike {
+    fn lap(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_read_clocks() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,31 @@
+// mmv-lint-fixture: crates/demo/src/storage.rs
+//! Known-violation corpus for `vfs-confine`: raw filesystem access in
+//! engine library code escapes the fault-injecting Vfs.
+use std::fs; //~ vfs-confine
+use std::path::Path;
+
+fn bad(p: &Path) {
+    let _ = std::fs::read(p); //~ vfs-confine
+    let _ = fs::read_to_string(p); //~ vfs-confine
+    let _ = std::fs::File::open(p); //~ vfs-confine
+}
+
+fn allowed(p: &Path) -> bool {
+    // mmv-lint: allow(vfs-confine) recovery-read allowlist: this fixture models a recovery-time probe
+    std::fs::metadata(p).is_ok()
+}
+
+fn fine() {
+    // Mentions in comments (std::fs) or strings must not fire:
+    let _ = "std::fs::read".len();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::Path;
+
+    #[test]
+    fn tests_may_touch_the_real_fs() {
+        let _ = std::fs::metadata(Path::new("/tmp"));
+    }
+}

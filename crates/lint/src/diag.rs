@@ -1,0 +1,98 @@
+//! Diagnostics and their text/JSON renderings.
+
+use std::fmt;
+
+/// One finding: `path:line [rule-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array of objects with `path`, `line`,
+/// `rule`, and `message` fields. Hand-rolled on purpose: the linter is
+/// dependency-free.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"path\":\"{}\",", escape(&d.path)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"rule\":\"{}\",", escape(d.rule)));
+        out.push_str(&format!("\"message\":\"{}\"", escape(&d.message)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_grep_format() {
+        let d = Diagnostic {
+            path: "crates/core/src/pool.rs".into(),
+            line: 42,
+            rule: "lock-expect",
+            message: "boom".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/pool.rs:42 [lock-expect] boom"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let diags = vec![Diagnostic {
+            path: "a.rs".into(),
+            line: 1,
+            rule: "time-gate",
+            message: "say \"no\" to\nclocks".into(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,322 @@
+//! A masking lexer for Rust source.
+//!
+//! Every rule in this linter is a textual pattern scan, and textual
+//! scans lie the moment a pattern appears inside a comment, a string
+//! literal, or a doc example. [`mask`] fixes that once, up front: it
+//! splits a source file into two parallel, line-structure-preserving
+//! streams — `code`, where comments and literal *contents* are blanked
+//! to spaces, and `comment`, where everything except comment text is
+//! blanked. Rules scan `code`; the pragma parser scans `comment`.
+//! Neither can be fooled by the other's text.
+//!
+//! The lexer understands line comments (`//`, `///`, `//!`), nested
+//! block comments (`/* /* */ */`), string and byte-string literals
+//! with escapes, raw strings with arbitrary `#` fences (`r#"…"#`,
+//! `br##"…"##`), char literals (including escaped ones), and the
+//! char-literal-versus-lifetime ambiguity (`'a'` masks, `'a` in
+//! `<'a>` stays code). Newlines are preserved in both streams, so a
+//! byte offset into either stream converts to the same 1-based line
+//! number as in the original file.
+
+/// The two masked views of one source file. Both streams have exactly
+/// the same line structure as the input.
+#[derive(Debug)]
+pub struct Masked {
+    /// Source with comment bytes and string/char-literal contents
+    /// replaced by spaces. String delimiters (`"`) are kept so call
+    /// shapes like `.expect("…")` still look like calls.
+    pub code: String,
+    /// Comment text only (including the `//` / `/* */` delimiters);
+    /// every non-comment byte is a space.
+    pub comment: String,
+}
+
+impl Masked {
+    /// The code stream split into lines (index 0 is line 1).
+    pub fn code_lines(&self) -> Vec<&str> {
+        split_keep_empty(&self.code)
+    }
+
+    /// The comment stream split into lines (index 0 is line 1).
+    pub fn comment_lines(&self) -> Vec<&str> {
+        split_keep_empty(&self.comment)
+    }
+}
+
+/// Like `str::lines` but never drops a trailing empty line count
+/// mismatch between the two streams.
+fn split_keep_empty(s: &str) -> Vec<&str> {
+    s.split('\n').collect()
+}
+
+/// 1-based line number of a byte offset into a masked stream.
+pub fn line_of(stream: &str, offset: usize) -> usize {
+    stream[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Masks `source` into parallel code and comment streams.
+pub fn mask(source: &str) -> Masked {
+    let cs: Vec<char> = source.chars().collect();
+    let n = cs.len();
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len());
+    // Pushes one source position to both streams: the real char goes
+    // to the stream named by `to_code`, a space (or newline) to the
+    // other.
+    let push = |code: &mut String, comment: &mut String, c: char, to_code: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+        } else if to_code {
+            code.push(c);
+            comment.push(' ');
+        } else {
+            code.push(' ');
+            comment.push(c);
+        }
+    };
+    // Pushes a literal char: delimiters stay in code, contents blank
+    // in both streams (a string's text is neither code nor comment).
+    let push_lit = |code: &mut String, comment: &mut String, c: char, keep: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+        } else {
+            code.push(if keep { c } else { ' ' });
+            comment.push(' ');
+        }
+    };
+
+    let mut i = 0;
+    while i < n {
+        let c = cs[i];
+        // Line comment (covers `///` and `//!` doc comments too).
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            while i < n && cs[i] != '\n' {
+                push(&mut code, &mut comment, cs[i], false);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < n {
+                if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    push(&mut code, &mut comment, '/', false);
+                    push(&mut code, &mut comment, '*', false);
+                    i += 2;
+                } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    push(&mut code, &mut comment, '*', false);
+                    push(&mut code, &mut comment, '/', false);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push(&mut code, &mut comment, cs[i], false);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br##"…"##. Only when the
+        // `r` is not the tail of an identifier.
+        if (c == 'r' || (c == 'b' && cs.get(i + 1) == Some(&'r')))
+            && (i == 0 || !is_ident_char(cs[i - 1]))
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while cs.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if cs.get(j) == Some(&'"') {
+                // Prefix (r/br and hashes) and opening quote stay in
+                // code as delimiters.
+                while i <= j {
+                    push_lit(&mut code, &mut comment, cs[i], true);
+                    i += 1;
+                }
+                // Contents until `"` followed by `hashes` hashes.
+                'raw: while i < n {
+                    if cs[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && cs.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                push_lit(&mut code, &mut comment, cs[i], true);
+                                i += 1;
+                            }
+                            break 'raw;
+                        }
+                    }
+                    push_lit(&mut code, &mut comment, cs[i], false);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a raw string; fall through as plain code.
+        }
+        // String or byte-string literal (the `b` prefix was already
+        // emitted as code on the previous iteration).
+        if c == '"' {
+            push_lit(&mut code, &mut comment, '"', true);
+            i += 1;
+            while i < n {
+                if cs[i] == '\\' {
+                    push_lit(&mut code, &mut comment, cs[i], false);
+                    i += 1;
+                    if i < n {
+                        push_lit(&mut code, &mut comment, cs[i], false);
+                        i += 1;
+                    }
+                } else if cs[i] == '"' {
+                    push_lit(&mut code, &mut comment, '"', true);
+                    i += 1;
+                    break;
+                } else {
+                    push_lit(&mut code, &mut comment, cs[i], false);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` and `'\n'` are literals,
+        // `'a` in `<'a>` or `'static` is a lifetime and stays code.
+        if c == '\'' {
+            let is_escaped = cs.get(i + 1) == Some(&'\\');
+            let is_plain = cs.get(i + 2) == Some(&'\'') && cs.get(i + 1) != Some(&'\'');
+            if is_escaped {
+                push_lit(&mut code, &mut comment, '\'', true);
+                i += 1;
+                while i < n && cs[i] != '\'' {
+                    push_lit(&mut code, &mut comment, cs[i], false);
+                    i += 1;
+                }
+                if i < n {
+                    push_lit(&mut code, &mut comment, '\'', true);
+                    i += 1;
+                }
+            } else if is_plain {
+                push_lit(&mut code, &mut comment, '\'', true);
+                push_lit(&mut code, &mut comment, cs[i + 1], false);
+                push_lit(&mut code, &mut comment, '\'', true);
+                i += 3;
+            } else {
+                push(&mut code, &mut comment, '\'', true);
+                i += 1;
+            }
+            continue;
+        }
+        push(&mut code, &mut comment, c, true);
+        i += 1;
+    }
+    Masked { code, comment }
+}
+
+/// Whether `c` can appear inside a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_preserve_line_structure() {
+        let src = "let a = 1; // trailing\n/* block\n spans */ let b;\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.comment.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn comments_leave_the_code_stream() {
+        let m = mask("x(); // call .unwrap() here\n");
+        assert!(!m.code.contains(".unwrap("));
+        assert!(m.comment.contains(".unwrap("));
+        assert!(m.code.contains("x();"));
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let m = mask("a /* one /* two */ still */ b");
+        assert!(m.code.contains('a'));
+        assert!(m.code.contains('b'));
+        assert!(!m.code.contains("one"));
+        assert!(!m.code.contains("still"));
+        assert!(m.comment.contains("still"));
+    }
+
+    #[test]
+    fn string_contents_mask_but_delimiters_stay() {
+        let m = mask(r#"f(".unwrap() // not a comment");"#);
+        assert!(!m.code.contains(".unwrap("));
+        assert!(!m.comment.contains("not a comment"));
+        assert!(m.code.contains("f(\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let m = mask(r#"g("a\".unwrap()\"b"); h();"#);
+        assert!(!m.code.contains(".unwrap("));
+        assert!(m.code.contains("h();"));
+    }
+
+    #[test]
+    fn raw_strings_honor_hash_fences() {
+        let m = mask(r####"let s = r##"quote " and .expect( stay"##; tail();"####);
+        assert!(!m.code.contains(".expect("));
+        assert!(m.code.contains("tail();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_mask() {
+        let m = mask(r###"let a = b".unwrap("; let c = br#".expect("#; done();"###);
+        assert!(!m.code.contains(".unwrap("));
+        assert!(!m.code.contains(".expect("));
+        assert!(m.code.contains("done();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let m = mask(r#"attr"x""#);
+        // `attr` must stay code; only the string contents mask.
+        assert!(m.code.contains("attr"));
+        assert!(!m.code.contains('x'));
+    }
+
+    #[test]
+    fn lifetimes_stay_code_but_char_literals_mask() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        assert!(m.code.contains("<'a>"));
+        assert!(m.code.contains("&'a str"));
+        assert!(!m.code.contains('y'));
+        // Escaped char literal masks its content too.
+        assert!(!m.code.contains("\\n'"));
+    }
+
+    #[test]
+    fn line_of_counts_from_one() {
+        let m = mask("a\nb\nc\n");
+        let off = m.code.find('c').unwrap();
+        assert_eq!(line_of(&m.code, off), 3);
+        assert_eq!(line_of(&m.code, 0), 1);
+    }
+
+    #[test]
+    fn doc_comment_patterns_do_not_leak_into_code() {
+        let src =
+            "/// calls `Instant::now()` internally\nfn f() {}\n//! `Ordering::SeqCst` notes\n";
+        let m = mask(src);
+        assert!(!m.code.contains("Instant::now"));
+        assert!(!m.code.contains("Ordering::"));
+        assert!(m.code.contains("fn f() {}"));
+    }
+}

@@ -1,0 +1,71 @@
+#![forbid(unsafe_code)]
+//! `mmv-lint`: the project-invariant static analyzer for the mmv
+//! workspace.
+//!
+//! rustc and clippy enforce language rules; this crate enforces the
+//! *project's* rules — disciplines adopted in prior changes whose
+//! erosion would be silent: poison recovery instead of unwrap-on-lock,
+//! storage I/O confined to the fault-injecting `Vfs`, obs-gated clock
+//! reads on the write path, justified atomic orderings, `forbid`-level
+//! unsafe bans, and the two-phase lane/publication lock order.
+//!
+//! The analyzer is three small layers:
+//!
+//! 1. [`lexer`] masks a source file into parallel code/comment streams
+//!    so pattern scans cannot be fooled by comments or string
+//!    literals.
+//! 2. [`scan`] extracts function spans, `#[cfg(test)]` regions, and
+//!    the two pragma kinds from the masked streams.
+//! 3. [`rules`] runs the six rules plus the `suppression` meta-rule,
+//!    deny-by-default: a violating site either changes or carries
+//!    `// mmv-lint: allow(rule-id) <reason>` — and the reason is
+//!    itself checked for existence, spelling, and staleness.
+//!
+//! Diagnostics come out as `path:line [rule-id] message` (or `--json`
+//! from the CLI). The whole crate is dependency-free by design.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+pub use diag::{render_json, Diagnostic};
+pub use rules::{lint_source, RuleInfo, RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every workspace source under `root`, returning all
+/// diagnostics sorted by path then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for (rel, abs) in walk::workspace_sources(root)? {
+        let source = std::fs::read_to_string(&abs)?;
+        out.extend(lint_source(&rel, &source));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_catalog_has_the_six_rules_plus_meta() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "lock-expect",
+                "vfs-confine",
+                "time-gate",
+                "atomic-order",
+                "forbid-unsafe",
+                "lock-order",
+                "suppression",
+            ]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+#![forbid(unsafe_code)]
+//! The `mmv-lint` CLI.
+//!
+//! ```text
+//! mmv-lint [--json] [--root <dir>] [--list-rules]
+//! ```
+//!
+//! Walks the workspace (found by ascending from the current directory
+//! unless `--root` is given), runs every rule, and prints diagnostics
+//! as `path:line [rule-id] message` or, with `--json`, as a JSON
+//! array. Exit status: 0 clean, 1 violations found, 2 usage or I/O
+//! error. Deny-by-default — there is no flag to downgrade a rule; a
+//! site that must deviate carries an inline
+//! `// mmv-lint: allow(rule-id) <reason>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for r in mmv_lint::RULES {
+                    println!("{:<14} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: mmv-lint [--json] [--root <dir>] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read current directory: {e}")),
+            };
+            match mmv_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no workspace root found; pass --root"),
+            }
+        }
+    };
+    let diags = match mmv_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("walk failed under {}: {e}", root.display())),
+    };
+    if json {
+        println!("{}", mmv_lint::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "mmv-lint: {} violation{} across the workspace",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mmv-lint: {msg}");
+    eprintln!("usage: mmv-lint [--json] [--root <dir>] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mmv-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,336 @@
+//! The item/expression scanner layered over the masked streams.
+//!
+//! From one [`Masked`] file this builds everything the rules need:
+//!
+//! - **Function spans** (`fn name` → matching close brace), so a rule
+//!   can attribute a pattern hit to its innermost enclosing function.
+//! - **Test regions**: lines covered by a `#[cfg(test)]` or `#[test]`
+//!   item. Project invariants govern production code; tests poison
+//!   locks and read clocks on purpose, so rules skip these lines.
+//! - **Pragmas** parsed from the comment stream: the suppression
+//!   `// mmv-lint: allow(rule-id) <reason>` and the lighter atomics
+//!   justification `// order: <reason>`. A pragma on a line with code
+//!   targets that line; a pragma on its own line targets the next
+//!   line that has code (so a stack of comment lines above a
+//!   statement all resolve to the statement).
+
+use crate::lexer::{is_ident_char, line_of, mask, Masked};
+use std::cell::Cell;
+
+/// One `fn` item with a body, by 1-based line span (inclusive).
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub start_line: usize,
+    pub end_line: usize,
+}
+
+/// A parsed `mmv-lint: allow(rule) reason` suppression.
+#[derive(Debug)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: usize,
+    /// Line whose diagnostics it suppresses.
+    pub target: usize,
+    /// Set when the allow actually suppressed a diagnostic, so stale
+    /// suppressions can themselves be reported.
+    pub used: Cell<bool>,
+}
+
+/// A parsed `order: reason` atomics justification.
+#[derive(Debug)]
+pub struct OrderPragma {
+    pub reason: String,
+    pub target: usize,
+}
+
+/// Everything scanned out of one source file.
+pub struct FileCtx {
+    pub masked: Masked,
+    /// `test_lines[line - 1]` is true inside `#[cfg(test)]` / `#[test]`
+    /// regions.
+    pub test_lines: Vec<bool>,
+    pub fns: Vec<FnSpan>,
+    pub allows: Vec<Allow>,
+    pub orders: Vec<OrderPragma>,
+    /// Lines carrying an `mmv-lint:` directive that did not parse.
+    pub bad_directives: Vec<(usize, String)>,
+}
+
+impl FileCtx {
+    pub fn new(source: &str) -> FileCtx {
+        let masked = mask(source);
+        let line_count = masked.code_lines().len();
+        let test_lines = test_regions(&masked.code, line_count);
+        let fns = fn_spans(&masked.code);
+        let (allows, orders, bad_directives) = pragmas(&masked);
+        FileCtx {
+            masked,
+            test_lines,
+            fns,
+            allows,
+            orders,
+            bad_directives,
+        }
+    }
+
+    /// Whether a 1-based line sits inside a test region.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The innermost function span containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+
+    /// Every non-test occurrence of `pat` in the code stream, as
+    /// (byte offset, 1-based line).
+    pub fn code_hits(&self, pat: &str) -> Vec<(usize, usize)> {
+        self.masked
+            .code
+            .match_indices(pat)
+            .map(|(off, _)| (off, line_of(&self.masked.code, off)))
+            .filter(|&(_, line)| !self.in_test(line))
+            .collect()
+    }
+
+    /// A non-empty `order:` justification targeting `line`.
+    pub fn order_reason(&self, line: usize) -> Option<&OrderPragma> {
+        self.orders.iter().find(|o| o.target == line)
+    }
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` item.
+fn test_regions(code: &str, line_count: usize) -> Vec<bool> {
+    let mut flags = vec![false; line_count];
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        for (off, _) in code.match_indices(attr) {
+            let start_line = line_of(code, off);
+            let after = off + attr.len();
+            // The item body opens at the next `{`; attribute-on-a-
+            // statement (`#[cfg(test)] use …;`) ends at `;` instead.
+            let rest = &code[after..];
+            let brace = rest.find('{');
+            let semi = rest.find(';');
+            let end_line = match (brace, semi) {
+                (Some(b), s) if s.is_none_or(|s| b < s) => match close_of(code, after + b) {
+                    Some(close) => line_of(code, close),
+                    None => line_count,
+                },
+                (_, Some(s)) => line_of(code, after + s),
+                _ => line_count,
+            };
+            for line in start_line..=end_line.min(line_count) {
+                flags[line - 1] = true;
+            }
+        }
+    }
+    flags
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+fn close_of(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans `fn name … { … }` items out of the code stream. Bodyless
+/// trait-method declarations (`fn f(&self);`) are skipped.
+fn fn_spans(code: &str) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let bytes = code.as_bytes();
+    for (off, _) in code.match_indices("fn ") {
+        // Word boundary: reject `dyn_fn `, accept start-of-file,
+        // `pub fn`, `(fn …` and friends.
+        if off > 0 && is_ident_char(bytes[off - 1] as char) {
+            continue;
+        }
+        let mut i = off + 3;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `fn(` pointer type, not an item
+        }
+        let name = code[name_start..i].to_string();
+        // The body opens at the first `{` after the signature; a `;`
+        // first means a bodyless declaration.
+        let rest = &code[i..];
+        let brace = rest.find('{');
+        let semi = rest.find(';');
+        let open = match (brace, semi) {
+            (Some(b), s) if s.is_none_or(|s| b < s) => i + b,
+            _ => continue,
+        };
+        if let Some(close) = close_of(code, open) {
+            spans.push(FnSpan {
+                name,
+                start_line: line_of(code, off),
+                end_line: line_of(code, close),
+            });
+        }
+    }
+    spans
+}
+
+/// Parses both pragma kinds out of the comment stream.
+fn pragmas(masked: &Masked) -> (Vec<Allow>, Vec<OrderPragma>, Vec<(usize, String)>) {
+    let code_lines: Vec<String> = masked.code_lines().iter().map(|s| s.to_string()).collect();
+    let comment_lines = masked.comment_lines();
+    let mut allows = Vec::new();
+    let mut orders = Vec::new();
+    let mut bad = Vec::new();
+    // A pragma on a comment-only line applies to the next line with
+    // code on it.
+    let target_of = |line: usize| -> usize {
+        let mut t = line;
+        while t <= code_lines.len() && code_lines[t - 1].trim().is_empty() {
+            t += 1;
+        }
+        t.min(code_lines.len().max(1))
+    };
+    for (idx, raw) in comment_lines.iter().enumerate() {
+        let line = idx + 1;
+        let text = raw.trim_start_matches([' ', '\t', '/', '*', '!']).trim();
+        if let Some(rest) = text.strip_prefix("mmv-lint:") {
+            let rest = rest.trim();
+            let parsed = rest.strip_prefix("allow(").and_then(|r| {
+                r.find(')').map(|close| {
+                    (
+                        r[..close].trim().to_string(),
+                        r[close + 1..].trim().to_string(),
+                    )
+                })
+            });
+            match parsed {
+                Some((rule, reason)) => allows.push(Allow {
+                    rule,
+                    reason,
+                    line,
+                    target: if code_lines[idx].trim().is_empty() {
+                        target_of(line)
+                    } else {
+                        line
+                    },
+                    used: Cell::new(false),
+                }),
+                None => bad.push((line, rest.to_string())),
+            }
+        } else if let Some(reason) = text.strip_prefix("order:") {
+            orders.push(OrderPragma {
+                reason: reason.trim().to_string(),
+                target: if code_lines[idx].trim().is_empty() {
+                    target_of(line)
+                } else {
+                    line
+                },
+            });
+        }
+    }
+    (allows, orders, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_cover_bodies_and_skip_declarations() {
+        let src = "trait T {\n    fn decl(&self);\n}\nfn outer() {\n    fn inner() {\n        x();\n    }\n}\n";
+        let ctx = FileCtx::new(src);
+        let names: Vec<&str> = ctx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let inner = ctx.enclosing_fn(6).unwrap();
+        assert_eq!(inner.name, "inner");
+        let outer = ctx.enclosing_fn(8).unwrap();
+        assert_eq!(outer.name, "outer");
+    }
+
+    #[test]
+    fn generic_signatures_find_their_body() {
+        let src =
+            "fn f<T: Iterator<Item = u8>>(x: T) -> Vec<u8>\nwhere\n    T: Clone,\n{\n    y()\n}\n";
+        let ctx = FileCtx::new(src);
+        assert_eq!(ctx.fns.len(), 1);
+        assert_eq!(ctx.fns[0].start_line, 1);
+        assert_eq!(ctx.fns[0].end_line, 6);
+    }
+
+    #[test]
+    fn test_regions_cover_mod_and_fn_items() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        a();\n    }\n}\nfn prod2() {}\n";
+        let ctx = FileCtx::new(src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(2));
+        assert!(ctx.in_test(6));
+        assert!(ctx.in_test(8));
+        assert!(!ctx.in_test(9));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let ctx = FileCtx::new("#[cfg(not(test))]\nfn prod() {\n    x();\n}\n");
+        assert!(!ctx.in_test(3));
+    }
+
+    #[test]
+    fn allow_pragma_targets_code_line() {
+        let src = "// mmv-lint: allow(lock-expect) poisoning is impossible here\nlet g = m.lock().unwrap();\nlet h = n.lock().unwrap(); // mmv-lint: allow(lock-expect) same\n";
+        let ctx = FileCtx::new(src);
+        assert_eq!(ctx.allows.len(), 2);
+        assert_eq!(ctx.allows[0].rule, "lock-expect");
+        assert_eq!(ctx.allows[0].target, 2);
+        assert!(ctx.allows[0].reason.starts_with("poisoning"));
+        assert_eq!(ctx.allows[1].target, 3);
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let ctx = FileCtx::new("// mmv-lint: alow(lock-expect) typo\nx();\n");
+        assert_eq!(ctx.bad_directives.len(), 1);
+        assert_eq!(ctx.bad_directives[0].0, 1);
+    }
+
+    #[test]
+    fn order_pragma_parses_trailing_and_preceding() {
+        let src = "a.store(1, Ordering::Relaxed); // order: independent counter\n// order: pairs with the load in f\nb.store(2, Ordering::Release);\n";
+        let ctx = FileCtx::new(src);
+        assert_eq!(ctx.orders.len(), 2);
+        assert_eq!(ctx.orders[0].target, 1);
+        assert_eq!(ctx.orders[1].target, 3);
+        assert!(ctx.order_reason(3).is_some());
+        assert!(ctx.order_reason(2).is_none());
+    }
+
+    #[test]
+    fn code_hits_skip_tests_and_comments() {
+        let src = "fn p() { i.lock().unwrap(); }\n// i.lock().unwrap() in prose\n#[cfg(test)]\nmod t {\n    fn q() { j.lock().unwrap(); }\n}\n";
+        let ctx = FileCtx::new(src);
+        let hits = ctx.code_hits(".unwrap(");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 1);
+    }
+}

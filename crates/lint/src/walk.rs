@@ -1,0 +1,113 @@
+//! Workspace source discovery.
+//!
+//! Walks `src/` and every `crates/*/src/` under the workspace root,
+//! collecting `.rs` files in sorted order. `vendor/` (offline
+//! stand-in crates), `target/`, and the linter's own `fixtures/`
+//! corpus are never entered — vendored code is not ours to lint, and
+//! fixtures exist to violate the rules.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Every lintable source file under `root`, as
+/// (workspace-relative `/`-separated path, absolute path), sorted by
+/// relative path.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        collect(root, &top_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect(root, &src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/lint -> crates -> root
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().unwrap().parent().unwrap().to_path_buf()
+    }
+
+    #[test]
+    fn walker_finds_known_files_and_skips_vendor_and_fixtures() {
+        let files = workspace_sources(&repo_root()).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"crates/core/src/store.rs"), "{rels:?}");
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+        assert!(rels.contains(&"src/lib.rs"));
+        assert!(!rels.iter().any(|r| r.starts_with("vendor/")));
+        assert!(!rels.iter().any(|r| r.contains("/fixtures/")));
+        assert!(!rels.iter().any(|r| r.contains("/tests/")));
+        // Sorted and unique.
+        let mut sorted = rels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(rels, sorted);
+    }
+
+    #[test]
+    fn root_discovery_ascends() {
+        let nested = repo_root().join("crates/lint/src");
+        assert_eq!(find_workspace_root(&nested), Some(repo_root()));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixture-based self-tests: every rule has a known-violation file
+//! under `fixtures/` and the linter must report exactly the marked
+//! lines — no more, no less.
+//!
+//! Fixture format:
+//!
+//! - Line 1: `// mmv-lint-fixture: <virtual-path>` — the path the
+//!   file is linted *as* (rules scope themselves by path, so a
+//!   lock-order fixture pretends to live in `crates/service/src/`).
+//! - `//~ rule-id` on a line marks an expected diagnostic of that
+//!   rule on that exact line. Several ids may follow one `//~`.
+//!
+//! Markers are stripped before linting (so a marker can sit after a
+//! pragma without becoming part of its reason), and expectations are
+//! compared as *sets* of `(line, rule)` in both directions: an
+//! unmarked diagnostic fails the test just as hard as an unfired
+//! marker.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+struct Fixture {
+    file: String,
+    virtual_path: String,
+    stripped: String,
+    expected: BTreeSet<(usize, String)>,
+}
+
+fn load(path: &PathBuf) -> Fixture {
+    let raw = std::fs::read_to_string(path).expect("fixture readable");
+    let file = path.file_name().unwrap().to_string_lossy().into_owned();
+    let first = raw.lines().next().unwrap_or_default();
+    let virtual_path = first
+        .strip_prefix("// mmv-lint-fixture:")
+        .unwrap_or_else(|| panic!("{file}: line 1 must be `// mmv-lint-fixture: <path>`"))
+        .split_whitespace()
+        .next()
+        .unwrap_or_else(|| panic!("{file}: empty virtual path"))
+        .to_string();
+    let rule_ids: Vec<&str> = mmv_lint::RULES.iter().map(|r| r.id).collect();
+    let mut expected = BTreeSet::new();
+    let mut stripped = Vec::new();
+    for (i, line) in raw.lines().enumerate() {
+        match line.find("//~") {
+            Some(pos) => {
+                let ids: Vec<&str> = line[pos + 3..].split_whitespace().collect();
+                assert!(
+                    !ids.is_empty() && ids.iter().all(|id| rule_ids.contains(id)),
+                    "{file}:{}: `//~` must be followed by rule ids, got {ids:?}",
+                    i + 1
+                );
+                for id in ids {
+                    expected.insert((i + 1, id.to_string()));
+                }
+                stripped.push(line[..pos].trim_end().to_string());
+            }
+            None => stripped.push(line.to_string()),
+        }
+    }
+    Fixture {
+        file,
+        virtual_path,
+        stripped: stripped.join("\n"),
+        expected,
+    }
+}
+
+#[test]
+fn every_fixture_fires_exactly_its_markers() {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fixture corpus is missing");
+
+    let mut fired_rules: BTreeSet<String> = BTreeSet::new();
+    for path in &entries {
+        let fx = load(path);
+        let actual: BTreeSet<(usize, String)> =
+            mmv_lint::lint_source(&fx.virtual_path, &fx.stripped)
+                .into_iter()
+                .map(|d| (d.line, d.rule.to_string()))
+                .collect();
+        let missing: Vec<_> = fx.expected.difference(&actual).collect();
+        let surprise: Vec<_> = actual.difference(&fx.expected).collect();
+        assert!(
+            missing.is_empty() && surprise.is_empty(),
+            "{}: expectation mismatch\n  markers that did not fire: {missing:?}\n  diagnostics with no marker: {surprise:?}",
+            fx.file
+        );
+        fired_rules.extend(fx.expected.iter().map(|(_, r)| r.clone()));
+    }
+
+    // Proof obligation from the issue: each of the six rules (and the
+    // suppression meta-rule) has a fixture demonstrating it fires.
+    for rule in mmv_lint::RULES {
+        assert!(
+            fired_rules.contains(rule.id),
+            "no fixture exercises rule `{}`",
+            rule.id
+        );
+    }
+}

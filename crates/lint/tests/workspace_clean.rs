@@ -1,0 +1,30 @@
+//! The deny-by-default teeth: the workspace itself must be lint-clean.
+//!
+//! This runs the full analyzer over every source in the repository —
+//! exactly what CI's `lint` job and a local `cargo run -p mmv-lint`
+//! do — and fails listing each violation. A new violation therefore
+//! breaks `cargo test` even before CI: either fix the site or carry
+//! an `// mmv-lint: allow(rule-id) <reason>` that the suppression
+//! meta-rule accepts.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let diags = mmv_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "mmv-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -4,6 +4,7 @@
 //! or `-`), runs [`mmv_obs::validate_prometheus`], and exits non-zero with
 //! the first error on malformed input. CI pipes live `render_prometheus()`
 //! scrapes through this binary.
+#![forbid(unsafe_code)]
 
 use std::io::Read;
 use std::process::ExitCode;

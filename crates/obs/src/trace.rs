@@ -95,6 +95,20 @@ impl BatchTrace {
             .saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Runs `f`, recording its wall-clock duration into `stage`.
+    ///
+    /// This is the obs-gated home for write-path timing: callers on
+    /// the maintenance pipeline take their clock reads through trace
+    /// helpers (only invoked when tracing is on) rather than calling
+    /// `Instant::now` inline — the project's `time-gate` lint enforces
+    /// exactly that.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.record(stage, t0.elapsed());
+        out
+    }
+
     /// Time recorded for one stage.
     pub fn stage(&self, stage: Stage) -> Duration {
         Duration::from_nanos(self.stage_nanos[stage.index()])

@@ -465,6 +465,7 @@ pub struct LoadedCheckpoint {
 
 fn checkpoint_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
+    // mmv-lint: allow(vfs-confine) recovery-read allowlist: checkpoint discovery precedes the Vfs-fronted service
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
@@ -490,7 +491,7 @@ pub fn load_newest(dir: &Path) -> Result<Option<LoadedCheckpoint>, StorageError>
     let files = checkpoint_files(dir).map_err(|e| StorageError::io(StorageOp::ReadDir, dir, e))?;
     for (_, path) in files.iter().rev() {
         let bytes =
-            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?;
+            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?; // mmv-lint: allow(vfs-confine) recovery-read allowlist: checkpoint load precedes the Vfs-fronted service
         let Some(body) = validate_trailer(&bytes) else {
             continue; // torn checkpoint: fall back to an older one
         };

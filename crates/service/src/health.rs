@@ -215,7 +215,7 @@ impl Health {
             guard.transitions.push_back(HealthTransition {
                 from,
                 to,
-                epoch: self.epoch.load(Ordering::Relaxed),
+                epoch: self.epoch.load(Ordering::Relaxed), // order: advisory epoch stamp on a transition; the state mutex orders the machine
                 reason: reason.to_string(),
             });
             self.transitions_total.inc();
@@ -261,7 +261,7 @@ impl Health {
 
     /// Records the last published epoch (stamped onto transitions).
     pub(crate) fn note_epoch(&self, epoch: u64) {
-        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.epoch.fetch_max(epoch, Ordering::Relaxed); // order: monotonic stamp via fetch_max; readers tolerate slight staleness
     }
 
     /// A writer-lane recovery that did not change the coarse state —
@@ -278,7 +278,7 @@ impl Health {
         guard.transitions.push_back(HealthTransition {
             from: state,
             to: state,
-            epoch: self.epoch.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed), // order: advisory epoch stamp on a transition; the state mutex orders the machine
             reason: reason.to_string(),
         });
         self.transitions_total.inc();
@@ -379,8 +379,8 @@ fn probe_loop(health: Arc<Health>, wal: Arc<crate::wal::Wal>, interval: Duration
             }
         }
         if health.current() == ServiceHealth::ReadOnly {
-            let epoch = health.epoch.load(Ordering::Relaxed);
-            // On Err the storage is still down; try again next tick.
+            let epoch = health.epoch.load(Ordering::Relaxed); // order: probe reads the stamp opportunistically; retried next tick anyway
+                                                              // On Err the storage is still down; try again next tick.
             if wal.probe(epoch).is_ok() {
                 health.wal_restored("storage probe succeeded");
             }

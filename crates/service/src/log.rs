@@ -219,12 +219,12 @@ impl LogSink for DurableLog {
         ticket_base: u64,
         trace: &mut mmv_obs::BatchTrace,
     ) -> Result<Option<u64>, StorageError> {
-        let t0 = std::time::Instant::now();
-        let frame = render_wal_batch(record.epoch, ticket_base, &record.batch);
-        let t1 = std::time::Instant::now();
-        trace.record(mmv_obs::Stage::WalRender, t1 - t0);
-        let lsn = self.wal.append(record.epoch, &frame)?;
-        trace.record(mmv_obs::Stage::WalAppend, t1.elapsed());
+        let frame = trace.time(mmv_obs::Stage::WalRender, || {
+            render_wal_batch(record.epoch, ticket_base, &record.batch)
+        });
+        let lsn = trace.time(mmv_obs::Stage::WalAppend, || {
+            self.wal.append(record.epoch, &frame)
+        })?;
         self.mem.append(record);
         Ok(Some(lsn))
     }

@@ -222,6 +222,23 @@ impl StageClock {
         }
     }
 
+    /// An obs-gated clock read: `Some(now)` when the clock is enabled,
+    /// `None` (no clock read at all) when it is not. Pair with
+    /// [`StageClock::since`] to measure spans the apply path reports
+    /// (batch latency, publish latency) without putting `Instant::now`
+    /// on the uninstrumented write path — the `time-gate` lint keeps
+    /// raw clock reads out of write-path modules, and this helper is
+    /// the sanctioned alternative.
+    pub(crate) fn now(&self) -> Option<Instant> {
+        self.last.map(|_| Instant::now())
+    }
+
+    /// Elapsed time since a [`StageClock::now`] mark, zero when the
+    /// clock was disabled (the span was never measured).
+    pub(crate) fn since(&self, mark: Option<Instant>) -> std::time::Duration {
+        mark.map(|t| t.elapsed()).unwrap_or_default()
+    }
+
     /// The finished trace, `None` when the clock was disabled.
     pub(crate) fn finish(self) -> Option<BatchTrace> {
         self.last.map(|_| self.trace)

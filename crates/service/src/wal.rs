@@ -528,7 +528,7 @@ impl Wal {
     /// segment and the older ones become prunable by the *next*
     /// checkpoint once every record they hold is covered.
     pub fn request_rotation(&self) {
-        self.rotate_requested.store(true, Ordering::Release);
+        self.rotate_requested.store(true, Ordering::Release); // order: request flag consumed by the flusher's Acquire swap
     }
 
     /// Appends one payload frame and returns its LSN. `epoch` is a
@@ -557,6 +557,7 @@ impl Wal {
                 ));
             }
         }
+        // order: pairs with request_rotation's Release store
         if self.rotate_requested.swap(false, Ordering::Acquire) {
             a.rotate = true;
         }
@@ -999,6 +1000,7 @@ pub struct WalScan {
 
 fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
+    // mmv-lint: allow(vfs-confine) recovery-read allowlist: segment discovery precedes the Vfs-fronted writer
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
@@ -1072,7 +1074,7 @@ pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
     let last = files.len().wrapping_sub(1);
     for (i, (_seq, path)) in files.iter().enumerate() {
         let bytes =
-            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?;
+            std::fs::read(path).map_err(|e| StorageError::io(StorageOp::Read, path.clone(), e))?; // mmv-lint: allow(vfs-confine) recovery-read allowlist: recovery-time reads are not fault-injection targets (module docs)
         let is_last = i == last;
         let corrupt = |offset: usize, detail: String| StorageError::Corrupt {
             file: path.clone(),
@@ -1119,7 +1121,7 @@ pub fn scan_dir(dir: &Path, repair: bool) -> Result<WalScan, StorageError> {
 
 fn truncate_to(path: &Path, len: u64) -> Result<(), StorageError> {
     let attr = |e| StorageError::io(StorageOp::Truncate, path, e);
-    let f = std::fs::OpenOptions::new()
+    let f = std::fs::OpenOptions::new() // mmv-lint: allow(vfs-confine) recovery-time torn-tail truncation, before the Vfs-fronted writer reopens
         .write(true)
         .open(path)
         .map_err(attr)?;
@@ -1166,6 +1168,7 @@ pub fn prune_segments_with(vfs: &dyn Vfs, dir: &Path, chk_epoch: u64) -> Result<
 /// checkpoint covers (`<= chk_epoch`). Any read, frame, or payload
 /// failure answers `false` — pruning keeps what it cannot prove.
 fn segment_covered_by(path: &Path, chk_epoch: u64) -> bool {
+    // mmv-lint: allow(vfs-confine) recovery-read allowlist: pruning proof reads, not fault-injection targets
     let Ok(bytes) = std::fs::read(path) else {
         return false;
     };
